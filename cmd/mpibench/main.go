@@ -1,0 +1,98 @@
+// Command mpibench is a SKaMPI-style collective microbenchmark suite on
+// the simulated machines: it sweeps collectives × process counts ×
+// payload sizes with adaptive CI-driven sampling, delay-window
+// synchronization, and statistically sound summaries, then fits
+// LogP-style scaling models to each collective (§6's "building block
+// for a new benchmark suite").
+//
+// Usage:
+//
+//	mpibench [-system daint|dora|pilatus] [-collectives reduce,bcast,...]
+//	         [-ranks 2,4,8,16,32] [-bytes 8,1024] [-relerr 0.05]
+//	         [-seed 1] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/suite"
+)
+
+func main() {
+	var (
+		system      = flag.String("system", "daint", "simulated system: daint|dora|pilatus")
+		collectives = flag.String("collectives", "", "comma-separated subset (default: all)")
+		ranks       = flag.String("ranks", "2,4,8,16,32", "comma-separated process counts")
+		bytesFlag   = flag.String("bytes", "8,1024", "comma-separated payload sizes")
+		relErr      = flag.Float64("relerr", 0.05, "target relative CI width")
+		seed        = flag.Uint64("seed", 1, "RNG seed")
+		verbose     = flag.Bool("v", false, "stream per-configuration progress")
+	)
+	flag.Parse()
+
+	var clusterCfg cluster.Config
+	switch *system {
+	case "daint":
+		clusterCfg = cluster.PizDaint()
+	case "dora":
+		clusterCfg = cluster.PizDora()
+	case "pilatus":
+		clusterCfg = cluster.Pilatus()
+	default:
+		fmt.Fprintf(os.Stderr, "mpibench: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	cfg := suite.Config{
+		Cluster: clusterCfg,
+		RelErr:  *relErr,
+		Seed:    *seed,
+	}
+	if *collectives != "" {
+		cfg.Collectives = strings.Split(*collectives, ",")
+	}
+	var err error
+	if cfg.Ranks, err = parseInts(*ranks); err != nil {
+		fmt.Fprintf(os.Stderr, "mpibench: -ranks: %v\n", err)
+		os.Exit(2)
+	}
+	if cfg.Bytes, err = parseInts(*bytesFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "mpibench: -bytes: %v\n", err)
+		os.Exit(2)
+	}
+
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+	res, err := suite.Run(cfg, progress)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpibench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := res.WriteReport(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "mpibench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("value %d must be positive", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,234 @@
+// Command scibench is the library's command-line front end:
+//
+//	scibench analyze -col NAME [-confidence 0.95] < data.csv
+//	    Full statistical analysis (summary, CIs, normality, density) of
+//	    one CSV column of measurements.
+//
+//	scibench compare -a NAME -b NAME [-alpha 0.05] < data.csv
+//	    Rule 7 comparison of two CSV columns: Kruskal–Wallis, Welch
+//	    t-test, effect size, CI overlap, and quantile differences.
+//
+//	scibench timer
+//	    Calibrate the wall clock and print the smallest reliably
+//	    measurable interval (§4.2.1).
+//
+//	scibench audit < report.json
+//	    Audit a study description (JSON rules.Report) against the twelve
+//	    rules and print the findings and scorecard.
+//
+//	scibench generate [-n 1000] [-seed 1]
+//	    Emit a demo CSV (two simulated systems' latencies) to stdout for
+//	    the analyze/compare subcommands.
+//
+//	scibench rules
+//	    Print the twelve rules verbatim.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	scibench "repro"
+	"repro/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "timer":
+		err = cmdTimer()
+	case "rules":
+		err = cmdRules()
+	case "audit":
+		err = cmdAudit()
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scibench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: scibench analyze|compare|audit|generate|timer|rules [flags]")
+	os.Exit(2)
+}
+
+func cmdAudit() error {
+	var r scibench.RulesReport
+	dec := json.NewDecoder(os.Stdin)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return fmt.Errorf("parsing rules report: %w", err)
+	}
+	findings, _ := scibench.AuditRules(r)
+	return scibench.WriteRulesReport(os.Stdout, findings)
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	n := fs.Int("n", 1000, "samples per system")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	gen := func(cfg scibench.ClusterConfig, seed uint64) ([]float64, error) {
+		ranks := cfg.CoresPerNode + 1
+		m, err := scibench.NewCluster(cfg, ranks, seed)
+		if err != nil {
+			return nil, err
+		}
+		raw := m.PingPong(0, ranks-1, 64, *n)
+		out := make([]float64, len(raw))
+		for i, d := range raw {
+			out[i] = float64(d) / float64(time.Microsecond)
+		}
+		return out, nil
+	}
+	dora, err := gen(scibench.PizDora(), *seed)
+	if err != nil {
+		return err
+	}
+	pilatus, err := gen(scibench.Pilatus(), *seed+1)
+	if err != nil {
+		return err
+	}
+	return scibench.WriteCSV(os.Stdout, []string{"dora_us", "pilatus_us"}, dora, pilatus)
+}
+
+func readColumns(r io.Reader, names ...string) (map[string][]float64, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]float64{}
+	for _, name := range names {
+		col, err := report.ReadCSVColumn(bytes.NewReader(data), name)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = col
+	}
+	return out, nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	col := fs.String("col", "", "CSV column to analyze (required)")
+	confidence := fs.Float64("confidence", 0.95, "confidence level")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *col == "" {
+		return fmt.Errorf("-col is required")
+	}
+	cols, err := readColumns(os.Stdin, *col)
+	if err != nil {
+		return err
+	}
+	xs := cols[*col]
+	res, err := scibench.Analyze(xs, *confidence)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s\n\n", *col, res.Summary)
+	fmt.Printf("mean   %v\n", res.MeanCI)
+	fmt.Printf("median %v\n", res.MedianCI)
+	fmt.Printf("Shapiro–Wilk W = %.4f, p = %.3g → plausibly normal: %v\n",
+		res.ShapiroW, res.ShapiroP, res.PlausiblyNormal)
+	label, iv := res.PreferredCenter()
+	fmt.Printf("report the %s: %v\n\n", label, iv)
+	if err := scibench.DensityPlot(os.Stdout, xs, 72, 10); err != nil {
+		return err
+	}
+	fmt.Println()
+	return scibench.QQPlot(os.Stdout, xs, 60, 14)
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	a := fs.String("a", "", "first CSV column (required)")
+	b := fs.String("b", "", "second CSV column (required)")
+	alpha := fs.Float64("alpha", 0.05, "significance level")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *a == "" || *b == "" {
+		return fmt.Errorf("-a and -b are required")
+	}
+	cols, err := readColumns(os.Stdin, *a, *b)
+	if err != nil {
+		return err
+	}
+	xa, xb := cols[*a], cols[*b]
+
+	kw, err := scibench.KruskalWallis(xa, xb)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Kruskal–Wallis (medians): %s → differ at %.0f%%: %v\n",
+		kw, 100*(1-*alpha), kw.Significant(*alpha))
+	if tt, err := scibench.TTest(xa, xb, true); err == nil {
+		fmt.Printf("Welch t-test (means):     %s\n", tt)
+	}
+	if es, err := scibench.EffectSize(xa, xb); err == nil {
+		fmt.Printf("effect size: %.3f (|0.2| small, |0.5| medium, |0.8| large)\n", es)
+	}
+	ia, err := scibench.MedianCI(xa, 1-*alpha)
+	if err != nil {
+		return err
+	}
+	ib, err := scibench.MedianCI(xb, 1-*alpha)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("median %s: %v\nmedian %s: %v\nCIs overlap: %v\n",
+		*a, ia, *b, ib, ia.Overlaps(ib))
+
+	pts, err := scibench.CompareQuantiles(xa, xb, []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99}, 1-*alpha)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nper-quantile differences (%s − %s):\n", *b, *a)
+	for _, p := range pts {
+		sig := ""
+		if p.SignificantDif {
+			sig = "  (significant)"
+		}
+		fmt.Printf("  q%-5g %+.6g  [%+.6g, %+.6g]%s\n",
+			p.Tau, p.Difference, p.DifferenceLo, p.DifferenceHi, sig)
+	}
+	fmt.Println()
+	return scibench.BoxPlot(os.Stdout, map[string][]float64{*a: xa, *b: xb}, 60)
+}
+
+func cmdTimer() error {
+	cal := scibench.CalibrateTimer(64)
+	fmt.Printf("wall clock resolution: %v\n", cal.Resolution)
+	fmt.Printf("per-call overhead:     %v\n", cal.Overhead)
+	fmt.Printf("smallest reliable interval (§4.2.1: overhead < 5%%, resolution 10x): %v\n",
+		cal.MinReliableInterval())
+	return nil
+}
+
+func cmdRules() error {
+	for i := 1; i <= 12; i++ {
+		fmt.Printf("Rule %2d: %s\n\n", i, scibench.RuleText(i))
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+// Audit: the twelve rules as an executable reviewer.
+//
+// The example audits two versions of the same (hypothetical) study: the
+// sloppy write-up the paper's survey found to be typical — speedups
+// without a base case, arithmetic means of rates, no CIs, a
+// mystery-machine setup — and the compliant version of the same study.
+//
+// Run with: go run ./examples/audit
+package main
+
+import (
+	"fmt"
+
+	scibench "repro"
+)
+
+func sloppyStudy() scibench.RulesReport {
+	return scibench.RulesReport{
+		Title: "Our System Is 3.7x Faster (sloppy version)",
+		// Rule 1: a speedup with no stated base case.
+		Speedups: []scibench.RulesSpeedup{{}},
+		// Rule 2: only the benchmarks that looked good.
+		UsedSubset: true,
+		// Rule 3: the classic mistake — arithmetic mean of rates.
+		Summaries: []scibench.RulesSummaryUse{
+			{Metric: "Gflop/s", Kind: scibench.Rate, Method: "arithmetic mean"},
+		},
+		// Rules 5–6: nondeterministic data, no CIs, normality assumed.
+		Deterministic: false,
+		ReportsCI:     false,
+		// Rule 7: "ours is faster" straight from two raw numbers.
+		Comparisons: []scibench.RulesComparison{
+			{Claim: "ours beats baseline", Method: "none (raw numbers compared)"},
+		},
+		// Rule 9: "we ran on Titan" and nothing else.
+		Env: scibench.ExperimentEnv{Processor: "Titan (see TOP500)"},
+		// Rule 10: parallel times, methodology unstated.
+		Parallel: &scibench.ParallelTimingDoc{},
+		// Rule 12: connected line plot over categorical configurations.
+		Plots: []scibench.RulesPlot{
+			{Name: "speedup lines", ShowsVariation: false, ConnectsPoints: true},
+		},
+	}
+}
+
+func compliantStudy() scibench.RulesReport {
+	r := sloppyStudy()
+	r.Title = "Our System Under Test (compliant version)"
+	r.Speedups = []scibench.RulesSpeedup{{
+		BaseCase:         "best serial execution",
+		BaseAbsolute:     2.1,
+		BaseAbsoluteUnit: "Gflop/s",
+	}}
+	r.UsedSubset = true
+	r.SubsetJustification = "the Fortran kernels are outside the compiler pass's scope"
+	r.Summaries = []scibench.RulesSummaryUse{
+		{Metric: "Gflop/s", Kind: scibench.Rate, Method: "harmonic mean"},
+		{Metric: "completion time", Kind: scibench.Cost, Method: "median"},
+	}
+	r.ReportsCI = true
+	r.CILevel = 0.95
+	r.NormalityChecked = true
+	r.CenterJustified = true
+	r.PercentilesReported = []float64{0.5, 0.99}
+	r.Comparisons = []scibench.RulesComparison{
+		{Claim: "ours beats baseline at the median", Method: "Kruskal-Wallis"},
+	}
+	r.Env = scibench.ExperimentEnv{
+		Processor:        "2× Xeon E5-2690 v3 (Haswell, 12c, 2.6 GHz)",
+		Memory:           "64 GiB DDR4-2133, 4 channels",
+		Network:          "Aries dragonfly, ~1.3 µs / 10 GB/s per link",
+		Compiler:         "gcc 4.8.2 -O3 -march=native",
+		RuntimeLibs:      "CLE 5.2.40, cray-mpich 7.0.4",
+		Filesystem:       "not on the critical path",
+		InputAndCode:     "inputs and generators released with the code",
+		MeasurementSetup: "single-event timing, delay-window sync, 99% CI within 5% of medians",
+		CodeURL:          "https://example.org/artifact",
+	}
+	r.Factors = []scibench.ExperimentFactor{
+		{Name: "processes", Levels: []string{"1", "2", "4", "…", "1024"}},
+		{Name: "input", Levels: []string{"small", "large"}},
+	}
+	r.Parallel = &scibench.ParallelTimingDoc{
+		MeasurementMethod:   "per-rank interval timing of the full solve",
+		SynchronizationUsed: "delay-window",
+		SummarizationAcross: "maximum across ranks (worst case), ANOVA-gated",
+	}
+	r.BoundsModels = []string{"ideal linear", "Amdahl b=0.008", "reduction overhead"}
+	r.Plots = []scibench.RulesPlot{
+		{Name: "scaling", ShowsVariation: true, ConnectsPoints: true, InterpolationValid: true},
+		{Name: "latency violins", ShowsVariation: true},
+	}
+	return r
+}
+
+func printAudit(r scibench.RulesReport) {
+	findings, compliance := scibench.AuditRules(r)
+	fmt.Printf("── %s\n", r.Title)
+	for _, f := range findings {
+		if f.Severity.String() != "PASS" {
+			fmt.Printf("   %s\n", f)
+		}
+	}
+	fmt.Printf("   → %d/12 rules passed\n\n", compliance.Passed)
+}
+
+func main() {
+	fmt.Println("auditing two write-ups of the same study against the twelve rules:")
+	fmt.Println()
+	printAudit(sloppyStudy())
+	printAudit(compliantStudy())
+	fmt.Println("the sloppy version is exactly the modal paper of the survey (Table 1):")
+	fmt.Println("hardware named, everything else missing, and a bare mean as the result.")
+}

@@ -1,0 +1,74 @@
+// Factorial: the §4 experimental-design recommendation in action.
+//
+// Which matters more for reduction latency on the simulated Piz Daint —
+// the payload size or the process placement? A 2² factorial design with
+// replicates answers it with main effects, the interaction, and
+// per-effect significance, instead of the one-factor-at-a-time guessing
+// the paper warns against.
+//
+// Run with: go run ./examples/factorial
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	scibench "repro"
+	"repro/internal/cluster"
+)
+
+func main() {
+	design, err := scibench.TwoLevelDesign("payload", "placement")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Factor levels: payload 8 B vs 64 KiB; placement packed vs
+	// scattered (one rank per node).
+	payloads := []int{8, 65536}
+	placements := []cluster.Placement{cluster.Packed, cluster.Scattered}
+
+	seed := uint64(0)
+	obs, err := scibench.CollectDesign(design, 40, func(levels []int) float64 {
+		seed++
+		cfg := scibench.PizDaint()
+		cfg.Placement = placements[levels[1]]
+		m, err := scibench.NewCluster(cfg, 32, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := m.Reduce(payloads[levels[0]], nil)
+		return float64(res.Max()) / float64(time.Microsecond)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("2² factorial: 32-rank reduce latency (µs) on simulated Piz Daint")
+	fmt.Println("factors: payload (8 B vs 64 KiB), placement (packed vs scattered)")
+	fmt.Println()
+	for r, run := range design.Runs {
+		mean := scibench.Mean(obs.Y[r])
+		fmt.Printf("  %-38s mean %.3f µs over %d replicates\n",
+			design.RunLabel(run), mean, len(obs.Y[r]))
+	}
+
+	effects, err := scibench.FactorEffects(obs, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\neffects (low → high change, with replicate-based significance):")
+	for _, e := range effects {
+		verdict := "not significant"
+		if e.P < 0.01 {
+			verdict = "significant"
+		}
+		fmt.Printf("  %-18s %+9.3f µs   (t=%7.2f, p=%.2g)  %s\n",
+			e.Name(), e.Effect, e.T, e.P, verdict)
+	}
+	fmt.Println("\nreading: the payload effect dominates (bandwidth term × tree depth);")
+	fmt.Println("placement moves latency via the intra- vs inter-node hop mix; the")
+	fmt.Println("interaction term shows whether placement matters *more* for large")
+	fmt.Println("payloads — one factorial answers all three at once (§4).")
+}

@@ -1,0 +1,103 @@
+// Latency: the paper's Figures 3 and 4 as a library user would run them.
+//
+// Two simulated systems (Piz Dora, Pilatus) measure 64 B ping-pong
+// latency; the example demonstrates the full Rule 7/8 toolkit: median
+// CIs, the Kruskal–Wallis significance test, effect size, and quantile
+// regression revealing that the systems rank differently at different
+// percentiles — the paper's central cautionary tale about means.
+//
+// Run with: go run ./examples/latency [-samples N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	scibench "repro"
+)
+
+func measureLatency(cfg scibench.ClusterConfig, samples int, seed uint64) ([]float64, error) {
+	// Two processes on different compute nodes (§4.1.2).
+	ranks := cfg.CoresPerNode + 1
+	m, err := scibench.NewCluster(cfg, ranks, seed)
+	if err != nil {
+		return nil, err
+	}
+	raw := m.PingPong(0, ranks-1, 64, samples)
+	out := make([]float64, len(raw))
+	for i, d := range raw {
+		out[i] = float64(d) / float64(time.Microsecond)
+	}
+	return out, nil
+}
+
+func main() {
+	samples := flag.Int("samples", 200000, "ping-pong samples per system")
+	flag.Parse()
+
+	dora, err := measureLatency(scibench.PizDora(), *samples, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pilatus, err := measureLatency(scibench.Pilatus(), *samples, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 3: distributions, robust centers, and significance.
+	fmt.Printf("64 B ping-pong latency, %d samples per system (µs)\n\n", *samples)
+	for name, xs := range map[string][]float64{"Piz Dora": dora, "Pilatus": pilatus} {
+		s := scibench.Summarize(xs)
+		med, err := scibench.MedianCI(xs, 0.99)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s min %.3f  median %v  mean %.4f  max %.3f\n",
+			name, s.Min, med, s.Mean, s.Max)
+	}
+
+	kw, err := scibench.KruskalWallis(dora, pilatus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	es, err := scibench.EffectSize(dora, pilatus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nKruskal–Wallis: %s → medians differ at 95%%: %v; effect size %.3f\n",
+		kw, kw.Significant(0.05), es)
+
+	if err := scibench.BoxPlot(os.Stdout, map[string][]float64{
+		"Piz Dora": dora, "Pilatus": pilatus,
+	}, 60); err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 4: quantile regression — who wins depends on the quantile.
+	fmt.Printf("\nper-quantile difference (Pilatus − Dora), 95%% bands:\n")
+	pts, err := scibench.CompareQuantiles(dora, pilatus,
+		[]float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}, 0.95)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var flips []string
+	for _, p := range pts {
+		sig := ""
+		if p.SignificantDif {
+			sig = " *"
+			if p.Difference < 0 {
+				flips = append(flips, fmt.Sprintf("q%g", p.Tau))
+			}
+		}
+		fmt.Printf("  q%-6g %+.4f µs  [%+.4f, %+.4f]%s\n",
+			p.Tau, p.Difference, p.DifferenceLo, p.DifferenceHi, sig)
+	}
+	if len(flips) > 0 {
+		fmt.Printf("\nPilatus is significantly FASTER at %v although its median is slower —\n", flips)
+		fmt.Println("mean/median comparisons alone would have picked the wrong system for")
+		fmt.Println("best-case-latency-critical workloads (Rule 8).")
+	}
+}

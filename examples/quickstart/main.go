@@ -1,0 +1,63 @@
+// Quickstart: measure a function the statistically sound way.
+//
+// The library handles everything the paper's rules demand: warmup
+// discard, adaptive sampling until the 95% CI of the median is within 2%
+// of the estimate, normality diagnostics, and a choice of the right
+// summary statistic — then renders an annotated density.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	scibench "repro"
+)
+
+// workload is the function under test: sorting 10k pseudo-random ints.
+// Real workloads vary run to run (allocator state, cache residency,
+// scheduler); this one inherits that nondeterminism naturally.
+func workload() float64 {
+	xs := make([]int, 10000)
+	state := uint64(12345)
+	for i := range xs {
+		state = state*6364136223846793005 + 1442695040888963407
+		xs[i] = int(state >> 33)
+	}
+	start := time.Now()
+	sort.Ints(xs)
+	return time.Since(start).Seconds() * 1e6 // µs
+}
+
+func main() {
+	res, err := scibench.Run(scibench.Plan{
+		Warmup:     5,    // establish caches/JIT-like state (§4.1.2)
+		MinSamples: 30,   //
+		MaxSamples: 2000, //
+		Confidence: 0.95,
+		RelErr:     0.02, // stop when the median CI is within ±2%
+	}, workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("collected %d samples (%s), %d warmup discarded\n",
+		res.Summary.N, res.Stop, res.WarmupDiscarded)
+	fmt.Printf("summary: %s\n", res.Summary)
+	fmt.Printf("Shapiro–Wilk W = %.4f, p = %.3g → plausibly normal: %v\n",
+		res.ShapiroW, res.ShapiroP, res.PlausiblyNormal)
+
+	// Rule: report the median with a nonparametric CI for skewed timing
+	// data, the mean only for (near) normal data — PreferredCenter
+	// encodes that decision tree.
+	label, iv := res.PreferredCenter()
+	fmt.Printf("\nreport the %s: %v µs\n\n", label, iv)
+
+	if err := scibench.DensityPlot(os.Stdout, res.Raw, 72, 10); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Scaling: the paper's Figure 7a/b as a library user would run it —
+// a strong-scaling study reported per Rules 1 and 11.
+//
+// The workload is the paper's Pi calculation: a 20 ms base case with a
+// 1% serial fraction and a final reduction, run on the simulated Piz
+// Daint. The report states the base case and its absolute performance
+// (Rule 1) and shows ideal, Amdahl, and parallel-overhead bounds
+// (Rule 11). As a bonus the example really computes π digits in
+// parallel to show the workload is not a mock.
+//
+// Run with: go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	scibench "repro"
+	"repro/internal/bounds"
+	"repro/internal/cluster"
+	"repro/internal/workloads"
+)
+
+func main() {
+	// The real computation (Rule: the base case must exist!).
+	digits, err := workloads.ComputePiDigits(60, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("π to 60 digits (computed in parallel, Machin series): %s…\n\n", digits[:40])
+
+	pc := workloads.PiScalingConfig{
+		Base:        20 * time.Millisecond,
+		Serial:      0.01,
+		ReduceBytes: 8,
+	}
+	ps := []int{1, 2, 4, 8, 16, 24, 32}
+	cfg := cluster.PizDaint()
+	cfg.Placement = cluster.Scattered
+	points, raw, err := workloads.SimulatePiScaling(cfg, pc, ps, 10, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ideal := bounds.Ideal{Base: pc.Base}
+	amdahl := bounds.Amdahl{Base: pc.Base, Serial: pc.Serial}
+
+	// Rule 1: the speedup base case, stated with absolute performance.
+	base := points[0]
+	fmt.Printf("base case: single parallel process, %.4g ms (absolute performance stated per Rule 1)\n\n",
+		base.Time.Seconds()*1e3)
+
+	fmt.Printf("%4s  %12s  %12s  %12s  %9s  %9s\n",
+		"p", "median (ms)", "ideal (ms)", "Amdahl (ms)", "speedup", "CI ±%")
+	for i, pt := range points {
+		// Rule 5: quantify the run-to-run spread of each configuration.
+		med, err := scibench.MedianCI(raw[i], 0.95)
+		relErr := 0.0
+		if err == nil {
+			relErr = med.RelativeWidth() * 100
+		}
+		fmt.Printf("%4d  %12.4g  %12.4g  %12.4g  %9.3g  %8.1f%%\n",
+			pt.P,
+			pt.Time.Seconds()*1e3,
+			ideal.MinTime(pt.P).Seconds()*1e3,
+			amdahl.MinTime(pt.P).Seconds()*1e3,
+			pt.Speedup,
+			relErr,
+		)
+		if pt.Speedup > float64(pt.P) {
+			fmt.Printf("      WARNING: super-linear speedup indicates a broken base case (§5.1)\n")
+		}
+	}
+
+	// Rule 11: plot measured speedup against the bounds.
+	var xs, meas, idl, amd []float64
+	for _, pt := range points {
+		xs = append(xs, float64(pt.P))
+		meas = append(meas, pt.Speedup)
+		idl = append(idl, bounds.MaxSpeedup(ideal, pt.P))
+		amd = append(amd, bounds.MaxSpeedup(amdahl, pt.P))
+	}
+	fmt.Println()
+	err = scibench.XYPlot(os.Stdout, "speedup vs processes", []scibench.Series{
+		{Name: "measured", X: xs, Y: meas, Marker: 'o'},
+		{Name: "ideal linear", X: xs, Y: idl, Marker: '/'},
+		{Name: "Amdahl (b=0.01)", X: xs, Y: amd, Marker: 'a'},
+	}, 60, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nreading: measured speedup stays below the Amdahl bound, which stays below")
+	fmt.Println("ideal; the residual gap is the reduction overhead (Fig 7b's third bound).")
+}

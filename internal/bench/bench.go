@@ -1,0 +1,255 @@
+// Package bench is the measurement controller codifying the paper's
+// experimental-design rules: warmup discard (§4.1.2), fixed or adaptive
+// sample counts driven by confidence-interval width (§4.2.2, Rule 5),
+// single-event measurement for exact rank statistics (§4.2.1), explicit
+// outlier policy with mandatory reporting (§3.1.3), normality diagnosis
+// (Rule 6), and ANOVA-gated summarization across processes (Rule 10).
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/ci"
+	"repro/internal/htest"
+	"repro/internal/stats"
+	"repro/internal/timer"
+)
+
+// OutlierPolicy selects how outliers are treated. The paper recommends
+// robust measures over removal; when removal is unavoidable the count
+// must be reported (it is, in Result.OutliersRemoved).
+type OutlierPolicy struct {
+	// Remove enables Tukey-fence removal before summary computation.
+	Remove bool
+	// TukeyK is the fence constant (default 1.5; 3.0 is conservative).
+	TukeyK float64
+}
+
+// Plan configures one measurement campaign.
+type Plan struct {
+	// Warmup iterations are measured but excluded from analysis
+	// (working-set establishment, §4.1.2).
+	Warmup int
+	// MinSamples is collected unconditionally (>= 6 enforced for
+	// nonparametric CIs; default 10).
+	MinSamples int
+	// MaxSamples bounds the adaptive phase (default 1000).
+	MaxSamples int
+	// Confidence is the CI level used for the stopping rule and the
+	// reported intervals (default 0.95).
+	Confidence float64
+	// RelErr, when positive, enables adaptive stopping: measure until the
+	// median CI's relative half-width is at most RelErr.
+	RelErr float64
+	// BatchSize is the adaptive recheck cadence (default 10).
+	BatchSize int
+	// Outliers is the outlier policy (default: keep everything).
+	Outliers OutlierPolicy
+	// EventsPerSample aggregates k consecutive events into one recorded
+	// observation (their mean). §4.2.1 allows this when timer overhead
+	// or resolution is insufficient for single events, at the cost of
+	// losing per-event confidence intervals and exact rank statistics —
+	// Result.ResolutionLost flags that loss. Default 1 (recommended).
+	EventsPerSample int
+	// Timer, when non-nil, validates every recorded observation against
+	// the calibration's §4.2.1 quality thresholds; violations are
+	// counted in Result.TimerWarnings. Observations are in seconds.
+	Timer *timer.Calibration
+}
+
+func (p Plan) withDefaults() Plan {
+	if p.MinSamples < 6 {
+		p.MinSamples = 10
+	}
+	if p.MaxSamples <= 0 {
+		p.MaxSamples = 1000
+	}
+	if p.MaxSamples < p.MinSamples {
+		p.MaxSamples = p.MinSamples
+	}
+	if p.Confidence <= 0 || p.Confidence >= 1 {
+		p.Confidence = 0.95
+	}
+	if p.BatchSize < 1 {
+		p.BatchSize = 10
+	}
+	if p.Outliers.Remove && p.Outliers.TukeyK <= 0 {
+		p.Outliers.TukeyK = 1.5
+	}
+	if p.EventsPerSample < 1 {
+		p.EventsPerSample = 1
+	}
+	return p
+}
+
+// StopReason explains why sample collection ended.
+type StopReason string
+
+const (
+	// StopFixed: no adaptive target was set; MinSamples were collected.
+	StopFixed StopReason = "fixed sample count"
+	// StopConverged: the CI reached the requested relative width.
+	StopConverged StopReason = "confidence interval converged"
+	// StopMaxSamples: the budget ran out before convergence.
+	StopMaxSamples StopReason = "sample budget exhausted before convergence"
+)
+
+// Result is a fully analyzed measurement campaign. All fields refer to
+// the post-warmup, post-outlier-policy sample except Raw, which keeps
+// every retained observation for downstream analysis or export.
+type Result struct {
+	Raw             []float64
+	WarmupDiscarded int
+	OutliersRemoved int
+	Stop            StopReason
+	Summary         stats.Summary
+	MeanCI          ci.Interval
+	MedianCI        ci.Interval
+	ShapiroW        float64
+	ShapiroP        float64
+	PlausiblyNormal bool
+	Deterministic   bool // all retained observations identical
+	// ResolutionLost is true when EventsPerSample > 1: CIs and rank
+	// statistics then describe block means, not single events (§4.2.1).
+	ResolutionLost bool
+	// TimerWarnings counts observations below the timer calibration's
+	// minimum reliable interval (0 when no calibration was supplied).
+	TimerWarnings int
+}
+
+// ErrNoMeasure is returned when Run is invoked without a measure func.
+var ErrNoMeasure = errors.New("bench: nil measure function")
+
+// Run executes a measurement campaign: warmup, collection (fixed or
+// adaptive), outlier policy, and statistical analysis.
+func Run(plan Plan, measure func() float64) (Result, error) {
+	if measure == nil {
+		return Result{}, ErrNoMeasure
+	}
+	p := plan.withDefaults()
+	var res Result
+	res.ResolutionLost = p.EventsPerSample > 1
+
+	// sample records one observation: the mean of k consecutive events
+	// (k = 1 keeps single-event resolution, the paper's recommendation).
+	minReliable := 0.0
+	if p.Timer != nil {
+		minReliable = p.Timer.MinReliableInterval().Seconds()
+	}
+	sample := func() float64 {
+		sum := 0.0
+		for i := 0; i < p.EventsPerSample; i++ {
+			sum += measure()
+		}
+		v := sum / float64(p.EventsPerSample)
+		if minReliable > 0 && v < minReliable {
+			res.TimerWarnings++
+		}
+		return v
+	}
+
+	for i := 0; i < p.Warmup; i++ {
+		_ = measure()
+		res.WarmupDiscarded++
+	}
+
+	xs := make([]float64, 0, p.MinSamples)
+	for i := 0; i < p.MinSamples; i++ {
+		xs = append(xs, sample())
+	}
+	res.Stop = StopFixed
+
+	if p.RelErr > 0 {
+		rule := ci.StoppingRule{
+			Confidence: p.Confidence,
+			RelErr:     p.RelErr,
+			BatchSize:  p.BatchSize,
+		}
+		res.Stop = StopMaxSamples
+		for {
+			if done, _ := rule.Done(xs); done {
+				res.Stop = StopConverged
+				break
+			}
+			if len(xs) >= p.MaxSamples {
+				break
+			}
+			for i := 0; i < p.BatchSize && len(xs) < p.MaxSamples; i++ {
+				xs = append(xs, sample())
+			}
+		}
+	}
+
+	if p.Outliers.Remove {
+		kept, out := stats.TukeyFilter(xs, p.Outliers.TukeyK)
+		res.OutliersRemoved = len(out)
+		xs = kept
+	}
+	res.Raw = xs
+	return analyze(res, xs, p.Confidence)
+}
+
+// Analyze computes the full statistical report for an existing sample
+// (e.g. data loaded from a CSV file) at the given confidence level.
+func Analyze(xs []float64, confidence float64) (Result, error) {
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	return analyze(Result{Raw: xs, Stop: StopFixed}, xs, confidence)
+}
+
+func analyze(res Result, xs []float64, confidence float64) (Result, error) {
+	if len(xs) < 2 {
+		return res, fmt.Errorf("bench: only %d observations retained", len(xs))
+	}
+	res.Summary = stats.Summarize(xs)
+	res.Deterministic = res.Summary.Min == res.Summary.Max
+
+	if iv, err := ci.MeanCI(xs, confidence); err == nil {
+		res.MeanCI = iv
+	}
+	if iv, err := ci.MedianCI(xs, confidence); err == nil {
+		res.MedianCI = iv
+	}
+	if res.Deterministic {
+		res.PlausiblyNormal = false
+		return res, nil
+	}
+	if sw, err := htest.ShapiroWilk(clip(xs, 5000)); err == nil {
+		res.ShapiroW = sw.Stat
+		res.ShapiroP = sw.P
+	} else {
+		res.ShapiroW = math.NaN()
+		res.ShapiroP = math.NaN()
+	}
+	res.PlausiblyNormal = htest.IsPlausiblyNormal(xs, 0.05)
+	return res, nil
+}
+
+// clip returns at most n leading elements (Shapiro–Wilk caps at 5000).
+func clip(xs []float64, n int) []float64 {
+	if len(xs) <= n {
+		return xs
+	}
+	return xs[:n]
+}
+
+// PreferredCenter returns the summary the paper's decision tree
+// recommends reporting: the mean with its CI when the data is plausibly
+// normal (or deterministic), otherwise the median with its nonparametric
+// CI (§3.1.2–3.1.3).
+func (r Result) PreferredCenter() (label string, iv ci.Interval) {
+	if r.Deterministic || r.PlausiblyNormal {
+		return "mean", r.MeanCI
+	}
+	return "median", r.MedianCI
+}
+
+// String gives a one-line human summary.
+func (r Result) String() string {
+	label, iv := r.PreferredCenter()
+	return fmt.Sprintf("n=%d %s=%s (stop: %s, outliers removed: %d)",
+		r.Summary.N, label, iv, r.Stop, r.OutliersRemoved)
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/htest"
+	"repro/internal/stats"
+)
+
+// CrossProcess is the Rule 10 summarization of nP values measured as n
+// events on each of P processes: before collapsing processes into one
+// population, an ANOVA test checks whether the per-process timings
+// differ significantly; if they do, a per-process breakdown must be
+// reported instead of a single pooled number.
+type CrossProcess struct {
+	// Pooled is the analysis over all nP values (valid when Homogeneous).
+	Pooled stats.Summary
+	// PerProcess holds each process's own summary.
+	PerProcess []stats.Summary
+	// ANOVA is the test result across processes.
+	ANOVA htest.ANOVAResult
+	// Homogeneous reports whether the processes are statistically
+	// indistinguishable at the given alpha (pooling is then sound).
+	Homogeneous bool
+	// MaxProcess and MedianProcess summarize across processes the way
+	// the paper's Fig 5 does (maximum) and a robust alternative.
+	MaxOfMeans    float64
+	MedianOfMeans float64
+}
+
+// SummarizeAcrossProcesses applies the Rule 10 procedure to perProc
+// (one sample per process) at significance level alpha.
+func SummarizeAcrossProcesses(perProc [][]float64, alpha float64) (CrossProcess, error) {
+	if len(perProc) < 2 {
+		return CrossProcess{}, errors.New("bench: need at least two processes")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.05
+	}
+	var out CrossProcess
+	var all []float64
+	means := make([]float64, 0, len(perProc))
+	for i, g := range perProc {
+		if len(g) < 2 {
+			return CrossProcess{}, fmt.Errorf("bench: process %d has %d observations", i, len(g))
+		}
+		out.PerProcess = append(out.PerProcess, stats.Summarize(g))
+		means = append(means, stats.Mean(g))
+		all = append(all, g...)
+	}
+	out.Pooled = stats.Summarize(all)
+	out.MaxOfMeans = stats.Max(means)
+	out.MedianOfMeans = stats.Median(means)
+
+	anova, err := htest.OneWayANOVA(perProc...)
+	if err != nil {
+		if errors.Is(err, htest.ErrConstant) {
+			// All processes identical: trivially homogeneous.
+			out.Homogeneous = true
+			return out, nil
+		}
+		return CrossProcess{}, err
+	}
+	out.ANOVA = anova
+	out.Homogeneous = !anova.Significant(alpha)
+	return out, nil
+}
+
+// Level is one measured factor level in an adaptive refinement sweep.
+type Level struct {
+	X int
+	Y float64
+}
+
+// AdaptiveLevels implements §4.2's adaptive level refinement (the SKaMPI
+// approach): starting from the interval endpoints, it repeatedly measures
+// the midpoint of the segment whose measured value deviates most from
+// linear interpolation between its neighbours — spending the measurement
+// budget where the curve is least linear (highest uncertainty). It
+// returns the measured levels sorted by X.
+func AdaptiveLevels(lo, hi int, budget int, measure func(int) float64) ([]Level, error) {
+	if hi <= lo {
+		return nil, fmt.Errorf("bench: bad level range [%d, %d]", lo, hi)
+	}
+	if measure == nil {
+		return nil, ErrNoMeasure
+	}
+	if budget < 2 {
+		budget = 2
+	}
+	levels := []Level{{lo, measure(lo)}, {hi, measure(hi)}}
+	spent := 2
+	for spent < budget {
+		// Find the refinable segment with the largest interpolation
+		// error estimate: |midpoint prediction gap| × width.
+		bestIdx := -1
+		bestScore := -1.0
+		for i := 0; i+1 < len(levels); i++ {
+			a, b := levels[i], levels[i+1]
+			if b.X-a.X < 2 {
+				continue
+			}
+			score := absf(b.Y-a.Y) * float64(b.X-a.X)
+			if score > bestScore {
+				bestScore = score
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			break // nothing left to refine
+		}
+		a, b := levels[bestIdx], levels[bestIdx+1]
+		mid := (a.X + b.X) / 2
+		y := measure(mid)
+		spent++
+		// Insert keeping X order.
+		levels = append(levels, Level{})
+		copy(levels[bestIdx+2:], levels[bestIdx+1:])
+		levels[bestIdx+1] = Level{mid, y}
+	}
+	return levels, nil
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,170 @@
+package bootstrap
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestPercentileCIMeanCoverage(t *testing.T) {
+	// Coverage of the percentile bootstrap for the mean of a normal
+	// population: close to nominal.
+	outer := rand.New(rand.NewPCG(1, 1))
+	const trials = 200
+	hits := 0
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 40)
+		for i := range xs {
+			xs[i] = 10 + 2*outer.NormFloat64()
+		}
+		rng := rand.New(rand.NewPCG(uint64(trial), 7))
+		iv, err := CI(xs, stats.Mean, Percentile, 500, 0.95, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Contains(10) {
+			hits++
+		}
+	}
+	cov := float64(hits) / trials
+	if cov < 0.88 || cov > 0.995 {
+		t.Errorf("coverage = %.3f, want ≈0.95", cov)
+	}
+}
+
+func TestBCaImprovesSkewedCoverage(t *testing.T) {
+	// For the CoV of a skewed population, BCa coverage should not trail
+	// the percentile method's.
+	trueCoV := math.Sqrt(math.Exp(0.25) - 1) // CoV of LogNormal(µ, 0.5)
+	outer := rand.New(rand.NewPCG(2, 2))
+	const trials = 150
+	hitP, hitB := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 60)
+		for i := range xs {
+			xs[i] = math.Exp(0.5 * outer.NormFloat64())
+		}
+		rngP := rand.New(rand.NewPCG(uint64(trial), 3))
+		rngB := rand.New(rand.NewPCG(uint64(trial), 3))
+		ivP, err := CI(xs, stats.CoV, Percentile, 600, 0.9, rngP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ivB, err := CI(xs, stats.CoV, BCa, 600, 0.9, rngB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ivP.Contains(trueCoV) {
+			hitP++
+		}
+		if ivB.Contains(trueCoV) {
+			hitB++
+		}
+	}
+	covP := float64(hitP) / trials
+	covB := float64(hitB) / trials
+	if covB+0.03 < covP {
+		t.Errorf("BCa coverage %.3f clearly below percentile %.3f", covB, covP)
+	}
+	if covB < 0.75 {
+		t.Errorf("BCa coverage %.3f too far below nominal 0.90", covB)
+	}
+}
+
+func TestCIValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if _, err := CI(xs[:4], stats.Mean, Percentile, 500, 0.95, rng); err != ErrSampleSize {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := CI(xs, stats.Mean, Percentile, 50, 0.95, rng); err != ErrResamples {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := CI(xs, stats.Mean, Percentile, 500, 1.5, rng); err != ErrConfidence {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestConstantSampleZeroWidth(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	xs := []float64{4, 4, 4, 4, 4, 4, 4, 4}
+	iv, err := CI(xs, stats.Mean, Percentile, 200, 0.95, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo != 4 || iv.Hi != 4 || iv.Center != 4 {
+		t.Errorf("constant sample CI = %v", iv)
+	}
+}
+
+func TestMedianCIAgainstRankMethod(t *testing.T) {
+	// The bootstrap median CI should roughly agree with the rank-based
+	// CI on the same data.
+	rng := rand.New(rand.NewPCG(6, 6))
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = math.Exp(0.4 * rng.NormFloat64())
+	}
+	iv, err := CI(xs, stats.Median, Percentile, 2000, 0.95, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := stats.Median(xs)
+	if !iv.Contains(med) {
+		t.Error("bootstrap CI must contain the sample median")
+	}
+	if iv.Width() <= 0 || iv.Width() > med {
+		t.Errorf("implausible width %g", iv.Width())
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	xs := make([]float64, 30)
+	src := rand.New(rand.NewPCG(9, 9))
+	for i := range xs {
+		xs[i] = src.NormFloat64()
+	}
+	a, err := CI(xs, stats.Mean, BCa, 500, 0.95, rand.New(rand.NewPCG(1, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CI(xs, stats.Mean, BCa, 500, 0.95, rand.New(rand.NewPCG(1, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed produced different intervals")
+	}
+}
+
+func TestDifferenceCI(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 10))
+	xs := make([]float64, 80)
+	ys := make([]float64, 80)
+	for i := range xs {
+		xs[i] = 5 + rng.NormFloat64()
+		ys[i] = 7 + rng.NormFloat64()
+	}
+	iv, err := DifferenceCI(xs, ys, stats.Median, 800, 0.95, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True median difference is 2; the CI should bracket it and exclude 0.
+	if !iv.Contains(2) {
+		t.Errorf("difference CI %v misses the true difference 2", iv)
+	}
+	if iv.Contains(0) {
+		t.Errorf("difference CI %v should exclude 0", iv)
+	}
+	if _, err := DifferenceCI(xs[:3], ys, stats.Median, 800, 0.95, rng); err != ErrSampleSize {
+		t.Error("tiny group should error")
+	}
+	if _, err := DifferenceCI(xs, ys, stats.Median, 10, 0.95, rng); err != ErrResamples {
+		t.Error("too few resamples should error")
+	}
+	if _, err := DifferenceCI(xs, ys, stats.Median, 800, 0, rng); err != ErrConfidence {
+		t.Error("bad confidence should error")
+	}
+}

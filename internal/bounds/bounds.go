@@ -1,0 +1,194 @@
+// Package bounds implements the paper's §5.1 "simple bounds modeling"
+// (Rule 11): upper performance bounds that put measured results into
+// perspective — ideal linear scaling, Amdahl serial-overhead bounds,
+// parallel-overhead bounds (Fig 7a/b), and the k-dimensional machine
+// model Γ with application requirement vectors τ and the normalized
+// performance view P (the roofline model is the k = 2 special case).
+package bounds
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Model is a scaling bounds model: for a given process count it returns
+// the smallest achievable execution time (and therefore the largest
+// achievable speedup) consistent with its assumptions.
+type Model interface {
+	// MinTime returns the lower bound on execution time with p processes.
+	MinTime(p int) time.Duration
+	// Name identifies the model in reports and legends.
+	Name() string
+}
+
+// MaxSpeedup returns the model's speedup upper bound at p processes,
+// relative to its single-process time.
+func MaxSpeedup(m Model, p int) float64 {
+	t1 := m.MinTime(1)
+	tp := m.MinTime(p)
+	if tp <= 0 {
+		return math.Inf(1)
+	}
+	return float64(t1) / float64(tp)
+}
+
+// Ideal is the ideal linear-speedup bound: p processes cannot be more
+// than p times faster than one (super-linear observations indicate
+// suboptimal resource use in the base case, §5.1).
+type Ideal struct {
+	Base time.Duration // single-process execution time
+}
+
+// MinTime returns Base/p.
+func (m Ideal) MinTime(p int) time.Duration {
+	if p < 1 {
+		p = 1
+	}
+	return time.Duration(float64(m.Base) / float64(p))
+}
+
+// Name returns the model name.
+func (Ideal) Name() string { return "ideal linear" }
+
+// Amdahl is the serial-overhead bound: with serial fraction B of the
+// base-case time, speedup is limited to 1/(B + (1−B)/p).
+type Amdahl struct {
+	Base   time.Duration // single-process execution time
+	Serial float64       // non-parallelizable fraction b in [0, 1]
+}
+
+// MinTime returns Base·(B + (1−B)/p).
+func (m Amdahl) MinTime(p int) time.Duration {
+	if p < 1 {
+		p = 1
+	}
+	b := math.Min(math.Max(m.Serial, 0), 1)
+	return time.Duration(float64(m.Base) * (b + (1-b)/float64(p)))
+}
+
+// Name returns the model name.
+func (m Amdahl) Name() string { return fmt.Sprintf("Amdahl (b=%.3g)", m.Serial) }
+
+// Gustafson is the weak-scaling counterpart of Amdahl: with the problem
+// size grown in proportion to p (§4.2, "weak scaling"), the scaled
+// speedup is bounded by p − B·(p − 1) for serial fraction B, and the
+// ideal weak-scaling execution time is flat at Base.
+type Gustafson struct {
+	Base   time.Duration // per-process execution time at any p (ideal)
+	Serial float64       // serial fraction b in [0, 1]
+}
+
+// MinTime returns the weak-scaling lower bound on execution time with p
+// processes: the serial part is replicated, so ideal weak scaling keeps
+// the time constant at Base (the bound is flat; overheads show up as
+// measured time rising above it).
+func (m Gustafson) MinTime(p int) time.Duration {
+	if p < 1 {
+		p = 1
+	}
+	return m.Base
+}
+
+// Name returns the model name.
+func (m Gustafson) Name() string {
+	return fmt.Sprintf("Gustafson weak scaling (b=%.3g)", m.Serial)
+}
+
+// ScaledSpeedup returns Gustafson's bound on weak-scaling speedup,
+// p − B·(p−1).
+func (m Gustafson) ScaledSpeedup(p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	b := math.Min(math.Max(m.Serial, 0), 1)
+	return float64(p) - b*float64(p-1)
+}
+
+// ParallelOverhead refines Amdahl with a process-count-dependent overhead
+// term f(p) — e.g. the Ω(log p) floor of a final reduction. The paper's
+// Fig 7 uses an empirical piecewise model; Overhead supplies f.
+type ParallelOverhead struct {
+	Base     time.Duration // single-process execution time
+	Serial   float64       // non-parallelizable fraction
+	Overhead func(p int) time.Duration
+	Label    string
+}
+
+// MinTime returns the Amdahl bound plus the parallel overhead f(p).
+func (m ParallelOverhead) MinTime(p int) time.Duration {
+	base := Amdahl{Base: m.Base, Serial: m.Serial}.MinTime(p)
+	if m.Overhead == nil {
+		return base
+	}
+	return base + m.Overhead(p)
+}
+
+// Name returns the model name.
+func (m ParallelOverhead) Name() string {
+	if m.Label != "" {
+		return m.Label
+	}
+	return "parallel overheads"
+}
+
+// PiReductionOverhead is the paper's empirical piecewise overhead model
+// for the final reduction of the Pi example on Piz Daint (Fig 7):
+// f(p ≤ 8) = 10 ns, f(8 < p ≤ 16) = 0.1 ms·log₂ p,
+// f(p > 16) = 0.17 ms·log₂ p. The three pieces reflect the machine's
+// architecture (intra-socket, intra-group, and global communication).
+func PiReductionOverhead(p int) time.Duration {
+	switch {
+	case p <= 1:
+		return 0
+	case p <= 8:
+		return 10 * time.Nanosecond
+	case p <= 16:
+		return time.Duration(0.1e6 * math.Log2(float64(p)) * float64(time.Nanosecond))
+	default:
+		return time.Duration(0.17e6 * math.Log2(float64(p)) * float64(time.Nanosecond))
+	}
+}
+
+// ScalingPoint pairs a measured scaling result with the bounds models'
+// predictions at that process count.
+type ScalingPoint struct {
+	P        int
+	Measured time.Duration
+	Bounds   map[string]time.Duration
+}
+
+// Evaluate tabulates measured times against any number of bounds models,
+// and reports violations (measurements faster than a bound, which
+// indicate a broken model or a broken base case).
+func Evaluate(ps []int, measured []time.Duration, models ...Model) ([]ScalingPoint, error) {
+	if len(ps) != len(measured) {
+		return nil, errors.New("bounds: ps and measured length mismatch")
+	}
+	out := make([]ScalingPoint, len(ps))
+	for i, p := range ps {
+		pt := ScalingPoint{P: p, Measured: measured[i], Bounds: map[string]time.Duration{}}
+		for _, m := range models {
+			pt.Bounds[m.Name()] = m.MinTime(p)
+		}
+		out[i] = pt
+	}
+	return out, nil
+}
+
+// Violations lists the (point, model) pairs where the measurement beats
+// the bound by more than tol (relative), signalling an invalid model or
+// base case.
+func Violations(points []ScalingPoint, tol float64) []string {
+	var v []string
+	for _, pt := range points {
+		for name, b := range pt.Bounds {
+			if float64(pt.Measured) < float64(b)*(1-tol) {
+				v = append(v, fmt.Sprintf("p=%d: measured %v beats %s bound %v",
+					pt.P, pt.Measured, name, b))
+			}
+		}
+	}
+	return v
+}

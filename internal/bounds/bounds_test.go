@@ -1,0 +1,267 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestIdealBound(t *testing.T) {
+	m := Ideal{Base: 20 * time.Millisecond}
+	if m.MinTime(1) != 20*time.Millisecond {
+		t.Errorf("p=1: %v", m.MinTime(1))
+	}
+	if m.MinTime(4) != 5*time.Millisecond {
+		t.Errorf("p=4: %v", m.MinTime(4))
+	}
+	if m.MinTime(0) != 20*time.Millisecond {
+		t.Error("p<1 clamps to 1")
+	}
+	if s := MaxSpeedup(m, 8); math.Abs(s-8) > 1e-9 {
+		t.Errorf("ideal speedup at 8 = %g", s)
+	}
+	if m.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestAmdahlBound(t *testing.T) {
+	// The paper's Fig 7 parameters: 20 ms base, b = 0.01.
+	m := Amdahl{Base: 20 * time.Millisecond, Serial: 0.01}
+	if m.MinTime(1) != 20*time.Millisecond {
+		t.Errorf("p=1: %v", m.MinTime(1))
+	}
+	// Infinite processors floor: 1% of 20 ms = 200 µs.
+	if got := m.MinTime(1 << 20); got < 200*time.Microsecond-time.Microsecond {
+		t.Errorf("asymptote = %v, want >= ~200µs", got)
+	}
+	// Speedup cap: 1/b = 100.
+	s := MaxSpeedup(m, 1<<20)
+	if s > 100.0001 {
+		t.Errorf("Amdahl speedup %g exceeds 1/b", s)
+	}
+	// At p=32 (Fig 7b): speedup = 1/(0.01 + 0.99/32) ≈ 24.4.
+	s32 := MaxSpeedup(m, 32)
+	if math.Abs(s32-1/(0.01+0.99/32)) > 1e-9 {
+		t.Errorf("speedup(32) = %g", s32)
+	}
+	// Serial fraction is clamped to [0, 1].
+	if (Amdahl{Base: time.Second, Serial: 2}).MinTime(4) != time.Second {
+		t.Error("Serial > 1 should clamp")
+	}
+}
+
+func TestAmdahlDominatesIdeal(t *testing.T) {
+	id := Ideal{Base: time.Second}
+	am := Amdahl{Base: time.Second, Serial: 0.05}
+	for p := 1; p <= 1024; p *= 2 {
+		if am.MinTime(p) < id.MinTime(p) {
+			t.Errorf("p=%d: Amdahl bound %v below ideal %v", p, am.MinTime(p), id.MinTime(p))
+		}
+	}
+}
+
+func TestParallelOverheadBound(t *testing.T) {
+	m := ParallelOverhead{
+		Base:     20 * time.Millisecond,
+		Serial:   0.01,
+		Overhead: PiReductionOverhead,
+		Label:    "parallel overheads",
+	}
+	am := Amdahl{Base: 20 * time.Millisecond, Serial: 0.01}
+	for p := 1; p <= 64; p *= 2 {
+		if m.MinTime(p) < am.MinTime(p) {
+			t.Errorf("p=%d: overhead bound below Amdahl", p)
+		}
+	}
+	// The overhead makes speedup roll over at scale — by p = 4096 the
+	// 0.17ms·log2(p) term exceeds the shrinking compute term's savings.
+	s64 := MaxSpeedup(m, 64)
+	s4096 := MaxSpeedup(m, 4096)
+	if s4096 > s64 {
+		t.Errorf("speedup should roll over: s(64)=%g s(4096)=%g", s64, s4096)
+	}
+	if m.Name() != "parallel overheads" {
+		t.Error("label not used")
+	}
+	if (ParallelOverhead{Base: time.Second}).Name() == "" {
+		t.Error("default name empty")
+	}
+	// Nil overhead behaves like Amdahl.
+	nilOv := ParallelOverhead{Base: time.Second, Serial: 0.1}
+	if nilOv.MinTime(8) != (Amdahl{Base: time.Second, Serial: 0.1}).MinTime(8) {
+		t.Error("nil Overhead should reduce to Amdahl")
+	}
+}
+
+func TestPiReductionOverheadPieces(t *testing.T) {
+	if PiReductionOverhead(1) != 0 {
+		t.Error("p=1 has no reduction")
+	}
+	if PiReductionOverhead(8) != 10*time.Nanosecond {
+		t.Errorf("p=8: %v", PiReductionOverhead(8))
+	}
+	// p=16: 0.1 ms · log2(16) = 0.4 ms.
+	if got := PiReductionOverhead(16); math.Abs(float64(got)-0.4e6) > 1e3 {
+		t.Errorf("p=16: %v, want 0.4ms", got)
+	}
+	// p=32: 0.17 ms · 5 = 0.85 ms.
+	if got := PiReductionOverhead(32); math.Abs(float64(got)-0.85e6) > 1e3 {
+		t.Errorf("p=32: %v, want 0.85ms", got)
+	}
+	// Monotone in the pieces' seams.
+	if PiReductionOverhead(17) < PiReductionOverhead(16) {
+		t.Error("seam at 16 not monotone")
+	}
+}
+
+func TestEvaluateAndViolations(t *testing.T) {
+	id := Ideal{Base: time.Second}
+	ps := []int{1, 2, 4}
+	meas := []time.Duration{time.Second, 600 * time.Millisecond, 200 * time.Millisecond}
+	pts, err := Evaluate(ps, meas, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 || pts[1].Bounds["ideal linear"] != 500*time.Millisecond {
+		t.Errorf("points = %+v", pts)
+	}
+	// p=4 measured 200 ms beats the 250 ms ideal bound: a violation.
+	v := Violations(pts, 0.01)
+	if len(v) != 1 {
+		t.Errorf("violations = %v, want exactly the p=4 entry", v)
+	}
+	if _, err := Evaluate([]int{1}, nil, id); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestMachineModel(t *testing.T) {
+	m, err := NewMachineModel(
+		[]string{"flop/s", "membw"},
+		[]float64{1e12, 1e11},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Requirements{Rates: []float64{2e11, 9e10}}
+	norm, err := m.Normalized(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(norm[0]-0.2) > 1e-12 || math.Abs(norm[1]-0.9) > 1e-12 {
+		t.Errorf("normalized = %v", norm)
+	}
+	f, u, err := m.Bottleneck(req)
+	if err != nil || f != "membw" || math.Abs(u-0.9) > 1e-12 {
+		t.Errorf("bottleneck = %s %g %v", f, u, err)
+	}
+	bal, err := m.Balancedness(req)
+	if err != nil || math.Abs(bal-0.2/0.9) > 1e-12 {
+		t.Errorf("balancedness = %g %v", bal, err)
+	}
+	ok, err := m.OptimalityProof(req, "membw", 0.85)
+	if err != nil || !ok {
+		t.Errorf("optimality at 0.85: %v %v", ok, err)
+	}
+	ok, _ = m.OptimalityProof(req, "membw", 0.95)
+	if ok {
+		t.Error("0.9 < 0.95 should not prove optimality")
+	}
+	if _, err := m.OptimalityProof(req, "nonesuch", 0.5); err == nil {
+		t.Error("unknown feature should error")
+	}
+	if m.String() == "" {
+		t.Error("empty String")
+	}
+	names, vals, err := m.SortedUtilizations(req)
+	if err != nil || names[0] != "membw" || vals[0] < vals[1] {
+		t.Errorf("sorted = %v %v %v", names, vals, err)
+	}
+}
+
+func TestMachineModelValidation(t *testing.T) {
+	if _, err := NewMachineModel(nil, nil); err == nil {
+		t.Error("empty model should error")
+	}
+	if _, err := NewMachineModel([]string{"a"}, []float64{-1}); err == nil {
+		t.Error("negative peak should error")
+	}
+	m, _ := NewMachineModel([]string{"a"}, []float64{1})
+	if _, err := m.Normalized(Requirements{Rates: []float64{1, 2}}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := m.Balancedness(Requirements{Rates: []float64{0}}); err == nil {
+		t.Error("zero utilization should error")
+	}
+}
+
+func TestCalibratePeaks(t *testing.T) {
+	m, _ := NewMachineModel([]string{"flop/s", "membw"}, []float64{1e12, 1e11})
+	cal := m.CalibratePeaks(map[string]float64{"membw": 8e10, "flop/s": 2e12})
+	if cal.Peaks[1] != 8e10 {
+		t.Errorf("membw should calibrate down to 8e10, got %g", cal.Peaks[1])
+	}
+	if cal.Peaks[0] != 1e12 {
+		t.Error("measured above analytic peak must not raise the bound")
+	}
+	// Original untouched.
+	if m.Peaks[1] != 1e11 {
+		t.Error("CalibratePeaks must not mutate the receiver")
+	}
+}
+
+func TestRoofline(t *testing.T) {
+	r := Roofline{PeakFlops: 1e12, PeakBW: 1e11}
+	if got := r.RidgeIntensity(); math.Abs(got-10) > 1e-12 {
+		t.Errorf("ridge = %g", got)
+	}
+	// Memory-bound region.
+	if got := r.AttainableFlops(1); math.Abs(got-1e11) > 1 {
+		t.Errorf("I=1: %g", got)
+	}
+	// Compute-bound region.
+	if got := r.AttainableFlops(100); math.Abs(got-1e12) > 1 {
+		t.Errorf("I=100: %g", got)
+	}
+	if r.AttainableFlops(0) != 0 {
+		t.Error("zero intensity attains nothing")
+	}
+	xs, ys := r.Curve(0.1, 1000, 64)
+	if len(xs) != 64 || len(ys) != 64 {
+		t.Fatalf("curve size %d/%d", len(xs), len(ys))
+	}
+	for i := 1; i < len(ys); i++ {
+		if ys[i] < ys[i-1] {
+			t.Fatal("roofline must be nondecreasing in intensity")
+		}
+	}
+	if xs2, _ := r.Curve(1, 1, 4); xs2 != nil {
+		t.Error("degenerate range should return nil")
+	}
+}
+
+func TestGustafsonBound(t *testing.T) {
+	g := Gustafson{Base: 10 * time.Millisecond, Serial: 0.05}
+	// Ideal weak scaling keeps the time flat.
+	if g.MinTime(1) != g.MinTime(64) || g.MinTime(1) != 10*time.Millisecond {
+		t.Errorf("weak-scaling bound should be flat at Base")
+	}
+	// Scaled speedup: p − b(p−1).
+	if s := g.ScaledSpeedup(64); math.Abs(s-(64-0.05*63)) > 1e-12 {
+		t.Errorf("scaled speedup = %g", s)
+	}
+	if s := g.ScaledSpeedup(1); s != 1 {
+		t.Errorf("scaled speedup at p=1 = %g", s)
+	}
+	if g.ScaledSpeedup(0) != 1 {
+		t.Error("p<1 clamps")
+	}
+	if g.Name() == "" {
+		t.Error("name")
+	}
+	// Serial fraction clamps.
+	if (Gustafson{Base: time.Second, Serial: 2}).ScaledSpeedup(10) != 1 {
+		t.Error("b>1 should clamp to 1 → speedup 1")
+	}
+}

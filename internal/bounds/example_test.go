@@ -1,0 +1,51 @@
+package bounds_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bounds"
+)
+
+// ExampleAmdahl evaluates the paper's Fig 7 serial-overheads bound:
+// 20 ms base case with serial fraction 0.01.
+func ExampleAmdahl() {
+	m := bounds.Amdahl{Base: 20 * time.Millisecond, Serial: 0.01}
+	for _, p := range []int{1, 8, 32} {
+		fmt.Printf("p=%-3d min time %v, max speedup %.2f\n",
+			p, m.MinTime(p).Round(time.Microsecond), bounds.MaxSpeedup(m, p))
+	}
+	// Output:
+	// p=1   min time 20ms, max speedup 1.00
+	// p=8   min time 2.675ms, max speedup 7.48
+	// p=32  min time 819µs, max speedup 24.43
+}
+
+// ExampleMachineModel shows the §5.1 normalized performance view P and
+// bottleneck analysis.
+func ExampleMachineModel() {
+	m, _ := bounds.NewMachineModel(
+		[]string{"flop/s", "mem B/s"},
+		[]float64{1e12, 1e11},
+	)
+	app := bounds.Requirements{Rates: []float64{2e11, 9.5e10}}
+	feature, util, _ := m.Bottleneck(app)
+	fmt.Printf("bottleneck: %s at %.0f%% of peak\n", feature, 100*util)
+	ok, _ := m.OptimalityProof(app, "mem B/s", 0.9)
+	fmt.Printf("optimality argument available: %v\n", ok)
+	// Output:
+	// bottleneck: mem B/s at 95% of peak
+	// optimality argument available: true
+}
+
+// ExampleRoofline shows the k = 2 machine model.
+func ExampleRoofline() {
+	r := bounds.Roofline{PeakFlops: 1e12, PeakBW: 1e11}
+	fmt.Printf("ridge at %.0f flop/B\n", r.RidgeIntensity())
+	fmt.Printf("attainable at I=2: %.2g flop/s (memory-bound)\n", r.AttainableFlops(2))
+	fmt.Printf("attainable at I=50: %.2g flop/s (compute-bound)\n", r.AttainableFlops(50))
+	// Output:
+	// ridge at 10 flop/B
+	// attainable at I=2: 2e+11 flop/s (memory-bound)
+	// attainable at I=50: 1e+12 flop/s (compute-bound)
+}

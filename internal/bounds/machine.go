@@ -1,0 +1,193 @@
+package bounds
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// MachineModel is the k-dimensional capability vector Γ = (p₁, …, p_k) of
+// §5.1: each feature is a rate (flop/s, B/s, msg/s, …) and pᵢ is the
+// maximum achievable performance of feature i on the machine. Feature
+// peaks may come from vendor specifications or from carefully crafted
+// microbenchmarks when the analytic peak is unreachable.
+type MachineModel struct {
+	Features []string  // feature names, e.g. "flop/s", "membw B/s"
+	Peaks    []float64 // achievable peak rate per feature
+}
+
+// NewMachineModel validates and builds a machine model.
+func NewMachineModel(features []string, peaks []float64) (*MachineModel, error) {
+	if len(features) == 0 || len(features) != len(peaks) {
+		return nil, errors.New("bounds: features and peaks must be non-empty and equal length")
+	}
+	for i, p := range peaks {
+		if p <= 0 || math.IsNaN(p) {
+			return nil, fmt.Errorf("bounds: peak %q = %g must be positive", features[i], p)
+		}
+	}
+	return &MachineModel{Features: features, Peaks: peaks}, nil
+}
+
+// Requirements is an application's measured rate vector
+// τ = (r₁, …, r_k), with rᵢ ≤ pᵢ.
+type Requirements struct {
+	Rates []float64
+}
+
+// Normalized returns the dimensionless performance vector
+// P = (r₁/p₁, …, r_k/p_k) (fraction of each feature's peak).
+func (m *MachineModel) Normalized(req Requirements) ([]float64, error) {
+	if len(req.Rates) != len(m.Peaks) {
+		return nil, errors.New("bounds: requirement vector length mismatch")
+	}
+	out := make([]float64, len(m.Peaks))
+	for i, r := range req.Rates {
+		out[i] = r / m.Peaks[i]
+	}
+	return out, nil
+}
+
+// Bottleneck returns the feature with the highest normalized utilization
+// — the likely limiter — together with its utilization.
+func (m *MachineModel) Bottleneck(req Requirements) (string, float64, error) {
+	norm, err := m.Normalized(req)
+	if err != nil {
+		return "", 0, err
+	}
+	best := 0
+	for i, u := range norm {
+		if u > norm[best] {
+			best = i
+		}
+	}
+	return m.Features[best], norm[best], nil
+}
+
+// OptimalityProof reports whether the measurement constitutes an §5.1
+// optimality argument for feature i: utilization rᵢ/pᵢ ≥ threshold
+// (close to one). The caller must separately argue the application
+// cannot be solved with fewer operations of that feature.
+func (m *MachineModel) OptimalityProof(req Requirements, feature string, threshold float64) (bool, error) {
+	norm, err := m.Normalized(req)
+	if err != nil {
+		return false, err
+	}
+	for i, f := range m.Features {
+		if f == feature {
+			return norm[i] >= threshold, nil
+		}
+	}
+	return false, fmt.Errorf("bounds: unknown feature %q", feature)
+}
+
+// Balancedness measures how evenly an application exercises the machine:
+// the ratio of the lowest to the highest normalized feature utilization
+// (1 = perfectly balanced, →0 = one feature dominates).
+func (m *MachineModel) Balancedness(req Requirements) (float64, error) {
+	norm, err := m.Normalized(req)
+	if err != nil {
+		return 0, err
+	}
+	lo, hi := norm[0], norm[0]
+	for _, u := range norm[1:] {
+		lo = math.Min(lo, u)
+		hi = math.Max(hi, u)
+	}
+	if hi == 0 {
+		return 0, errors.New("bounds: application exercises no feature")
+	}
+	return lo / hi, nil
+}
+
+// String renders the machine model.
+func (m *MachineModel) String() string {
+	var b strings.Builder
+	b.WriteString("Γ = (")
+	for i, f := range m.Features {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s: %.3g", f, m.Peaks[i])
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Roofline is the k = 2 machine model popularized by Williams et al.:
+// peak flop rate and peak memory bandwidth.
+type Roofline struct {
+	PeakFlops float64 // flop/s
+	PeakBW    float64 // B/s
+}
+
+// AttainableFlops returns the roofline bound
+// min(PeakFlops, intensity·PeakBW) for an arithmetic intensity in flop/B.
+func (r Roofline) AttainableFlops(intensity float64) float64 {
+	if intensity <= 0 {
+		return 0
+	}
+	return math.Min(r.PeakFlops, intensity*r.PeakBW)
+}
+
+// RidgeIntensity returns the intensity where the roofline flattens
+// (PeakFlops / PeakBW).
+func (r Roofline) RidgeIntensity() float64 { return r.PeakFlops / r.PeakBW }
+
+// Curve samples the roofline at logarithmically spaced intensities
+// spanning [lo, hi], for plotting.
+func (r Roofline) Curve(lo, hi float64, n int) ([]float64, []float64) {
+	if n < 2 || lo <= 0 || hi <= lo {
+		return nil, nil
+	}
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	x := lo
+	for i := 0; i < n; i++ {
+		xs[i] = x
+		ys[i] = r.AttainableFlops(x)
+		x *= ratio
+	}
+	return xs, ys
+}
+
+// CalibratePeaks replaces analytic peaks with measured microbenchmark
+// maxima where those are lower, following §5.1's advice to parametrize
+// pᵢ with statistically sound microbenchmarks when vendor numbers are
+// unreachable guarantees. measured maps feature name → observed maximum.
+func (m *MachineModel) CalibratePeaks(measured map[string]float64) *MachineModel {
+	out := &MachineModel{
+		Features: append([]string(nil), m.Features...),
+		Peaks:    append([]float64(nil), m.Peaks...),
+	}
+	for i, f := range out.Features {
+		if v, ok := measured[f]; ok && v > 0 && v < out.Peaks[i] {
+			out.Peaks[i] = v
+		}
+	}
+	return out
+}
+
+// SortedUtilizations returns feature names sorted by decreasing
+// normalized utilization (most constrained first), for reporting.
+func (m *MachineModel) SortedUtilizations(req Requirements) ([]string, []float64, error) {
+	norm, err := m.Normalized(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	idx := make([]int, len(norm))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return norm[idx[a]] > norm[idx[b]] })
+	names := make([]string, len(idx))
+	vals := make([]float64, len(idx))
+	for i, j := range idx {
+		names[i] = m.Features[j]
+		vals[i] = norm[j]
+	}
+	return names, vals, nil
+}

@@ -1,0 +1,307 @@
+// Package cluster implements a simulated parallel machine — the
+// substitute for the paper's Cray XC30/XC40 and InfiniBand systems (see
+// DESIGN.md, substitutions). It models nodes and processes, per-process
+// clocks with offset, drift and granularity, a noisy network (latency
+// floor, log-normal body, heavy interference tail, bandwidth term), node
+// heterogeneity and OS jitter, and the message-passing collectives the
+// paper measures (ping-pong, binomial-tree reduce and broadcast,
+// dissemination barrier) plus the delay-window time synchronization of
+// §4.2.1. All randomness flows from one seeded PCG stream, so every
+// experiment reproduces bit-for-bit.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/noise"
+)
+
+// Placement selects how ranks map onto nodes (§4.1.2 notes batch
+// allocation policies such as packed or scattered layouts matter).
+type Placement int
+
+const (
+	// Packed fills each node's cores before moving to the next node.
+	Packed Placement = iota
+	// Scattered round-robins ranks across nodes.
+	Scattered
+)
+
+// String returns the placement-policy name.
+func (p Placement) String() string {
+	switch p {
+	case Packed:
+		return "packed"
+	case Scattered:
+		return "scattered"
+	}
+	return fmt.Sprintf("Placement(%d)", int(p))
+}
+
+// Config describes a simulated system. The network latency of one
+// one-way inter-node message is
+//
+//	LatFloor + LatBody·exp(LatSigma·Z) + bytes/BandwidthBps [+ rare Pareto tail]
+//
+// which produces the right-skewed, heavy-tailed latency distributions of
+// the paper's Figures 2–4.
+type Config struct {
+	Name         string
+	Nodes        int
+	CoresPerNode int
+	Placement    Placement
+
+	// Network model.
+	LatFloor     time.Duration // deterministic wire/NIC floor (one-way)
+	LatBody      time.Duration // median of the variable part
+	LatSigma     float64       // log-normal sigma of the variable part
+	TailProb     float64       // probability of an interference hit per message
+	TailScale    time.Duration // minimum extra delay on a hit
+	TailAlpha    float64       // Pareto tail index of the hit (e.g. 2–3)
+	IntraNodeLat time.Duration // one-way latency between ranks sharing a node
+	BandwidthBps float64       // per-link bandwidth, bytes/second
+
+	// Compute model.
+	FlopsPerSec float64     // per-core sustained flop rate
+	CPUNoise    noise.Model // per-compute-phase perturbation (nil = none)
+
+	// Node heterogeneity: per-node speed factors are drawn log-normally
+	// with sigma NodeSigma (0 = homogeneous), and the first DaemonNodes
+	// nodes host a periodic OS-jitter daemon with a random phase.
+	NodeSigma    float64
+	DaemonNodes  int
+	DaemonPeriod time.Duration
+	DaemonWindow time.Duration
+
+	// Clock model (per process).
+	ClockOffsetMax   time.Duration // uniform initial offset in ±max
+	ClockDriftPPM    float64       // uniform drift in ±ppm
+	ClockGranularity time.Duration // reading quantization (0 = exact)
+
+	// Collective cost model.
+	ReduceOpCost time.Duration // combining two partial values
+	SendOverhead time.Duration // CPU cost to issue one message
+}
+
+// proc is one simulated process (MPI rank analogue).
+type proc struct {
+	rank        int
+	node        int
+	clockOffset time.Duration
+	clockDrift  float64 // fractional (1e-6 per ppm)
+	speed       float64 // node speed factor (1 = nominal)
+	daemon      noise.Model
+}
+
+// Machine is an instantiated simulated system with a fixed number of
+// ranks. Machines are not safe for concurrent use: experiments drive
+// them sequentially, exactly like a benchmark driving one job.
+type Machine struct {
+	cfg   Config
+	rng   *rand.Rand
+	procs []*proc
+	topo  TopologyConfig
+	now   time.Duration // global (true) simulated time
+}
+
+// New builds a machine with the given number of ranks placed per the
+// config; all randomness derives from seed.
+func New(cfg Config, ranks int, seed uint64) (*Machine, error) {
+	if cfg.Nodes <= 0 || cfg.CoresPerNode <= 0 {
+		return nil, fmt.Errorf("cluster: config needs Nodes and CoresPerNode > 0")
+	}
+	if ranks <= 0 {
+		return nil, fmt.Errorf("cluster: ranks = %d must be positive", ranks)
+	}
+	if ranks > cfg.Nodes*cfg.CoresPerNode {
+		return nil, fmt.Errorf("cluster: %d ranks exceed %d nodes × %d cores",
+			ranks, cfg.Nodes, cfg.CoresPerNode)
+	}
+	m := &Machine{
+		cfg: cfg,
+		rng: rand.New(rand.NewPCG(seed, 0x5c1beccd)),
+	}
+
+	// Per-node characteristics.
+	speeds := make([]float64, cfg.Nodes)
+	daemons := make([]noise.Model, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		speeds[n] = 1.0
+		if cfg.NodeSigma > 0 {
+			speeds[n] = math.Exp(cfg.NodeSigma * m.rng.NormFloat64())
+		}
+		if n < cfg.DaemonNodes && cfg.DaemonPeriod > 0 && cfg.DaemonWindow > 0 {
+			daemons[n] = noise.Periodic{
+				Period: cfg.DaemonPeriod,
+				Window: cfg.DaemonWindow,
+				Phase:  time.Duration(m.rng.Int64N(int64(cfg.DaemonPeriod))),
+			}
+		}
+	}
+
+	m.procs = make([]*proc, ranks)
+	for r := 0; r < ranks; r++ {
+		var node int
+		if cfg.Placement == Scattered {
+			node = r % cfg.Nodes
+		} else {
+			node = r / cfg.CoresPerNode
+		}
+		p := &proc{rank: r, node: node, speed: speeds[node], daemon: daemons[node]}
+		if cfg.ClockOffsetMax > 0 {
+			p.clockOffset = time.Duration(m.rng.Int64N(2*int64(cfg.ClockOffsetMax))) -
+				cfg.ClockOffsetMax
+		}
+		if cfg.ClockDriftPPM > 0 {
+			p.clockDrift = (2*m.rng.Float64() - 1) * cfg.ClockDriftPPM * 1e-6
+		}
+		m.procs[r] = p
+	}
+	return m, nil
+}
+
+// Ranks returns the number of processes.
+func (m *Machine) Ranks() int { return len(m.procs) }
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Now returns the global simulated time.
+func (m *Machine) Now() time.Duration { return m.now }
+
+// Advance moves global simulated time forward (used between repetitions
+// so time-correlated noise such as OS daemons decorrelates across runs).
+func (m *Machine) Advance(d time.Duration) {
+	if d > 0 {
+		m.now += d
+	}
+}
+
+// Lognormal draws a multiplicative exp(sigma·Z) factor from the
+// machine's random stream. Long aggregate runs (e.g. whole HPL
+// executions) use it to model per-run system state — batch allocation
+// quality, global network load — that per-event noise cannot capture.
+func (m *Machine) Lognormal(sigma float64) float64 {
+	return math.Exp(sigma * m.rng.NormFloat64())
+}
+
+// HalfLognormal draws exp(sigma·|Z|), a one-sided multiplicative
+// slowdown of at least 1 — interference only ever delays.
+func (m *Machine) HalfLognormal(sigma float64) float64 {
+	return math.Exp(sigma * math.Abs(m.rng.NormFloat64()))
+}
+
+// NodeOf returns the node hosting a rank.
+func (m *Machine) NodeOf(rank int) int { return m.procs[rank].node }
+
+// LocalTime converts a global simulated instant to rank r's local clock
+// reading, applying offset, drift and granularity — the asynchronous
+// clock model behind §4.2.1's "parallel time" discussion.
+func (m *Machine) LocalTime(rank int, global time.Duration) time.Duration {
+	p := m.procs[rank]
+	t := p.clockOffset + time.Duration(float64(global)*(1+p.clockDrift))
+	if g := m.cfg.ClockGranularity; g > 0 {
+		t = t / g * g
+	}
+	return t
+}
+
+// GlobalFromLocal inverts LocalTime (ignoring granularity): the global
+// instant at which rank r's clock reads local.
+func (m *Machine) GlobalFromLocal(rank int, local time.Duration) time.Duration {
+	p := m.procs[rank]
+	return time.Duration(float64(local-p.clockOffset) / (1 + p.clockDrift))
+}
+
+// msgLatency draws one one-way message latency between two ranks at
+// global time `at`, including the bandwidth term for the payload.
+func (m *Machine) msgLatency(from, to, bytes int, at time.Duration) time.Duration {
+	pf, pt := m.procs[from], m.procs[to]
+	var lat float64
+	if pf.node == pt.node {
+		lat = float64(m.cfg.IntraNodeLat)
+		if lat <= 0 {
+			lat = float64(m.cfg.LatFloor) / 4
+		}
+		// Intra-node transfers still jitter a little.
+		lat *= math.Exp(m.cfg.LatSigma / 2 * m.rng.NormFloat64())
+	} else {
+		lat = float64(m.cfg.LatFloor) + float64(m.hopExtra(pf.node, pt.node)) +
+			float64(m.cfg.LatBody)*math.Exp(m.cfg.LatSigma*m.rng.NormFloat64())
+		if m.cfg.TailProb > 0 && m.rng.Float64() < m.cfg.TailProb {
+			u := m.rng.Float64()
+			for u == 0 {
+				u = m.rng.Float64()
+			}
+			alpha := m.cfg.TailAlpha
+			if alpha <= 0 {
+				alpha = 2
+			}
+			lat += float64(m.cfg.TailScale) / math.Pow(u, 1/alpha)
+		}
+	}
+	if m.cfg.BandwidthBps > 0 && bytes > 0 {
+		lat += float64(bytes) / m.cfg.BandwidthBps * float64(time.Second)
+	}
+	d := time.Duration(lat)
+	// Receiver-side daemon interference can delay delivery processing.
+	if pt.daemon != nil {
+		d = pt.daemon.Perturb(m.rng, at+d, d)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// ComputeTime returns the simulated wall time for `flops` floating point
+// operations on rank r starting at global time `at`, including node
+// speed, CPU noise and daemon interference.
+func (m *Machine) ComputeTime(rank int, flops float64, at time.Duration) time.Duration {
+	if m.cfg.FlopsPerSec <= 0 {
+		return 0
+	}
+	p := m.procs[rank]
+	d := time.Duration(flops / (m.cfg.FlopsPerSec * p.speed) * float64(time.Second))
+	if m.cfg.CPUNoise != nil {
+		d = m.cfg.CPUNoise.Perturb(m.rng, at, d)
+	}
+	if p.daemon != nil {
+		d = p.daemon.Perturb(m.rng, at, d)
+	}
+	return d
+}
+
+// opCost returns one noisy reduction-operator application on rank r.
+func (m *Machine) opCost(rank int, at time.Duration) time.Duration {
+	d := m.cfg.ReduceOpCost
+	if d <= 0 {
+		return 0
+	}
+	p := m.procs[rank]
+	d = time.Duration(float64(d) / p.speed)
+	if m.cfg.CPUNoise != nil {
+		d = m.cfg.CPUNoise.Perturb(m.rng, at, d)
+	}
+	return d
+}
+
+// PingPong performs `rounds` request–reply exchanges of `bytes` between
+// two ranks and returns the observed one-way latency estimates
+// (round-trip time halved), the quantity plotted in Figures 2–4 and 7c.
+// The first WarmupRounds are included — discarding them is the
+// measurement layer's policy decision (§4.1.2, "Warmup").
+func (m *Machine) PingPong(a, b, bytes, rounds int) []time.Duration {
+	out := make([]time.Duration, rounds)
+	for i := 0; i < rounds; i++ {
+		fwd := m.msgLatency(a, b, bytes, m.now)
+		m.now += fwd
+		back := m.msgLatency(b, a, bytes, m.now)
+		m.now += back
+		out[i] = (fwd + back + 2*m.cfg.SendOverhead) / 2
+	}
+	return out
+}

@@ -1,0 +1,466 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func mustNew(t *testing.T, cfg Config, ranks int, seed uint64) *Machine {
+	t.Helper()
+	m, err := New(cfg, ranks, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}, 4, 1); err == nil {
+		t.Error("zero config should error")
+	}
+	if _, err := New(Quiet(2, 2), 0, 1); err == nil {
+		t.Error("zero ranks should error")
+	}
+	if _, err := New(Quiet(2, 2), 5, 1); err == nil {
+		t.Error("overcommit should error")
+	}
+}
+
+func TestPlacement(t *testing.T) {
+	packed := mustNew(t, Quiet(4, 2), 8, 1)
+	if packed.NodeOf(0) != 0 || packed.NodeOf(1) != 0 || packed.NodeOf(2) != 1 {
+		t.Errorf("packed layout wrong: %d %d %d",
+			packed.NodeOf(0), packed.NodeOf(1), packed.NodeOf(2))
+	}
+	cfg := Quiet(4, 2)
+	cfg.Placement = Scattered
+	scat := mustNew(t, cfg, 8, 1)
+	if scat.NodeOf(0) != 0 || scat.NodeOf(1) != 1 || scat.NodeOf(4) != 0 {
+		t.Errorf("scattered layout wrong: %d %d %d",
+			scat.NodeOf(0), scat.NodeOf(1), scat.NodeOf(4))
+	}
+	if Packed.String() != "packed" || Scattered.String() != "scattered" {
+		t.Error("Placement.String")
+	}
+}
+
+func TestClockModelRoundTrip(t *testing.T) {
+	cfg := Quiet(2, 2)
+	cfg.ClockOffsetMax = time.Millisecond
+	cfg.ClockDriftPPM = 50
+	m := mustNew(t, cfg, 4, 7)
+	for r := 0; r < 4; r++ {
+		for _, g := range []time.Duration{0, time.Second, time.Hour} {
+			local := m.LocalTime(r, g)
+			back := m.GlobalFromLocal(r, local)
+			if d := back - g; d < -time.Microsecond || d > time.Microsecond {
+				t.Errorf("rank %d: round trip error %v at %v", r, d, g)
+			}
+		}
+	}
+	// With offsets enabled, ranks must disagree about "now".
+	same := true
+	base := m.LocalTime(0, time.Second)
+	for r := 1; r < 4; r++ {
+		if m.LocalTime(r, time.Second) != base {
+			same = false
+		}
+	}
+	if same {
+		t.Error("clock offsets had no effect")
+	}
+}
+
+func TestClockGranularityQuantizes(t *testing.T) {
+	cfg := Quiet(1, 2)
+	cfg.ClockGranularity = time.Microsecond
+	m := mustNew(t, cfg, 2, 1)
+	got := m.LocalTime(0, 1234567*time.Nanosecond)
+	if got%time.Microsecond != 0 {
+		t.Errorf("granular clock read %v is not quantized", got)
+	}
+}
+
+func TestPingPongQuietExact(t *testing.T) {
+	m := mustNew(t, Quiet(2, 1), 2, 3)
+	// Quiet config: latency exactly LatFloor + bytes/bw, overhead 100ns.
+	lats := m.PingPong(0, 1, 0, 5)
+	want := time.Microsecond + 100*time.Nanosecond
+	for _, l := range lats {
+		if l != want {
+			t.Errorf("quiet ping-pong latency = %v, want %v", l, want)
+		}
+	}
+	// Payload adds the bandwidth term: 10 kB at 10 GB/s = 1µs one-way.
+	lats = m.PingPong(0, 1, 10000, 1)
+	want = time.Microsecond + 100*time.Nanosecond + time.Microsecond
+	if lats[0] != want {
+		t.Errorf("payload latency = %v, want %v", lats[0], want)
+	}
+}
+
+func TestPingPongDoraDistribution(t *testing.T) {
+	m := mustNew(t, PizDora(), 48, 42)
+	raw := m.PingPong(0, 47, 64, 20000)
+	xs := make([]float64, len(raw))
+	for i, d := range raw {
+		xs[i] = float64(d) / float64(time.Microsecond)
+	}
+	med := stats.Median(xs)
+	min := stats.Min(xs)
+	if med < 1.6 || med > 2.0 {
+		t.Errorf("Dora 64B median = %.3f µs, want ≈1.77", med)
+	}
+	if min < 1.45 || min > 1.7 {
+		t.Errorf("Dora min = %.3f µs, want ≈1.57", min)
+	}
+	if stats.Skewness(xs) <= 0 {
+		t.Error("latency distribution should be right-skewed")
+	}
+	if stats.Max(xs) < med*1.5 {
+		t.Error("expected a heavy tail beyond 1.5× the median")
+	}
+}
+
+func TestPilatusVsDoraShape(t *testing.T) {
+	// The Fig 3/4 relationship: Pilatus has a lower minimum but a higher
+	// median and a heavier tail than Piz Dora.
+	// Ranks must sit on different nodes (the paper's setup: "two
+	// processes on different compute nodes").
+	dora := mustNew(t, PizDora(), 48, 1)
+	pil := mustNew(t, Pilatus(), 48, 1)
+	const n = 200000
+	dx := make([]float64, n)
+	px := make([]float64, n)
+	for i, d := range dora.PingPong(0, 47, 64, n) {
+		dx[i] = float64(d) / float64(time.Microsecond)
+	}
+	for i, d := range pil.PingPong(0, 47, 64, n) {
+		px[i] = float64(d) / float64(time.Microsecond)
+	}
+	if !(stats.Min(px) < stats.Min(dx)) {
+		t.Errorf("Pilatus min %.3f should undercut Dora min %.3f",
+			stats.Min(px), stats.Min(dx))
+	}
+	if !(stats.Median(px) > stats.Median(dx)) {
+		t.Errorf("Pilatus median %.3f should exceed Dora median %.3f",
+			stats.Median(px), stats.Median(dx))
+	}
+	if !(stats.QuantileOf(px, 0.9999) > stats.QuantileOf(dx, 0.9999)) {
+		t.Errorf("Pilatus extreme tail should be heavier")
+	}
+	// Mean difference in the ballpark of the paper's 0.108 µs.
+	diff := stats.Mean(px) - stats.Mean(dx)
+	if diff < 0.03 || diff > 0.3 {
+		t.Errorf("mean difference = %.3f µs, want ≈0.1", diff)
+	}
+}
+
+func TestReduceQuietTwoRanks(t *testing.T) {
+	m := mustNew(t, Quiet(2, 1), 2, 5)
+	res := m.Reduce(8, nil)
+	// Rank 1 is send-ready at SendOverhead (100ns); the rendezvous
+	// transfer takes 1µs + 0.8ns; the sender participates until delivery.
+	wantLeaf := 100*time.Nanosecond + time.Microsecond
+	if d := res.PerRank[1] - wantLeaf; d < -time.Nanosecond || d > 2*time.Nanosecond {
+		t.Errorf("leaf completion = %v, want ≈%v", res.PerRank[1], wantLeaf)
+	}
+	// The root combines 50ns after delivery.
+	want := wantLeaf + 50*time.Nanosecond
+	if d := res.Root - want; d < -time.Nanosecond || d > 3*time.Nanosecond {
+		t.Errorf("root completion = %v, want ≈%v", res.Root, want)
+	}
+	if res.Max() != res.Root {
+		t.Error("root should be the slowest rank here")
+	}
+}
+
+func TestReduceSingleRankTrivial(t *testing.T) {
+	m := mustNew(t, Quiet(1, 1), 1, 5)
+	res := m.Reduce(8, nil)
+	if res.Root != 0 || len(res.PerRank) != 1 {
+		t.Errorf("p=1 reduce = %+v", res)
+	}
+}
+
+func TestReduceDepthScalesLogarithmically(t *testing.T) {
+	// On the quiet machine, completion ≈ rounds × (overhead + latency +
+	// op), so T(2^k) grows linearly in k.
+	var prev time.Duration
+	for k := 1; k <= 6; k++ {
+		m := mustNew(t, Quiet(64, 1), 1<<k, 9)
+		res := m.Reduce(8, nil)
+		if res.Root <= prev {
+			t.Errorf("T(%d) = %v not increasing", 1<<k, res.Root)
+		}
+		// Crude linearity check: at most ~k times the 2-rank cost + slack.
+		if k >= 2 && res.Root > time.Duration(k)*2*(time.Microsecond+200*time.Nanosecond) {
+			t.Errorf("T(%d) = %v grows faster than O(log p)", 1<<k, res.Root)
+		}
+		prev = res.Root
+	}
+}
+
+func TestReducePowersOfTwoAdvantage(t *testing.T) {
+	// The Fig 5 effect: p = 2^k completes faster than p = 2^k + 1 (the
+	// extra fold phase costs a full latency).
+	for _, k := range []int{2, 3, 4, 5} {
+		p2 := 1 << k
+		mA := mustNew(t, Quiet(80, 1), p2, 13)
+		mB := mustNew(t, Quiet(80, 1), p2+1, 13)
+		tA := mA.Reduce(8, nil).Max()
+		tB := mB.Reduce(8, nil).Max()
+		if tB <= tA {
+			t.Errorf("T(%d) = %v should exceed T(%d) = %v", p2+1, tB, p2, tA)
+		}
+	}
+}
+
+func TestReduceLeavesFinishBeforeRoot(t *testing.T) {
+	m := mustNew(t, PizDaint(), 64, 21)
+	res := m.Reduce(8, nil)
+	if res.PerRank[63] >= res.Root {
+		t.Errorf("leaf 63 (%v) should finish before root (%v)",
+			res.PerRank[63], res.Root)
+	}
+	for r, d := range res.PerRank {
+		if d < 0 {
+			t.Errorf("rank %d has negative completion %v", r, d)
+		}
+	}
+}
+
+func TestReduceRespectsStartSkew(t *testing.T) {
+	skew := make([]time.Duration, 8)
+	skew[3] = time.Millisecond // rank 3 starts very late
+	m := mustNew(t, Quiet(8, 1), 8, 2)
+	res := m.Reduce(8, skew)
+	if res.Root < time.Millisecond {
+		t.Errorf("root %v should wait for the late rank", res.Root)
+	}
+	m2 := mustNew(t, Quiet(8, 1), 8, 2)
+	res2 := m2.Reduce(8, nil)
+	if res2.Root >= time.Millisecond {
+		t.Errorf("without skew the reduce should be fast, got %v", res2.Root)
+	}
+}
+
+func TestBcastReachesEveryRank(t *testing.T) {
+	m := mustNew(t, Quiet(16, 1), 16, 3)
+	res := m.Bcast(64, nil)
+	for r := 1; r < 16; r++ {
+		if res.PerRank[r] <= 0 {
+			t.Errorf("rank %d never received the broadcast", r)
+		}
+	}
+	// Binomial depth: log2(16) = 4 rounds; on the quiet machine each
+	// round is ~1.1µs, so the last arrival is ≈4.4µs.
+	if res.Max() > 6*time.Microsecond {
+		t.Errorf("broadcast took %v, want ≈4.4µs", res.Max())
+	}
+}
+
+func TestBarrierExitsTight(t *testing.T) {
+	m := mustNew(t, Quiet(32, 1), 32, 4)
+	res := m.Barrier(nil)
+	spread := res.Max()
+	var min time.Duration = 1 << 62
+	for _, d := range res.PerRank {
+		if d < min {
+			min = d
+		}
+	}
+	if spread-min > 2*time.Microsecond {
+		t.Errorf("quiet barrier exit spread = %v, want tight", spread-min)
+	}
+	// p=1 trivial.
+	m1 := mustNew(t, Quiet(1, 1), 1, 4)
+	if m1.Barrier(nil).Max() != 0 {
+		t.Error("p=1 barrier should be free")
+	}
+}
+
+func TestDelayWindowSyncBeatsNaiveClocks(t *testing.T) {
+	cfg := PizDora()
+	mNaive := mustNew(t, cfg, 16, 8)
+	naive := mNaive.NaiveClockSync(time.Millisecond)
+	mDW := mustNew(t, cfg, 16, 8)
+	dw := mDW.DelayWindowSync(time.Millisecond, 5)
+
+	// Naive sync suffers the full clock offsets (±500µs).
+	if naive.MaxSkew < 50*time.Microsecond {
+		t.Errorf("naive skew = %v, expected large (clock offsets)", naive.MaxSkew)
+	}
+	// Delay-window corrects offsets down to network-asymmetry error.
+	if dw.MaxSkew > 20*time.Microsecond {
+		t.Errorf("delay-window skew = %v, want < 20µs", dw.MaxSkew)
+	}
+	if dw.MaxSkew >= naive.MaxSkew {
+		t.Errorf("delay-window (%v) should beat naive (%v)", dw.MaxSkew, naive.MaxSkew)
+	}
+	// Skews are normalized to the earliest starter.
+	minSkew := dw.Skew[0]
+	for _, s := range dw.Skew {
+		if s < minSkew {
+			minSkew = s
+		}
+	}
+	if minSkew != 0 {
+		t.Error("skews must be relative to the earliest starter")
+	}
+}
+
+func TestComputeTimeScalesWithFlops(t *testing.T) {
+	m := mustNew(t, Quiet(1, 2), 2, 6)
+	t1 := m.ComputeTime(0, 1e10, 0) // 1 second of work at 1e10 flop/s
+	if d := t1 - time.Second; d < -time.Millisecond || d > time.Millisecond {
+		t.Errorf("1e10 flops = %v, want ≈1s", t1)
+	}
+	t2 := m.ComputeTime(0, 2e10, 0)
+	ratio := float64(t2) / float64(t1)
+	if math.Abs(ratio-2) > 0.01 {
+		t.Errorf("compute time not linear in flops: ratio %g", ratio)
+	}
+	// Zero flop rate → zero time (configuration degenerate but safe).
+	cfg := Quiet(1, 1)
+	cfg.FlopsPerSec = 0
+	m0 := mustNew(t, cfg, 1, 1)
+	if m0.ComputeTime(0, 1e9, 0) != 0 {
+		t.Error("zero flop rate should yield zero time")
+	}
+}
+
+func TestDeterminismUnderSeed(t *testing.T) {
+	run := func() []time.Duration {
+		m := mustNew(t, PizDaint(), 64, 1234)
+		out := m.PingPong(0, 63, 64, 100)
+		res := m.Reduce(8, nil)
+		out = append(out, res.PerRank...)
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAdvanceMovesTimeForward(t *testing.T) {
+	m := mustNew(t, Quiet(1, 1), 1, 1)
+	m.Advance(time.Second)
+	if m.Now() != time.Second {
+		t.Errorf("Now = %v", m.Now())
+	}
+	m.Advance(-time.Hour)
+	if m.Now() != time.Second {
+		t.Error("negative Advance must be ignored")
+	}
+}
+
+func TestDaemonNodesCreatePerRankHeterogeneity(t *testing.T) {
+	// The Fig 6 scenario: with daemons on some nodes, per-rank reduce
+	// completion distributions differ beyond noise.
+	cfg := PizDaint()
+	cfg.DaemonNodes = 8
+	cfg.DaemonPeriod = 300 * time.Microsecond
+	cfg.DaemonWindow = 30 * time.Microsecond
+	m := mustNew(t, cfg, 64, 99)
+	const runs = 300
+	perRank := make([][]float64, 64)
+	for i := 0; i < runs; i++ {
+		res := m.Reduce(8, nil)
+		for r, d := range res.PerRank {
+			perRank[r] = append(perRank[r], float64(d))
+		}
+		m.Advance(500 * time.Microsecond)
+	}
+	// Mean completion across ranks should vary by much more than the
+	// within-rank standard error for at least some pairs.
+	means := make([]float64, 64)
+	for r := range perRank {
+		means[r] = stats.Mean(perRank[r])
+	}
+	if stats.Max(means) < stats.Min(means)*1.01 {
+		t.Error("expected visible per-rank heterogeneity with daemons")
+	}
+}
+
+func TestTopologyDistanceModel(t *testing.T) {
+	cfg := Quiet(64, 1)
+	cfg.Placement = Scattered
+
+	// Dragonfly: ranks in the same group pay no extra hop; cross-group
+	// pairs pay HopLatency extra each way.
+	m := mustNew(t, cfg, 64, 1)
+	m.SetTopology(TopologyConfig{
+		Kind:       TopoDragonfly,
+		GroupSize:  8,
+		HopLatency: 500 * time.Nanosecond,
+	})
+	same := m.PingPong(0, 7, 0, 1)[0]  // nodes 0 and 7: group 0
+	cross := m.PingPong(0, 8, 0, 1)[0] // nodes 0 and 8: groups 0 and 1
+	if cross-same != 500*time.Nanosecond {
+		t.Errorf("dragonfly hop delta = %v, want 500ns (one-way avg of RTT)", cross-same)
+	}
+
+	// Fat-tree: two levels of extra distance.
+	m2 := mustNew(t, cfg, 64, 1)
+	m2.SetTopology(TopologyConfig{
+		Kind:       TopoFatTree,
+		GroupSize:  2,
+		HopLatency: 300 * time.Nanosecond,
+	})
+	leaf := m2.PingPong(0, 1, 0, 1)[0]    // same leaf switch
+	block := m2.PingPong(0, 3, 0, 1)[0]   // same aggregation block
+	global := m2.PingPong(0, 40, 0, 1)[0] // across blocks
+	if block-leaf != 300*time.Nanosecond {
+		t.Errorf("fat-tree level-1 delta = %v, want 300ns", block-leaf)
+	}
+	if global-leaf != 600*time.Nanosecond {
+		t.Errorf("fat-tree level-2 delta = %v, want 600ns", global-leaf)
+	}
+
+	// Flat default is unchanged.
+	m3 := mustNew(t, cfg, 64, 1)
+	flatA := m3.PingPong(0, 7, 0, 1)[0]
+	flatB := m3.PingPong(0, 40, 0, 1)[0]
+	if flatA != flatB {
+		t.Errorf("flat topology should be uniform: %v vs %v", flatA, flatB)
+	}
+	if TopoFlat.String() != "flat" || TopoDragonfly.String() != "dragonfly" || TopoFatTree.String() != "fat-tree" {
+		t.Error("topology names")
+	}
+	if Topology(9).String() == "" {
+		t.Error("unknown topology should stringify")
+	}
+}
+
+func TestTopologyCreatesMultimodalLatency(t *testing.T) {
+	// With scattered ranks across a dragonfly, a collective samples both
+	// intra- and inter-group paths: the latency mix is multimodal, one
+	// of the paper's named noise sources (§1, §4.1.2).
+	cfg := PizDaint()
+	cfg.Placement = Scattered
+	m := mustNew(t, cfg, 32, 5)
+	m.SetTopology(TopologyConfig{
+		Kind:       TopoDragonfly,
+		GroupSize:  4,
+		HopLatency: 2 * time.Microsecond,
+	})
+	intra := make([]float64, 0, 2000)
+	inter := make([]float64, 0, 2000)
+	for _, d := range m.PingPong(0, 3, 64, 2000) {
+		intra = append(intra, float64(d))
+	}
+	for _, d := range m.PingPong(0, 8, 64, 2000) {
+		inter = append(inter, float64(d))
+	}
+	if stats.Median(inter)-stats.Median(intra) < float64(time.Microsecond) {
+		t.Errorf("inter-group median should sit ≈2µs above intra-group: %v vs %v",
+			stats.Median(inter), stats.Median(intra))
+	}
+}

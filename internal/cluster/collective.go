@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"math/bits"
+	"time"
+)
+
+// CollectiveResult reports one collective operation: the global time at
+// which every rank completed its part, relative to the operation start.
+type CollectiveResult struct {
+	// PerRank[r] is rank r's completion time relative to the collective's
+	// start (the last moment the rank participates).
+	PerRank []time.Duration
+	// Root is the completion time at the root (for rooted collectives)
+	// or the global maximum (for barriers).
+	Root time.Duration
+}
+
+// Max returns the slowest rank's completion time, the usual "time of a
+// collective" summary (see Fig 5, which plots the maximum across
+// processes to assess worst-case performance — Rule 10's example).
+func (r CollectiveResult) Max() time.Duration {
+	var m time.Duration
+	for _, d := range r.PerRank {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// PerRankSeconds converts the per-rank times to float64 seconds for the
+// statistics layer.
+func (r CollectiveResult) PerRankSeconds() []float64 {
+	out := make([]float64, len(r.PerRank))
+	for i, d := range r.PerRank {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// Reduce simulates an MPI_Reduce-style reduction of `bytes` payloads to
+// rank 0 over the machine's ranks, starting with the given per-rank
+// start skews (nil = perfectly synchronized). It uses the standard
+// two-phase algorithm real MPI libraries use for arbitrary process
+// counts: ranks beyond the largest power of two 2^K ≤ p first fold their
+// values into their partner (rank − 2^K), then a K-round binomial tree
+// reduces among the first 2^K ranks.
+//
+// Transfers follow a rendezvous protocol: a message starts moving only
+// once the sender's subtree is combined *and* the receiver has posted the
+// matching receive, and receives are posted in program (round) order.
+// This serialization is what makes the fold phase cost a full extra
+// latency on the critical path, reproducing the measurable advantage of
+// powers-of-two process counts (Fig 5).
+func (m *Machine) Reduce(bytes int, skew []time.Duration) CollectiveResult {
+	p := len(m.procs)
+	res := CollectiveResult{PerRank: make([]time.Duration, p)}
+	if p == 1 {
+		return res
+	}
+	start := make([]time.Duration, p)
+	for r := 0; r < p; r++ {
+		if skew != nil {
+			start[r] = skew[r]
+		}
+	}
+
+	// pow2 is the largest power of two <= p; ranks pow2..p-1 fold into
+	// ranks 0..extra-1 before the binomial phase.
+	pow2 := 1 << (bits.Len(uint(p)) - 1)
+	extra := p - pow2
+
+	finish := func(r int, at time.Duration) {
+		if at > res.PerRank[r] {
+			res.PerRank[r] = at
+		}
+	}
+
+	// ready[r] is the time rank r's subtree value is fully combined.
+	// Children have strictly higher ranks than their parents, so one pass
+	// from high to low ranks resolves all dependencies.
+	ready := make([]time.Duration, pow2)
+	for r := pow2 - 1; r >= 0; r-- {
+		cur := start[r]
+
+		// recv performs one rendezvous receive from src into r.
+		recv := func(src int, srcReady time.Duration) {
+			sendReady := srcReady + m.cfg.SendOverhead
+			begin := sendReady
+			if cur > begin {
+				begin = cur // receiver posts late: sender blocks
+			}
+			arrive := begin + m.msgLatency(src, r, bytes, begin)
+			finish(src, arrive) // sender participates until delivery
+			if arrive > cur {
+				cur = arrive
+			}
+			cur += m.opCost(r, cur)
+		}
+
+		if r < extra {
+			recv(r+pow2, start[r+pow2])
+		}
+		limit := bits.TrailingZeros(uint(r))
+		if r == 0 {
+			limit = bits.Len(uint(pow2)) - 1
+		}
+		for j := 0; j < limit; j++ {
+			c := r + 1<<j
+			if c < pow2 {
+				recv(c, ready[c])
+			}
+		}
+		ready[r] = cur
+		finish(r, cur)
+	}
+	res.Root = res.PerRank[0]
+	return res
+}
+
+// Bcast simulates a binomial-tree broadcast of `bytes` from rank 0 and
+// returns per-rank receive-completion times relative to the start.
+func (m *Machine) Bcast(bytes int, skew []time.Duration) CollectiveResult {
+	p := len(m.procs)
+	res := CollectiveResult{PerRank: make([]time.Duration, p)}
+	if p == 1 {
+		return res
+	}
+	have := make([]time.Duration, p)
+	for r := 1; r < p; r++ {
+		have[r] = -1
+	}
+	if skew != nil {
+		have[0] = skew[0]
+	}
+	// Standard binomial broadcast: in round k, every rank r < 2^k that
+	// has the value sends to r + 2^k.
+	for k := 0; 1<<k < p; k++ {
+		for r := 0; r < 1<<k && r < p; r++ {
+			dst := r + 1<<k
+			if dst >= p || have[r] < 0 {
+				continue
+			}
+			sendAt := have[r] + m.cfg.SendOverhead
+			if skew != nil && skew[r] > sendAt {
+				sendAt = skew[r]
+			}
+			arrive := sendAt + m.msgLatency(r, dst, bytes, sendAt)
+			if skew != nil && skew[dst] > arrive {
+				arrive = skew[dst]
+			}
+			have[dst] = arrive
+			if arrive > res.PerRank[dst] {
+				res.PerRank[dst] = arrive
+			}
+			if sendAt > res.PerRank[r] {
+				res.PerRank[r] = sendAt
+			}
+		}
+	}
+	res.Root = res.Max()
+	return res
+}
+
+// Barrier simulates a dissemination barrier: in round k every rank sends
+// to (r + 2^k) mod p and proceeds once it hears from (r − 2^k) mod p.
+// Per-rank exit times (relative to the start) are returned. Barriers
+// synchronize "commonly well enough" (§4.2.1) but give no timing
+// guarantee — the returned skew spread is exactly the residual error a
+// barrier-synchronized measurement would see.
+func (m *Machine) Barrier(skew []time.Duration) CollectiveResult {
+	p := len(m.procs)
+	res := CollectiveResult{PerRank: make([]time.Duration, p)}
+	cur := make([]time.Duration, p)
+	for r := 0; r < p; r++ {
+		if skew != nil {
+			cur[r] = skew[r]
+		}
+	}
+	if p == 1 {
+		return res
+	}
+	next := make([]time.Duration, p)
+	for k := 0; 1<<k < p; k++ {
+		for r := 0; r < p; r++ {
+			src := ((r-1<<k)%p + p) % p
+			sendAt := cur[src] + m.cfg.SendOverhead
+			arrive := sendAt + m.msgLatency(src, r, 1, sendAt)
+			if cur[r] > arrive {
+				next[r] = cur[r]
+			} else {
+				next[r] = arrive
+			}
+		}
+		cur, next = next, cur
+	}
+	copy(res.PerRank, cur)
+	res.Root = res.Max()
+	return res
+}

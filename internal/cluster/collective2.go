@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"math/bits"
+	"time"
+)
+
+// This file adds the remaining collectives a benchmarking harness needs
+// (SKaMPI-style coverage): allreduce, gather, scatter, allgather and
+// alltoall. All use the same rendezvous cost model as Reduce, so their
+// relative costs follow the textbook algorithmics (reduce+bcast,
+// binomial trees, rings, pairwise exchange).
+
+// Allreduce simulates reduce-to-root followed by a binomial broadcast of
+// the result (the simple MPI algorithm for small payloads). Per-rank
+// completion is when the rank holds the final value.
+func (m *Machine) Allreduce(bytes int, skew []time.Duration) CollectiveResult {
+	p := len(m.procs)
+	res := CollectiveResult{PerRank: make([]time.Duration, p)}
+	if p == 1 {
+		return res
+	}
+	red := m.Reduce(bytes, skew)
+	// Broadcast starts at the root's completion.
+	bc := m.Bcast(bytes, nil)
+	for r := 0; r < p; r++ {
+		res.PerRank[r] = red.Root + bc.PerRank[r]
+	}
+	res.Root = red.Root // rank 0 has the value at reduce completion
+	res.PerRank[0] = red.Root
+	return res
+}
+
+// Gather simulates a binomial-tree gather of `bytes` per rank to rank 0;
+// inner nodes forward their whole accumulated subtree payload, so
+// message sizes grow toward the root (the real cost structure of
+// MPI_Gather).
+func (m *Machine) Gather(bytes int, skew []time.Duration) CollectiveResult {
+	p := len(m.procs)
+	res := CollectiveResult{PerRank: make([]time.Duration, p)}
+	if p == 1 {
+		return res
+	}
+	start := make([]time.Duration, p)
+	if skew != nil {
+		copy(start, skew)
+	}
+	pow2 := 1 << (bits.Len(uint(p)) - 1)
+	extra := p - pow2
+
+	finish := func(r int, at time.Duration) {
+		if at > res.PerRank[r] {
+			res.PerRank[r] = at
+		}
+	}
+	ready := make([]time.Duration, pow2)
+	subtree := make([]int, pow2) // ranks accumulated below (incl. self)
+	for i := range subtree {
+		subtree[i] = 1
+	}
+	for r := pow2 - 1; r >= 0; r-- {
+		cur := start[r]
+		recv := func(src int, srcReady time.Duration, srcCount int) {
+			sendReady := srcReady + m.cfg.SendOverhead
+			begin := max(sendReady, cur)
+			arrive := begin + m.msgLatency(src, r, bytes*srcCount, begin)
+			finish(src, arrive)
+			if arrive > cur {
+				cur = arrive
+			}
+		}
+		if r < extra {
+			recv(r+pow2, start[r+pow2], 1)
+			subtree[r]++
+		}
+		limit := bits.TrailingZeros(uint(r))
+		if r == 0 {
+			limit = bits.Len(uint(pow2)) - 1
+		}
+		for j := 0; j < limit; j++ {
+			c := r + 1<<j
+			if c < pow2 {
+				recv(c, ready[c], subtree[c])
+				subtree[r] += subtree[c]
+			}
+		}
+		ready[r] = cur
+		finish(r, cur)
+	}
+	res.Root = res.PerRank[0]
+	return res
+}
+
+// Scatter simulates a binomial-tree scatter from rank 0: inner nodes
+// forward the payload destined for their whole subtree, halving message
+// sizes each level.
+func (m *Machine) Scatter(bytes int, skew []time.Duration) CollectiveResult {
+	p := len(m.procs)
+	res := CollectiveResult{PerRank: make([]time.Duration, p)}
+	if p == 1 {
+		return res
+	}
+	have := make([]time.Duration, p)
+	for r := 1; r < p; r++ {
+		have[r] = -1
+	}
+	if skew != nil {
+		have[0] = skew[0]
+	}
+	for k := 0; 1<<k < p; k++ {
+		for r := 0; r < 1<<k && r < p; r++ {
+			dst := r + 1<<k
+			if dst >= p || have[r] < 0 {
+				continue
+			}
+			// Payload: everything for dst's subtree (ranks dst..min(dst+2^k, p)-1).
+			count := min(1<<k, p-dst)
+			sendAt := have[r] + m.cfg.SendOverhead
+			if skew != nil && skew[r] > sendAt {
+				sendAt = skew[r]
+			}
+			arrive := sendAt + m.msgLatency(r, dst, bytes*count, sendAt)
+			if skew != nil && skew[dst] > arrive {
+				arrive = skew[dst]
+			}
+			have[dst] = arrive
+			if arrive > res.PerRank[dst] {
+				res.PerRank[dst] = arrive
+			}
+			if sendAt > res.PerRank[r] {
+				res.PerRank[r] = sendAt
+			}
+		}
+	}
+	res.Root = res.Max()
+	return res
+}
+
+// Allgather simulates the ring algorithm: p−1 steps, each rank passing
+// the next block to its right neighbour — bandwidth-optimal for large
+// payloads, Θ(p) latency.
+func (m *Machine) Allgather(bytes int, skew []time.Duration) CollectiveResult {
+	p := len(m.procs)
+	res := CollectiveResult{PerRank: make([]time.Duration, p)}
+	if p == 1 {
+		return res
+	}
+	cur := make([]time.Duration, p)
+	if skew != nil {
+		copy(cur, skew)
+	}
+	next := make([]time.Duration, p)
+	for step := 0; step < p-1; step++ {
+		for r := 0; r < p; r++ {
+			src := (r - 1 + p) % p
+			sendAt := cur[src] + m.cfg.SendOverhead
+			arrive := sendAt + m.msgLatency(src, r, bytes, sendAt)
+			next[r] = max(cur[r], arrive)
+		}
+		cur, next = next, cur
+	}
+	copy(res.PerRank, cur)
+	res.Root = res.Max()
+	return res
+}
+
+// Alltoall simulates the pairwise-exchange algorithm: p−1 rounds, in
+// round k rank r exchanges blocks with rank r XOR k (for power-of-two p)
+// or (r+k) mod p otherwise.
+func (m *Machine) Alltoall(bytes int, skew []time.Duration) CollectiveResult {
+	p := len(m.procs)
+	res := CollectiveResult{PerRank: make([]time.Duration, p)}
+	if p == 1 {
+		return res
+	}
+	cur := make([]time.Duration, p)
+	if skew != nil {
+		copy(cur, skew)
+	}
+	next := make([]time.Duration, p)
+	pow2 := p&(p-1) == 0
+	for k := 1; k < p; k++ {
+		for r := 0; r < p; r++ {
+			var partner int
+			if pow2 {
+				partner = r ^ k
+			} else {
+				partner = (r + k) % p
+			}
+			// The exchange completes when the later party's message
+			// lands at the other side.
+			sendAt := cur[r] + m.cfg.SendOverhead
+			partnerSend := cur[partner] + m.cfg.SendOverhead
+			begin := max(sendAt, partnerSend) // rendezvous pairing
+			arrive := begin + m.msgLatency(partner, r, bytes, begin)
+			next[r] = max(cur[r], arrive)
+		}
+		cur, next = next, cur
+	}
+	copy(res.PerRank, cur)
+	res.Root = res.Max()
+	return res
+}

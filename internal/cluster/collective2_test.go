@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAllreduceCostsReducePlusBcast(t *testing.T) {
+	m := mustNew(t, Quiet(16, 1), 16, 1)
+	ar := m.Allreduce(8, nil)
+	m2 := mustNew(t, Quiet(16, 1), 16, 1)
+	red := m2.Reduce(8, nil)
+	// Allreduce must cost at least the reduce phase everywhere.
+	for r, d := range ar.PerRank {
+		if r == 0 {
+			continue
+		}
+		if d <= red.Root {
+			t.Errorf("rank %d finished allreduce (%v) before reduce completes (%v)",
+				r, d, red.Root)
+		}
+	}
+	// Rank 0 holds the value right at reduce completion.
+	if ar.PerRank[0] != ar.Root {
+		t.Error("root completion mismatch")
+	}
+	// Trivial p=1.
+	m1 := mustNew(t, Quiet(1, 1), 1, 1)
+	if m1.Allreduce(8, nil).Max() != 0 {
+		t.Error("p=1 allreduce should be free")
+	}
+}
+
+func TestGatherMessageGrowth(t *testing.T) {
+	// With a strong bandwidth term, gather (payload grows toward the
+	// root) costs more than reduce (fixed payload) for the same byte
+	// count per rank.
+	cfg := Quiet(16, 1)
+	cfg.BandwidthBps = 1e8 // make the bandwidth term dominant
+	mg := mustNew(t, cfg, 16, 2)
+	gather := mg.Gather(100000, nil)
+	mr := mustNew(t, cfg, 16, 2)
+	reduce := mr.Reduce(100000, nil)
+	if gather.Root <= reduce.Root {
+		t.Errorf("gather (%v) should exceed reduce (%v) under bandwidth pressure",
+			gather.Root, reduce.Root)
+	}
+	m1 := mustNew(t, Quiet(1, 1), 1, 1)
+	if m1.Gather(8, nil).Max() != 0 {
+		t.Error("p=1 gather should be free")
+	}
+}
+
+func TestGatherNonPowerOfTwo(t *testing.T) {
+	m := mustNew(t, Quiet(16, 1), 13, 3)
+	res := m.Gather(64, nil)
+	if res.Root <= 0 {
+		t.Fatal("gather produced no time")
+	}
+	for r, d := range res.PerRank {
+		if d < 0 {
+			t.Errorf("rank %d negative completion %v", r, d)
+		}
+	}
+	// Root is the slowest participant in a gather.
+	if res.Max() != res.Root {
+		t.Error("root should finish last")
+	}
+}
+
+func TestScatterReachesAllAndHalves(t *testing.T) {
+	m := mustNew(t, Quiet(16, 1), 16, 4)
+	res := m.Scatter(64, nil)
+	for r := 1; r < 16; r++ {
+		if res.PerRank[r] <= 0 {
+			t.Errorf("rank %d never received its block", r)
+		}
+	}
+	// Scatter of one block ≈ bcast cost order: log p rounds.
+	bcM := mustNew(t, Quiet(16, 1), 16, 4)
+	bc := bcM.Bcast(64, nil)
+	if res.Max() > 3*bc.Max() {
+		t.Errorf("scatter (%v) wildly above bcast (%v)", res.Max(), bc.Max())
+	}
+}
+
+func TestAllgatherRingLinearInP(t *testing.T) {
+	// Ring allgather is Θ(p): doubling p should roughly double time on
+	// the quiet machine.
+	t8 := mustNew(t, Quiet(64, 1), 8, 5).Allgather(64, nil).Max()
+	t16 := mustNew(t, Quiet(64, 1), 16, 5).Allgather(64, nil).Max()
+	ratio := float64(t16) / float64(t8)
+	if ratio < 1.8 || ratio > 2.6 {
+		t.Errorf("allgather scaling ratio = %.2f, want ≈2 (ring is Θ(p))", ratio)
+	}
+	m1 := mustNew(t, Quiet(1, 1), 1, 1)
+	if m1.Allgather(8, nil).Max() != 0 {
+		t.Error("p=1 allgather should be free")
+	}
+}
+
+func TestAlltoallPairwise(t *testing.T) {
+	// Power-of-two p uses XOR pairing; either way every rank pays p−1
+	// exchanges.
+	res := mustNew(t, Quiet(16, 1), 16, 6).Alltoall(64, nil)
+	if res.Max() <= 0 {
+		t.Fatal("alltoall produced no time")
+	}
+	// Non-power-of-two path.
+	res13 := mustNew(t, Quiet(16, 1), 13, 6).Alltoall(64, nil)
+	if res13.Max() <= 0 {
+		t.Fatal("non-power-of-two alltoall produced no time")
+	}
+	// Alltoall (p−1 serialized exchanges) must cost more than a single
+	// allgather step count on the same machine... compare against
+	// broadcast which is only log p.
+	bc := mustNew(t, Quiet(16, 1), 16, 6).Bcast(64, nil)
+	if res.Max() <= bc.Max() {
+		t.Errorf("alltoall (%v) should exceed bcast (%v)", res.Max(), bc.Max())
+	}
+	m1 := mustNew(t, Quiet(1, 1), 1, 1)
+	if m1.Alltoall(8, nil).Max() != 0 {
+		t.Error("p=1 alltoall should be free")
+	}
+}
+
+func TestCollectivesRespectSkew(t *testing.T) {
+	skew := make([]time.Duration, 8)
+	skew[5] = 2 * time.Millisecond
+	for name, run := range map[string]func(*Machine) CollectiveResult{
+		"allreduce": func(m *Machine) CollectiveResult { return m.Allreduce(8, skew) },
+		"gather":    func(m *Machine) CollectiveResult { return m.Gather(8, skew) },
+		"allgather": func(m *Machine) CollectiveResult { return m.Allgather(8, skew) },
+		"alltoall":  func(m *Machine) CollectiveResult { return m.Alltoall(8, skew) },
+	} {
+		m := mustNew(t, Quiet(8, 1), 8, 7)
+		res := run(m)
+		if res.Max() < 2*time.Millisecond {
+			t.Errorf("%s: late rank ignored (max %v)", name, res.Max())
+		}
+	}
+}
+
+func TestCollectivesDeterministicUnderSeed(t *testing.T) {
+	run := func() []time.Duration {
+		m := mustNew(t, PizDaint(), 24, 99)
+		var out []time.Duration
+		out = append(out, m.Allreduce(8, nil).PerRank...)
+		out = append(out, m.Gather(64, nil).PerRank...)
+		out = append(out, m.Scatter(64, nil).PerRank...)
+		out = append(out, m.Allgather(64, nil).PerRank...)
+		out = append(out, m.Alltoall(64, nil).PerRank...)
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("collective replay diverged at %d", i)
+		}
+	}
+}

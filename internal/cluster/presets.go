@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/noise"
+)
+
+// The preset configurations approximate the three systems of the paper's
+// §4.1.2 ("Our experimental setup"). The absolute parameters are tuned so
+// the simulated latency distributions land in the ranges the paper
+// reports (Figures 1–4): they are *models*, not measurements of the real
+// machines — see DESIGN.md's substitution table.
+
+// PizDaint approximates the Cray XC30 partition used for the HPL and Pi
+// scaling experiments: 8-core nodes, Aries dragonfly interconnect.
+func PizDaint() Config {
+	return Config{
+		Name:         "Piz Daint (simulated XC30)",
+		Nodes:        5272,
+		CoresPerNode: 8,
+		LatFloor:     600 * time.Nanosecond,
+		LatBody:      350 * time.Nanosecond,
+		LatSigma:     0.25,
+		TailProb:     2e-4,
+		TailScale:    2 * time.Microsecond,
+		TailAlpha:    2.5,
+		IntraNodeLat: 150 * time.Nanosecond,
+		BandwidthBps: 9.0e9,
+		FlopsPerSec:  2.0e10, // ~20 Gflop/s sustained per core for DGEMM-like work
+		CPUNoise:     noise.LogNormal{Sigma: 0.015},
+		NodeSigma:    0.01,
+		DaemonNodes:  24,
+		DaemonPeriod: 10 * time.Millisecond,
+		DaemonWindow: 50 * time.Microsecond,
+
+		ClockOffsetMax:   500 * time.Microsecond,
+		ClockDriftPPM:    20,
+		ClockGranularity: 10 * time.Nanosecond,
+		ReduceOpCost:     80 * time.Nanosecond,
+		SendOverhead:     250 * time.Nanosecond,
+	}
+}
+
+// PizDora approximates the Cray XC40: 24-core nodes, Aries interconnect.
+// Its simulated 64 B ping-pong latency has median ≈ 1.77 µs, minimum
+// ≈ 1.57 µs and a tail reaching ≈ 7 µs over 10⁶ samples (Fig 3, top).
+func PizDora() Config {
+	return Config{
+		Name:         "Piz Dora (simulated XC40)",
+		Nodes:        1256,
+		CoresPerNode: 24,
+		LatFloor:     1100 * time.Nanosecond,
+		LatBody:      400 * time.Nanosecond,
+		LatSigma:     0.25,
+		TailProb:     1e-4,
+		TailScale:    1 * time.Microsecond,
+		TailAlpha:    3,
+		IntraNodeLat: 200 * time.Nanosecond,
+		BandwidthBps: 1.0e10,
+		FlopsPerSec:  2.2e10,
+		CPUNoise:     noise.LogNormal{Sigma: 0.01},
+		NodeSigma:    0.008,
+		DaemonNodes:  8,
+		DaemonPeriod: 10 * time.Millisecond,
+		DaemonWindow: 30 * time.Microsecond,
+
+		ClockOffsetMax:   500 * time.Microsecond,
+		ClockDriftPPM:    15,
+		ClockGranularity: 10 * time.Nanosecond,
+		ReduceOpCost:     70 * time.Nanosecond,
+		SendOverhead:     220 * time.Nanosecond,
+	}
+}
+
+// Pilatus approximates the InfiniBand FDR fat-tree cluster: a lower
+// latency floor (min ≈ 1.48 µs) but a wider body (median ≈ 1.88 µs) and
+// a heavier congestion tail (max ≈ 11.6 µs over 10⁶ samples) than Piz
+// Dora — the Fig 3/4 comparison pair.
+func Pilatus() Config {
+	return Config{
+		Name:         "Pilatus (simulated InfiniBand FDR)",
+		Nodes:        44,
+		CoresPerNode: 16,
+		LatFloor:     1000 * time.Nanosecond,
+		LatBody:      520 * time.Nanosecond,
+		LatSigma:     0.5,
+		TailProb:     3e-4,
+		TailScale:    2 * time.Microsecond,
+		TailAlpha:    2.5,
+		IntraNodeLat: 250 * time.Nanosecond,
+		BandwidthBps: 6.8e9,
+		FlopsPerSec:  1.8e10,
+		CPUNoise:     noise.LogNormal{Sigma: 0.02},
+		NodeSigma:    0.01,
+		DaemonNodes:  4,
+		DaemonPeriod: 4 * time.Millisecond,
+		DaemonWindow: 40 * time.Microsecond,
+
+		ClockOffsetMax:   1 * time.Millisecond,
+		ClockDriftPPM:    30,
+		ClockGranularity: 10 * time.Nanosecond,
+		ReduceOpCost:     90 * time.Nanosecond,
+		SendOverhead:     300 * time.Nanosecond,
+	}
+}
+
+// Quiet returns a noise-free single-purpose test system, useful for
+// validating algorithmic costs without stochastic terms.
+func Quiet(nodes, cores int) Config {
+	return Config{
+		Name:         "quiet test system",
+		Nodes:        nodes,
+		CoresPerNode: cores,
+		LatFloor:     time.Microsecond,
+		LatBody:      0,
+		LatSigma:     0,
+		IntraNodeLat: 100 * time.Nanosecond,
+		BandwidthBps: 1e10,
+		FlopsPerSec:  1e10,
+		ReduceOpCost: 50 * time.Nanosecond,
+		SendOverhead: 100 * time.Nanosecond,
+	}
+}

@@ -1,0 +1,78 @@
+package cluster
+
+import "time"
+
+// Topology refines the network model with distance-dependent latency:
+// §4.1.2 requires documenting "details of the network (topology,
+// latency, and bandwidth)" precisely because placement-dependent hop
+// counts shift latency distributions (and create the multi-modal shapes
+// of Fig 2). The zero value (TopoFlat) keeps the uniform model.
+type Topology int
+
+const (
+	// TopoFlat treats every inter-node pair identically (the default).
+	TopoFlat Topology = iota
+	// TopoDragonfly groups nodes (GroupSize per group): same-group pairs
+	// pay the base latency, cross-group pairs add HopLatency (the global
+	// optical hop of a Cray Aries dragonfly).
+	TopoDragonfly
+	// TopoFatTree arranges nodes under switches (GroupSize per leaf
+	// switch): same-switch pairs pay the base latency; each extra tree
+	// level toward the common ancestor adds HopLatency (up to 2 extra
+	// levels modeled).
+	TopoFatTree
+)
+
+// String returns the topology name.
+func (t Topology) String() string {
+	switch t {
+	case TopoFlat:
+		return "flat"
+	case TopoDragonfly:
+		return "dragonfly"
+	case TopoFatTree:
+		return "fat-tree"
+	}
+	return "Topology(?)"
+}
+
+// TopologyConfig extends Config with the distance model. It lives in its
+// own struct so the flat presets stay untouched.
+type TopologyConfig struct {
+	Kind       Topology
+	GroupSize  int           // nodes per group / leaf switch
+	HopLatency time.Duration // extra one-way latency per additional hop
+}
+
+// SetTopology installs a distance model on the machine (call right
+// after New; affects all subsequent traffic).
+func (m *Machine) SetTopology(tc TopologyConfig) {
+	m.topo = tc
+}
+
+// hopExtra returns the extra one-way latency between two nodes under the
+// machine's topology.
+func (m *Machine) hopExtra(nodeA, nodeB int) time.Duration {
+	tc := m.topo
+	if tc.Kind == TopoFlat || tc.GroupSize <= 0 || nodeA == nodeB {
+		return 0
+	}
+	ga, gb := nodeA/tc.GroupSize, nodeB/tc.GroupSize
+	switch tc.Kind {
+	case TopoDragonfly:
+		if ga != gb {
+			return tc.HopLatency
+		}
+	case TopoFatTree:
+		if ga == gb {
+			return 0
+		}
+		// One extra level for neighbouring switch blocks, two beyond.
+		const blockSize = 8 // leaf switches per aggregation block
+		if ga/blockSize == gb/blockSize {
+			return tc.HopLatency
+		}
+		return 2 * tc.HopLatency
+	}
+	return 0
+}

@@ -1,0 +1,270 @@
+// Package core is the paper's contribution assembled into a usable
+// pipeline: design an experiment (documented environment, factors and
+// levels — Rule 9), measure it (package bench: warmup, adaptive
+// sampling, outlier policy), analyze it (packages stats/ci/htest/qreg:
+// correct means, CIs of mean and median, normality diagnostics,
+// significance tests), report it (package report: tables, densities,
+// boxes, violins, CSV/JSON), and audit the result against the twelve
+// rules (package rules).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/bench"
+	"repro/internal/htest"
+	"repro/internal/qreg"
+	"repro/internal/report"
+	"repro/internal/rules"
+	"repro/internal/stats"
+)
+
+// Metadata documents an experiment per Rule 9. Every field that applies
+// should be filled; the audit flags gaps.
+type Metadata struct {
+	Name        string
+	Description string
+	Unit        string     // unit of the measured value, e.g. "µs" (Rule: report units unambiguously)
+	Kind        stats.Kind // cost, rate, or ratio — selects the correct mean
+	Env         rules.Environment
+	Factors     []rules.Factor
+	Parallel    *rules.ParallelTiming
+	Seed        uint64
+}
+
+// Configuration is one factor-level combination with its measurement
+// closure.
+type Configuration struct {
+	Label   string
+	Measure func() float64
+}
+
+// Experiment is a designed measurement campaign over one or more
+// configurations.
+type Experiment struct {
+	Meta    Metadata
+	Plan    bench.Plan
+	Configs []Configuration
+}
+
+// ConfigResult pairs a configuration with its analyzed measurements.
+type ConfigResult struct {
+	Label  string
+	Result bench.Result
+}
+
+// Results is the analyzed outcome of an experiment run.
+type Results struct {
+	Meta    Metadata
+	Plan    bench.Plan
+	Configs []ConfigResult
+}
+
+// Errors.
+var (
+	ErrNoConfigs = errors.New("core: experiment has no configurations")
+	ErrNotFound  = errors.New("core: configuration not found")
+)
+
+// Run measures and analyzes every configuration.
+func (e *Experiment) Run() (*Results, error) {
+	if len(e.Configs) == 0 {
+		return nil, ErrNoConfigs
+	}
+	out := &Results{Meta: e.Meta, Plan: e.Plan}
+	for _, cfg := range e.Configs {
+		res, err := bench.Run(e.Plan, cfg.Measure)
+		if err != nil {
+			return nil, fmt.Errorf("core: configuration %q: %w", cfg.Label, err)
+		}
+		out.Configs = append(out.Configs, ConfigResult{Label: cfg.Label, Result: res})
+	}
+	return out, nil
+}
+
+// Get returns the result for a configuration label.
+func (r *Results) Get(label string) (ConfigResult, error) {
+	for _, c := range r.Configs {
+		if c.Label == label {
+			return c, nil
+		}
+	}
+	return ConfigResult{}, fmt.Errorf("%w: %q", ErrNotFound, label)
+}
+
+// Comparison is the statistically sound comparison of two
+// configurations (Rule 7): the Kruskal–Wallis median test (valid without
+// normality), Welch's t-test (meaningful when both samples are plausibly
+// normal), CI overlap, and the effect size.
+type Comparison struct {
+	A, B           string
+	MedianTest     htest.TestResult
+	MeanTest       htest.TestResult
+	MeanTestValid  bool // both samples plausibly normal
+	EffectSize     float64
+	CIsDisjoint    bool // median CIs do not overlap
+	MedianDiffers  bool // Kruskal–Wallis significant at alpha
+	Alpha          float64
+	MedianABMinusB float64 // median(A) − median(B)
+}
+
+// Compare runs the Rule 7 battery on two configuration labels at
+// significance level alpha (default 0.05).
+func (r *Results) Compare(aLabel, bLabel string, alpha float64) (Comparison, error) {
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.05
+	}
+	a, err := r.Get(aLabel)
+	if err != nil {
+		return Comparison{}, err
+	}
+	b, err := r.Get(bLabel)
+	if err != nil {
+		return Comparison{}, err
+	}
+	cmp := Comparison{A: aLabel, B: bLabel, Alpha: alpha}
+	kw, err := htest.KruskalWallis(a.Result.Raw, b.Result.Raw)
+	if err != nil {
+		return Comparison{}, err
+	}
+	cmp.MedianTest = kw
+	cmp.MedianDiffers = kw.Significant(alpha)
+	if tt, err := htest.TTest(a.Result.Raw, b.Result.Raw, true); err == nil {
+		cmp.MeanTest = tt
+		cmp.MeanTestValid = a.Result.PlausiblyNormal && b.Result.PlausiblyNormal
+	}
+	if es, err := htest.EffectSize(a.Result.Raw, b.Result.Raw); err == nil {
+		cmp.EffectSize = es
+	}
+	cmp.CIsDisjoint = !a.Result.MedianCI.Overlaps(b.Result.MedianCI)
+	cmp.MedianABMinusB = a.Result.Summary.Median - b.Result.Summary.Median
+	return cmp, nil
+}
+
+// QuantileComparison runs the Rule 8 / Fig 4 analysis: per-quantile
+// differences between two configurations with confidence bands.
+func (r *Results) QuantileComparison(aLabel, bLabel string, taus []float64, confidence float64) ([]qreg.TwoGroupPoint, error) {
+	a, err := r.Get(aLabel)
+	if err != nil {
+		return nil, err
+	}
+	b, err := r.Get(bLabel)
+	if err != nil {
+		return nil, err
+	}
+	return qreg.TwoGroupQuantiles(a.Result.Raw, b.Result.Raw, taus, confidence)
+}
+
+// RulesReport derives the auditable rules.Report from what the pipeline
+// actually did, plus the experiment's metadata. Fields the pipeline
+// cannot know (speedup claims, plots, bounds) are taken from extra.
+func (r *Results) RulesReport(extra rules.Report) rules.Report {
+	rep := extra
+	rep.Title = r.Meta.Name
+	rep.Env = r.Meta.Env
+	rep.Factors = r.Meta.Factors
+	rep.Parallel = r.Meta.Parallel
+
+	deterministic := true
+	for _, c := range r.Configs {
+		if !c.Result.Deterministic {
+			deterministic = false
+		}
+	}
+	rep.Deterministic = deterministic
+	rep.ReportsCI = true
+	rep.CILevel = r.Configs[0].Result.MedianCI.Confidence
+	if rep.CILevel == 0 {
+		rep.CILevel = 0.95
+	}
+	rep.NormalityChecked = true
+	rep.UsesMeanCI = false
+	rep.CenterJustified = true
+	for _, c := range r.Configs {
+		if c.Result.PlausiblyNormal {
+			rep.UsesMeanCI = true
+		}
+	}
+	method := rules.MedianSummary
+	if deterministic || allNormal(r.Configs) {
+		switch r.Meta.Kind {
+		case stats.Cost:
+			method = rules.ArithmeticMean
+		case stats.Rate:
+			method = rules.HarmonicMean
+		default:
+			method = rules.GeometricMean
+		}
+	}
+	rep.Summaries = append(rep.Summaries, rules.SummaryUse{
+		Metric: r.Meta.Name,
+		Kind:   r.Meta.Kind,
+		Method: method,
+	})
+	return rep
+}
+
+func allNormal(cs []ConfigResult) bool {
+	for _, c := range cs {
+		if !c.Result.PlausiblyNormal {
+			return false
+		}
+	}
+	return true
+}
+
+// Audit runs the twelve-rule audit over the derived report.
+func (r *Results) Audit(extra rules.Report) ([]rules.Finding, rules.Compliance) {
+	fs := rules.Audit(r.RulesReport(extra))
+	return fs, rules.Summarize(fs)
+}
+
+// WriteSummaryTable renders one row per configuration with the key
+// statistics the paper asks experimenters to report.
+func (r *Results) WriteSummaryTable(w io.Writer) error {
+	tbl := &report.Table{
+		Title: r.Meta.Name + " (" + r.Meta.Unit + ")",
+		Headers: []string{
+			"config", "n", "mean", "median", "[min, p99]",
+			"CI(" + centerName(r) + ")", "CoV", "normal?", "outliers",
+		},
+	}
+	for _, c := range r.Configs {
+		s := c.Result.Summary
+		_, iv := c.Result.PreferredCenter()
+		tbl.AddRow(
+			c.Label,
+			s.N,
+			fmt.Sprintf("%.6g", s.Mean),
+			fmt.Sprintf("%.6g", s.Median),
+			fmt.Sprintf("[%.6g, %.6g]", s.Min, s.P99),
+			fmt.Sprintf("[%.6g, %.6g]", iv.Lo, iv.Hi),
+			fmt.Sprintf("%.3g", s.CoV),
+			fmt.Sprintf("%v", c.Result.PlausiblyNormal),
+			c.Result.OutliersRemoved,
+		)
+	}
+	return tbl.Render(w)
+}
+
+func centerName(r *Results) string {
+	for _, c := range r.Configs {
+		if !c.Result.Deterministic && !c.Result.PlausiblyNormal {
+			return "median"
+		}
+	}
+	return "mean"
+}
+
+// SortedLabels returns the configuration labels in sorted order.
+func (r *Results) SortedLabels() []string {
+	out := make([]string, len(r.Configs))
+	for i, c := range r.Configs {
+		out[i] = c.Label
+	}
+	sort.Strings(out)
+	return out
+}

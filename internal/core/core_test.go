@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/rules"
+	"repro/internal/stats"
+)
+
+func testMeta() Metadata {
+	return Metadata{
+		Name: "latency",
+		Unit: "µs",
+		Kind: stats.Cost,
+		Env: rules.Environment{
+			Processor:        "simulated Xeon",
+			Memory:           "64 GiB",
+			Network:          "simulated Aries",
+			Compiler:         "gc (Go)",
+			RuntimeLibs:      "Go runtime",
+			Filesystem:       "not used",
+			InputAndCode:     "64 B ping-pong",
+			MeasurementSetup: "single-event timing",
+			CodeURL:          "https://example.org/repo",
+		},
+		Factors: []rules.Factor{{Name: "system", Levels: []string{"dora", "pilatus"}}},
+	}
+}
+
+func twoSystemExperiment(seed uint64) *Experiment {
+	rngA := rand.New(rand.NewPCG(seed, 1))
+	rngB := rand.New(rand.NewPCG(seed, 2))
+	return &Experiment{
+		Meta: testMeta(),
+		Plan: bench.Plan{MinSamples: 400},
+		Configs: []Configuration{
+			{Label: "dora", Measure: func() float64 {
+				return 1.55 + 0.22*math.Exp(0.25*rngA.NormFloat64())
+			}},
+			{Label: "pilatus", Measure: func() float64 {
+				return 1.36 + 0.52*math.Exp(0.5*rngB.NormFloat64())
+			}},
+		},
+	}
+}
+
+func TestExperimentRunAndGet(t *testing.T) {
+	res, err := twoSystemExperiment(1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Configs) != 2 {
+		t.Fatalf("configs = %d", len(res.Configs))
+	}
+	d, err := res.Get("dora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Result.Summary.N != 400 {
+		t.Errorf("n = %d", d.Result.Summary.N)
+	}
+	if _, err := res.Get("nonesuch"); err == nil {
+		t.Error("unknown label should error")
+	}
+	labels := res.SortedLabels()
+	if len(labels) != 2 || labels[0] != "dora" {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestEmptyExperiment(t *testing.T) {
+	e := &Experiment{Meta: testMeta()}
+	if _, err := e.Run(); err != ErrNoConfigs {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCompareDetectsMedianShift(t *testing.T) {
+	res, err := twoSystemExperiment(2).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := res.Compare("dora", "pilatus", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dora's median ≈ 1.77; Pilatus's ≈ 1.88 — different at n=400.
+	if !cmp.MedianDiffers {
+		t.Errorf("median difference not detected: %v", cmp.MedianTest)
+	}
+	if cmp.MedianABMinusB >= 0 {
+		t.Errorf("dora should have the lower median, diff = %g", cmp.MedianABMinusB)
+	}
+	if cmp.EffectSize == 0 {
+		t.Error("effect size not computed")
+	}
+	if _, err := res.Compare("dora", "nope", 0.05); err == nil {
+		t.Error("unknown label should error")
+	}
+}
+
+func TestQuantileComparison(t *testing.T) {
+	res, err := twoSystemExperiment(3).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := res.QuantileComparison("dora", "pilatus", []float64{0.1, 0.5, 0.9}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// At the median Pilatus is slower (difference > 0 with dora as base).
+	if pts[1].Difference <= 0 {
+		t.Errorf("median difference = %g, want > 0", pts[1].Difference)
+	}
+}
+
+func TestRulesReportAndAudit(t *testing.T) {
+	res, err := twoSystemExperiment(4).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := rules.Report{
+		Plots: []rules.Plot{{Name: "densities", ShowsVariation: true}},
+		Comparisons: []rules.Comparison{
+			{Claim: "dora faster at median", Method: rules.KruskalWallis},
+		},
+		BoundsModels: []string{"wire-latency floor"},
+	}
+	findings, compliance := res.Audit(extra)
+	if len(findings) == 0 {
+		t.Fatal("no findings")
+	}
+	if compliance.Passed < 11 {
+		t.Errorf("compliance %d/12; findings:", compliance.Passed)
+		for _, f := range findings {
+			if f.Severity != rules.Pass {
+				t.Logf("  %s", f)
+			}
+		}
+	}
+	rep := res.RulesReport(extra)
+	if rep.Deterministic {
+		t.Error("noisy experiment flagged deterministic")
+	}
+	if !rep.ReportsCI || rep.CILevel != 0.95 {
+		t.Errorf("CI metadata wrong: %v %g", rep.ReportsCI, rep.CILevel)
+	}
+	// The skewed latency data should steer the summary to the median.
+	found := false
+	for _, s := range rep.Summaries {
+		if s.Method == rules.MedianSummary {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("skewed data should be summarized by the median")
+	}
+}
+
+func TestWriteSummaryTable(t *testing.T) {
+	res, err := twoSystemExperiment(5).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.WriteSummaryTable(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"latency", "dora", "pilatus", "median", "CoV"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeterministicExperimentAudits(t *testing.T) {
+	e := &Experiment{
+		Meta: testMeta(),
+		Plan: bench.Plan{MinSamples: 10},
+		Configs: []Configuration{
+			{Label: "const", Measure: func() float64 { return 3 }},
+		},
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.RulesReport(rules.Report{})
+	if !rep.Deterministic {
+		t.Error("constant data should be reported deterministic")
+	}
+	// Deterministic cost → arithmetic mean summary.
+	if rep.Summaries[0].Method != rules.ArithmeticMean {
+		t.Errorf("method = %s", rep.Summaries[0].Method)
+	}
+}
+
+func TestNotebookRoundTrip(t *testing.T) {
+	res, err := twoSystemExperiment(6).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := res.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Meta.Name != res.Meta.Name || len(back.Configs) != len(res.Configs) {
+		t.Fatalf("metadata lost: %+v", back.Meta)
+	}
+	for i, c := range back.Configs {
+		orig := res.Configs[i]
+		if c.Label != orig.Label || len(c.Result.Raw) != len(orig.Result.Raw) {
+			t.Fatalf("config %d lost raw data", i)
+		}
+		if c.Result.Summary.Median != orig.Result.Summary.Median {
+			t.Fatalf("config %d summary drifted", i)
+		}
+	}
+	// Re-analysis of loaded raw data matches the stored summary.
+	re, err := bench.Analyze(back.Configs[0].Result.Raw, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(re.Summary.Mean-back.Configs[0].Result.Summary.Mean) > 1e-12 {
+		t.Error("re-analysis disagrees with the stored summary")
+	}
+}
+
+func TestNotebookLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON should error")
+	}
+	if _, err := Load(strings.NewReader(`{"version":99,"results":{"Configs":[{}]}}`)); err == nil {
+		t.Error("wrong version should error")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1}`)); err == nil {
+		t.Error("empty notebook should error")
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file implements the "lab notebook": serializing analyzed results
+// (including every raw observation) to JSON and back, the data-release
+// practice Rule 9 asks for ("Ideally, researchers release the source
+// code used for the experiment or at least the input data").
+
+// notebookVersion guards the serialization format.
+const notebookVersion = 1
+
+type notebookFile struct {
+	Version int      `json:"version"`
+	Results *Results `json:"results"`
+}
+
+// Save writes the results (metadata, plan, per-configuration summaries
+// and raw observations) as versioned JSON.
+func (r *Results) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(notebookFile{Version: notebookVersion, Results: r})
+}
+
+// Load reads results previously written by Save.
+func Load(rd io.Reader) (*Results, error) {
+	var f notebookFile
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: parsing notebook: %w", err)
+	}
+	if f.Version != notebookVersion {
+		return nil, fmt.Errorf("core: notebook version %d unsupported (want %d)",
+			f.Version, notebookVersion)
+	}
+	if f.Results == nil || len(f.Results.Configs) == 0 {
+		return nil, fmt.Errorf("core: notebook holds no results")
+	}
+	return f.Results, nil
+}

@@ -1,0 +1,103 @@
+// Package desim is a minimal deterministic discrete-event simulation
+// engine: an event queue ordered by simulated time with stable FIFO
+// tie-breaking, on which the cluster package builds its simulated
+// parallel machine. Determinism matters because the repository's
+// experiments must reproduce bit-for-bit under a fixed seed (Rule 9
+// applied to ourselves).
+package desim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Handler is an event callback, invoked with the engine so it can
+// schedule follow-up events.
+type Handler func(e *Engine)
+
+type event struct {
+	at  time.Duration
+	seq uint64 // insertion order, breaks time ties deterministically
+	fn  Handler
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)         { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any           { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+func (q eventQueue) peek() time.Duration { return q[0].at }
+
+// Engine is a single-threaded discrete-event simulator. The zero value
+// is ready to use at simulated time zero.
+type Engine struct {
+	now   time.Duration
+	seq   uint64
+	queue eventQueue
+	steps uint64
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Steps returns the number of events processed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// At schedules fn to run at absolute simulated time at. Events scheduled
+// in the past run at the current time (time never goes backwards).
+func (e *Engine) At(at time.Duration, fn Handler) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current simulated time.
+func (e *Engine) After(d time.Duration, fn Handler) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Run processes events until the queue drains, returning the final
+// simulated time.
+func (e *Engine) Run() time.Duration {
+	for len(e.queue) > 0 {
+		e.step()
+	}
+	return e.now
+}
+
+// RunUntil processes events with timestamps <= deadline, leaving later
+// events queued, and advances the clock to min(deadline, drain time).
+func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
+	for len(e.queue) > 0 && e.queue.peek() <= deadline {
+		e.step()
+	}
+	if e.now < deadline && len(e.queue) == 0 {
+		// Nothing left before the deadline; the clock stays where the
+		// last event left it (there is no passage of idle time without
+		// events).
+		return e.now
+	}
+	return e.now
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.queue).(event)
+	e.now = ev.at
+	e.steps++
+	ev.fn(e)
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }

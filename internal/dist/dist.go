@@ -1,0 +1,503 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Distribution is the common interface implemented by every probability
+// distribution in this package. Quantile is the inverse of CDF on the
+// distribution's support.
+type Distribution interface {
+	// PDF returns the probability density at x.
+	PDF(x float64) float64
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// Quantile returns the smallest x with CDF(x) >= p, for p in [0, 1].
+	Quantile(p float64) float64
+	// Mean returns the distribution mean (NaN if undefined).
+	Mean() float64
+	// Variance returns the distribution variance (NaN or +Inf if undefined).
+	Variance() float64
+	// Rand draws one variate using the supplied source.
+	Rand(rng *rand.Rand) float64
+}
+
+// Normal is the normal (Gaussian) distribution with mean Mu and standard
+// deviation Sigma > 0.
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// PDF returns the normal density at x.
+func (n Normal) PDF(x float64) float64 {
+	z := (x - n.Mu) / n.Sigma
+	return NormalPDF(z) / n.Sigma
+}
+
+// CDF returns P(X <= x).
+func (n Normal) CDF(x float64) float64 {
+	return NormalCDF((x - n.Mu) / n.Sigma)
+}
+
+// Quantile returns the p-quantile.
+func (n Normal) Quantile(p float64) float64 {
+	return n.Mu + n.Sigma*NormalQuantile(p)
+}
+
+// Mean returns Mu.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// Variance returns Sigma².
+func (n Normal) Variance() float64 { return n.Sigma * n.Sigma }
+
+// Rand draws a normal variate.
+func (n Normal) Rand(rng *rand.Rand) float64 {
+	return n.Mu + n.Sigma*rng.NormFloat64()
+}
+
+// LogNormal is the distribution of exp(N(Mu, Sigma²)). It models the
+// right-skewed, long-tailed timing distributions that dominate measured
+// computer performance (paper §3.1.2, "Log-normalization").
+type LogNormal struct {
+	Mu    float64 // mean of log(X)
+	Sigma float64 // standard deviation of log(X), > 0
+}
+
+// PDF returns the log-normal density at x (0 for x <= 0).
+func (l LogNormal) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - l.Mu) / l.Sigma
+	return NormalPDF(z) / (x * l.Sigma)
+}
+
+// CDF returns P(X <= x).
+func (l LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return NormalCDF((math.Log(x) - l.Mu) / l.Sigma)
+}
+
+// Quantile returns the p-quantile.
+func (l LogNormal) Quantile(p float64) float64 {
+	switch p {
+	case 0:
+		return 0
+	case 1:
+		return math.Inf(1)
+	}
+	return math.Exp(l.Mu + l.Sigma*NormalQuantile(p))
+}
+
+// Mean returns exp(Mu + Sigma²/2).
+func (l LogNormal) Mean() float64 {
+	return math.Exp(l.Mu + l.Sigma*l.Sigma/2)
+}
+
+// Variance returns (exp(Sigma²)-1)·exp(2Mu+Sigma²).
+func (l LogNormal) Variance() float64 {
+	s2 := l.Sigma * l.Sigma
+	return (math.Exp(s2) - 1) * math.Exp(2*l.Mu+s2)
+}
+
+// Rand draws a log-normal variate.
+func (l LogNormal) Rand(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+// StudentT is Student's t distribution with Nu > 0 degrees of freedom.
+// It underlies confidence intervals of the mean for samples with unknown
+// population variance (paper §3.1.2).
+type StudentT struct {
+	Nu float64
+}
+
+// PDF returns the t density at x.
+func (t StudentT) PDF(x float64) float64 {
+	nu := t.Nu
+	lg := LnGamma((nu+1)/2) - LnGamma(nu/2) - 0.5*math.Log(nu*math.Pi)
+	return math.Exp(lg - (nu+1)/2*math.Log1p(x*x/nu))
+}
+
+// CDF returns P(X <= x) via the regularized incomplete beta function.
+func (t StudentT) CDF(x float64) float64 {
+	if x == 0 {
+		return 0.5
+	}
+	p := 0.5 * BetaInc(t.Nu/2, 0.5, t.Nu/(t.Nu+x*x))
+	if x > 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// Quantile returns the p-quantile via the inverse incomplete beta function.
+func (t StudentT) Quantile(p float64) float64 {
+	switch {
+	case math.IsNaN(p) || p < 0 || p > 1:
+		return math.NaN()
+	case p == 0:
+		return math.Inf(-1)
+	case p == 1:
+		return math.Inf(1)
+	case p == 0.5:
+		return 0
+	}
+	pp := p
+	if p > 0.5 {
+		pp = 1 - p
+	}
+	x := BetaIncInv(t.Nu/2, 0.5, 2*pp)
+	q := math.Sqrt(t.Nu * (1 - x) / x)
+	if p < 0.5 {
+		return -q
+	}
+	return q
+}
+
+// Mean returns 0 for Nu > 1, NaN otherwise.
+func (t StudentT) Mean() float64 {
+	if t.Nu > 1 {
+		return 0
+	}
+	return math.NaN()
+}
+
+// Variance returns Nu/(Nu-2) for Nu > 2, +Inf for 1 < Nu <= 2, NaN otherwise.
+func (t StudentT) Variance() float64 {
+	switch {
+	case t.Nu > 2:
+		return t.Nu / (t.Nu - 2)
+	case t.Nu > 1:
+		return math.Inf(1)
+	}
+	return math.NaN()
+}
+
+// Rand draws a t variate as N / sqrt(ChiSq/Nu).
+func (t StudentT) Rand(rng *rand.Rand) float64 {
+	z := rng.NormFloat64()
+	c := ChiSquared{K: t.Nu}.Rand(rng)
+	return z / math.Sqrt(c/t.Nu)
+}
+
+// ChiSquared is the chi-squared distribution with K > 0 degrees of freedom
+// (used by the Kruskal–Wallis test, paper §3.2.2).
+type ChiSquared struct {
+	K float64
+}
+
+// PDF returns the chi-squared density at x.
+func (c ChiSquared) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x == 0 {
+		if c.K < 2 {
+			return math.Inf(1)
+		}
+		if c.K == 2 {
+			return 0.5
+		}
+		return 0
+	}
+	k2 := c.K / 2
+	return math.Exp((k2-1)*math.Log(x) - x/2 - k2*math.Ln2 - LnGamma(k2))
+}
+
+// CDF returns P(X <= x) = P(k/2, x/2).
+func (c ChiSquared) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return GammaP(c.K/2, x/2)
+}
+
+// Quantile returns the p-quantile.
+func (c ChiSquared) Quantile(p float64) float64 {
+	return 2 * GammaPInv(c.K/2, p)
+}
+
+// Mean returns K.
+func (c ChiSquared) Mean() float64 { return c.K }
+
+// Variance returns 2K.
+func (c ChiSquared) Variance() float64 { return 2 * c.K }
+
+// Rand draws a chi-squared variate via the gamma distribution
+// (Marsaglia–Tsang squeeze method).
+func (c ChiSquared) Rand(rng *rand.Rand) float64 {
+	return 2 * gammaRand(c.K/2, rng)
+}
+
+// gammaRand draws from Gamma(shape, 1) via Marsaglia–Tsang (2000).
+func gammaRand(shape float64, rng *rand.Rand) float64 {
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaRand(shape+1, rng) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = rng.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// FisherF is the F distribution with D1 numerator and D2 denominator
+// degrees of freedom (used by the one-way ANOVA test, paper §3.2.1).
+type FisherF struct {
+	D1, D2 float64
+}
+
+// PDF returns the F density at x.
+func (f FisherF) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x == 0 {
+		switch {
+		case f.D1 < 2:
+			return math.Inf(1)
+		case f.D1 == 2:
+			return 1
+		}
+		return 0
+	}
+	d1, d2 := f.D1, f.D2
+	lg := d1/2*math.Log(d1) + d2/2*math.Log(d2) + (d1/2-1)*math.Log(x) -
+		(d1+d2)/2*math.Log(d2+d1*x) -
+		(LnGamma(d1/2) + LnGamma(d2/2) - LnGamma((d1+d2)/2))
+	return math.Exp(lg)
+}
+
+// CDF returns P(X <= x) via the incomplete beta function.
+func (f FisherF) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return BetaInc(f.D1/2, f.D2/2, f.D1*x/(f.D1*x+f.D2))
+}
+
+// Quantile returns the p-quantile.
+func (f FisherF) Quantile(p float64) float64 {
+	switch {
+	case math.IsNaN(p) || p < 0 || p > 1:
+		return math.NaN()
+	case p == 0:
+		return 0
+	case p == 1:
+		return math.Inf(1)
+	}
+	x := BetaIncInv(f.D1/2, f.D2/2, p)
+	return f.D2 * x / (f.D1 * (1 - x))
+}
+
+// Mean returns D2/(D2-2) for D2 > 2, NaN otherwise.
+func (f FisherF) Mean() float64 {
+	if f.D2 > 2 {
+		return f.D2 / (f.D2 - 2)
+	}
+	return math.NaN()
+}
+
+// Variance returns the F variance for D2 > 4, NaN otherwise.
+func (f FisherF) Variance() float64 {
+	if f.D2 <= 4 {
+		return math.NaN()
+	}
+	d1, d2 := f.D1, f.D2
+	return 2 * d2 * d2 * (d1 + d2 - 2) / (d1 * (d2 - 2) * (d2 - 2) * (d2 - 4))
+}
+
+// Rand draws an F variate as (X1/D1)/(X2/D2) with independent chi-squared
+// numerator and denominator.
+func (f FisherF) Rand(rng *rand.Rand) float64 {
+	x1 := ChiSquared{K: f.D1}.Rand(rng)
+	x2 := ChiSquared{K: f.D2}.Rand(rng)
+	return (x1 / f.D1) / (x2 / f.D2)
+}
+
+// Exponential is the exponential distribution with rate Lambda > 0.
+type Exponential struct {
+	Lambda float64
+}
+
+// PDF returns the exponential density at x.
+func (e Exponential) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return e.Lambda * math.Exp(-e.Lambda*x)
+}
+
+// CDF returns 1 - exp(-Lambda·x) for x >= 0.
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-e.Lambda * x)
+}
+
+// Quantile returns -ln(1-p)/Lambda.
+func (e Exponential) Quantile(p float64) float64 {
+	switch {
+	case math.IsNaN(p) || p < 0 || p > 1:
+		return math.NaN()
+	case p == 1:
+		return math.Inf(1)
+	}
+	return -math.Log1p(-p) / e.Lambda
+}
+
+// Mean returns 1/Lambda.
+func (e Exponential) Mean() float64 { return 1 / e.Lambda }
+
+// Variance returns 1/Lambda².
+func (e Exponential) Variance() float64 { return 1 / (e.Lambda * e.Lambda) }
+
+// Rand draws an exponential variate.
+func (e Exponential) Rand(rng *rand.Rand) float64 {
+	return rng.ExpFloat64() / e.Lambda
+}
+
+// Pareto is the (type I) Pareto distribution with scale Xm > 0 and shape
+// Alpha > 0. It models heavy interference tails such as rare network
+// congestion events (paper §1, "sources of nondeterminism").
+type Pareto struct {
+	Xm    float64
+	Alpha float64
+}
+
+// PDF returns the Pareto density at x (0 for x < Xm).
+func (p Pareto) PDF(x float64) float64 {
+	if x < p.Xm {
+		return 0
+	}
+	return p.Alpha * math.Pow(p.Xm, p.Alpha) / math.Pow(x, p.Alpha+1)
+}
+
+// CDF returns 1-(Xm/x)^Alpha for x >= Xm.
+func (p Pareto) CDF(x float64) float64 {
+	if x < p.Xm {
+		return 0
+	}
+	return 1 - math.Pow(p.Xm/x, p.Alpha)
+}
+
+// Quantile returns the q-quantile.
+func (p Pareto) Quantile(q float64) float64 {
+	switch {
+	case math.IsNaN(q) || q < 0 || q > 1:
+		return math.NaN()
+	case q == 1:
+		return math.Inf(1)
+	}
+	return p.Xm / math.Pow(1-q, 1/p.Alpha)
+}
+
+// Mean returns Alpha·Xm/(Alpha-1) for Alpha > 1, +Inf otherwise.
+func (p Pareto) Mean() float64 {
+	if p.Alpha > 1 {
+		return p.Alpha * p.Xm / (p.Alpha - 1)
+	}
+	return math.Inf(1)
+}
+
+// Variance returns the Pareto variance for Alpha > 2, +Inf otherwise.
+func (p Pareto) Variance() float64 {
+	if p.Alpha > 2 {
+		a := p.Alpha
+		return p.Xm * p.Xm * a / ((a - 1) * (a - 1) * (a - 2))
+	}
+	return math.Inf(1)
+}
+
+// Rand draws a Pareto variate by inversion.
+func (p Pareto) Rand(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return p.Xm / math.Pow(u, 1/p.Alpha)
+}
+
+// Uniform is the continuous uniform distribution on [A, B), A < B.
+type Uniform struct {
+	A, B float64
+}
+
+// PDF returns 1/(B-A) inside the support and 0 outside.
+func (u Uniform) PDF(x float64) float64 {
+	if x < u.A || x >= u.B {
+		return 0
+	}
+	return 1 / (u.B - u.A)
+}
+
+// CDF returns the uniform CDF at x.
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= u.A:
+		return 0
+	case x >= u.B:
+		return 1
+	}
+	return (x - u.A) / (u.B - u.A)
+}
+
+// Quantile returns A + p·(B-A).
+func (u Uniform) Quantile(p float64) float64 {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	return u.A + p*(u.B-u.A)
+}
+
+// Mean returns (A+B)/2.
+func (u Uniform) Mean() float64 { return (u.A + u.B) / 2 }
+
+// Variance returns (B-A)²/12.
+func (u Uniform) Variance() float64 {
+	d := u.B - u.A
+	return d * d / 12
+}
+
+// Rand draws a uniform variate on [A, B).
+func (u Uniform) Rand(rng *rand.Rand) float64 {
+	return u.A + rng.Float64()*(u.B-u.A)
+}
+
+// Compile-time interface checks.
+var (
+	_ Distribution = Normal{}
+	_ Distribution = LogNormal{}
+	_ Distribution = StudentT{}
+	_ Distribution = ChiSquared{}
+	_ Distribution = FisherF{}
+	_ Distribution = Exponential{}
+	_ Distribution = Pareto{}
+	_ Distribution = Uniform{}
+)

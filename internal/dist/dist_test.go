@@ -1,0 +1,225 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// allDists enumerates one parametrization of each distribution for the
+// generic property tests below.
+func allDists() map[string]Distribution {
+	return map[string]Distribution{
+		"Normal(3,2)":      Normal{Mu: 3, Sigma: 2},
+		"LogNormal(0,0.5)": LogNormal{Mu: 0, Sigma: 0.5},
+		"StudentT(7)":      StudentT{Nu: 7},
+		"ChiSquared(4)":    ChiSquared{K: 4},
+		"FisherF(5,12)":    FisherF{D1: 5, D2: 12},
+		"Exponential(2)":   Exponential{Lambda: 2},
+		"Pareto(1,3)":      Pareto{Xm: 1, Alpha: 3},
+		"Gamma(3,2)":       Gamma{K: 3, Theta: 2},
+		"Uniform(-1,4)":    Uniform{A: -1, B: 4},
+	}
+}
+
+func TestQuantileCDFRoundTrip(t *testing.T) {
+	ps := []float64{0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}
+	for name, d := range allDists() {
+		for _, p := range ps {
+			x := d.Quantile(p)
+			got := d.CDF(x)
+			if math.Abs(got-p) > 1e-7 {
+				t.Errorf("%s: CDF(Quantile(%g)) = %g", name, p, got)
+			}
+		}
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	for name, d := range allDists() {
+		prev := math.Inf(-1)
+		for _, p := range []float64{0.05, 0.2, 0.4, 0.6, 0.8, 0.95} {
+			x := d.Quantile(p)
+			if x < prev {
+				t.Errorf("%s: quantiles not monotone at p=%g", name, p)
+			}
+			prev = x
+		}
+	}
+}
+
+func TestPDFIntegratesToCDF(t *testing.T) {
+	// Trapezoid-integrate the PDF between the 5% and 95% quantiles and
+	// compare with the CDF difference.
+	for name, d := range allDists() {
+		lo, hi := d.Quantile(0.05), d.Quantile(0.95)
+		const n = 20000
+		h := (hi - lo) / n
+		sum := 0.5 * (d.PDF(lo) + d.PDF(hi))
+		for i := 1; i < n; i++ {
+			sum += d.PDF(lo + float64(i)*h)
+		}
+		got := sum * h
+		want := d.CDF(hi) - d.CDF(lo)
+		if math.Abs(got-want) > 1e-4 {
+			t.Errorf("%s: ∫pdf = %g, CDF diff = %g", name, got, want)
+		}
+	}
+}
+
+func TestRandMatchesMoments(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 1))
+	const n = 200000
+	for name, d := range allDists() {
+		mean := d.Mean()
+		variance := d.Variance()
+		if math.IsNaN(mean) || math.IsInf(variance, 1) {
+			continue
+		}
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := d.Rand(rng)
+			sum += v
+			sumSq += v * v
+		}
+		m := sum / n
+		v := sumSq/n - m*m
+		seMean := math.Sqrt(variance / n)
+		if math.Abs(m-mean) > 6*seMean+1e-9 {
+			t.Errorf("%s: sample mean %g, want %g (±%g)", name, m, mean, 6*seMean)
+		}
+		if math.Abs(v-variance) > 0.1*variance+1e-9 {
+			t.Errorf("%s: sample variance %g, want %g", name, v, variance)
+		}
+	}
+}
+
+func TestStudentTKnownQuantiles(t *testing.T) {
+	// Classic t-table values (two-sided 95% → p = 0.975).
+	cases := []struct {
+		nu   float64
+		p    float64
+		want float64
+	}{
+		{1, 0.975, 12.706204736432095},
+		{2, 0.975, 4.302652729911275},
+		{5, 0.975, 2.570581835636197},
+		{9, 0.975, 2.2621571627409915},
+		{10, 0.995, 3.169272672616872},
+		{30, 0.975, 2.0422724563012373},
+		{100, 0.975, 1.9839715184496334},
+		{49, 0.95, 1.6765508919142635},
+	}
+	for _, c := range cases {
+		got := StudentT{Nu: c.nu}.Quantile(c.p)
+		closeTo(t, "t quantile", got, c.want, 1e-6)
+	}
+}
+
+func TestStudentTCDFSymmetry(t *testing.T) {
+	d := StudentT{Nu: 6}
+	for _, x := range []float64{0.1, 0.5, 1, 2.5, 10} {
+		closeTo(t, "t CDF symmetry", d.CDF(x)+d.CDF(-x), 1, 1e-12)
+	}
+	closeTo(t, "t CDF at 0", d.CDF(0), 0.5, 1e-15)
+}
+
+func TestChiSquaredKnownQuantiles(t *testing.T) {
+	cases := []struct {
+		k, p, want float64
+	}{
+		{1, 0.95, 3.841458820694124},
+		{2, 0.95, 5.991464547107979},
+		{3, 0.95, 7.814727903251179},
+		{5, 0.99, 15.08627246938899},
+		{10, 0.5, 9.341818229895768},
+	}
+	for _, c := range cases {
+		got := ChiSquared{K: c.k}.Quantile(c.p)
+		closeTo(t, "chi2 quantile", got, c.want, 1e-5)
+	}
+}
+
+func TestFisherFKnownQuantiles(t *testing.T) {
+	// qf(p, d1, d2) in R.
+	check := []struct {
+		d1, d2, p, want float64
+	}{
+		{1, 10, 0.95, 4.964602743730711},
+		{2, 10, 0.95, 4.102821015337288},
+		{3, 20, 0.95, 3.098391212545098},
+		{5, 5, 0.99, 10.967024268237238},
+		{4, 60, 0.95, 2.5252136570797694},
+	}
+	for _, c := range check {
+		got := FisherF{D1: c.d1, D2: c.d2}.Quantile(c.p)
+		closeTo(t, "F quantile", got, c.want, 1e-4)
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	l := LogNormal{Mu: 1, Sigma: 0.7}
+	closeTo(t, "LogNormal mean", l.Mean(), math.Exp(1+0.49/2), 1e-12)
+	med := l.Quantile(0.5)
+	closeTo(t, "LogNormal median", med, math.E, 1e-9)
+	if l.Mean() <= med {
+		t.Error("log-normal mean should exceed median (right skew)")
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	p := Pareto{Xm: 2, Alpha: 2.5}
+	if p.CDF(1.9) != 0 {
+		t.Error("CDF below Xm must be 0")
+	}
+	closeTo(t, "Pareto CDF", p.CDF(4), 1-math.Pow(0.5, 2.5), 1e-12)
+	if !math.IsInf(Pareto{Xm: 1, Alpha: 0.9}.Mean(), 1) {
+		t.Error("Pareto mean with alpha<1 should be +Inf")
+	}
+}
+
+func TestUniformBasics(t *testing.T) {
+	u := Uniform{A: 2, B: 6}
+	closeTo(t, "Uniform mean", u.Mean(), 4, 1e-15)
+	closeTo(t, "Uniform var", u.Variance(), 16.0/12.0, 1e-15)
+	closeTo(t, "Uniform CDF", u.CDF(3), 0.25, 1e-15)
+	closeTo(t, "Uniform quantile", u.Quantile(0.75), 5, 1e-15)
+}
+
+func TestExponentialQuantile(t *testing.T) {
+	e := Exponential{Lambda: 0.5}
+	closeTo(t, "Exp median", e.Quantile(0.5), math.Ln2/0.5, 1e-12)
+	closeTo(t, "Exp mean", e.Mean(), 2, 1e-15)
+}
+
+func TestGammaSpecialCases(t *testing.T) {
+	// Gamma(1, 1/λ) is Exponential(λ).
+	g := Gamma{K: 1, Theta: 2}
+	e := Exponential{Lambda: 0.5}
+	for _, x := range []float64{0.1, 1, 3, 10} {
+		closeTo(t, "Gamma(1)=Exp CDF", g.CDF(x), e.CDF(x), 1e-12)
+		closeTo(t, "Gamma(1)=Exp PDF", g.PDF(x), e.PDF(x), 1e-12)
+	}
+	// Gamma(k/2, 2) is ChiSquared(k).
+	g2 := Gamma{K: 2.5, Theta: 2}
+	c := ChiSquared{K: 5}
+	for _, x := range []float64{0.5, 2, 7, 15} {
+		closeTo(t, "Gamma=Chi2 CDF", g2.CDF(x), c.CDF(x), 1e-12)
+	}
+	closeTo(t, "Gamma mean", (Gamma{K: 3, Theta: 2}).Mean(), 6, 1e-15)
+	closeTo(t, "Gamma var", (Gamma{K: 3, Theta: 2}).Variance(), 12, 1e-15)
+	// Boundary densities.
+	if (Gamma{K: 1, Theta: 2}).PDF(0) != 0.5 {
+		t.Error("Gamma(1) density at 0")
+	}
+	if !math.IsInf((Gamma{K: 0.5, Theta: 1}).PDF(0), 1) {
+		t.Error("Gamma(k<1) density at 0 should diverge")
+	}
+}
+
+func TestNormalStandardization(t *testing.T) {
+	n := Normal{Mu: 10, Sigma: 3}
+	closeTo(t, "Normal CDF at mean", n.CDF(10), 0.5, 1e-15)
+	closeTo(t, "Normal q(0.975)", n.Quantile(0.975), 10+3*1.959963984540054, 1e-8)
+	closeTo(t, "Normal PDF peak", n.PDF(10), 1/(3*math.Sqrt(2*math.Pi)), 1e-12)
+}

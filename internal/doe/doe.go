@@ -1,0 +1,232 @@
+// Package doe implements the factorial experimental-design machinery the
+// paper recommends in §4 ("We recommend factorial design to compare the
+// influence of multiple factors, each at various different levels, on
+// the measured performance. This allows experimenters to study the
+// effect of each factor as well as interactions between factors."):
+// full factorial designs over arbitrary levels, two-level (2^k) designs
+// with main-effect and interaction estimation via orthogonal contrasts,
+// and replicate-based significance tests for each effect.
+package doe
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/dist"
+	"repro/internal/stats"
+)
+
+// Factor is one experimental factor with its levels (Rule 9 requires
+// documenting both).
+type Factor struct {
+	Name   string
+	Levels []string
+}
+
+// Design is a set of runs over the cross product of factor levels. Each
+// run is a vector of level indices, one per factor.
+type Design struct {
+	Factors []Factor
+	Runs    [][]int
+}
+
+// Errors.
+var (
+	ErrNoFactors   = errors.New("doe: no factors")
+	ErrBadLevels   = errors.New("doe: every factor needs at least two levels")
+	ErrNotTwoLevel = errors.New("doe: effects analysis requires a two-level design")
+	ErrReplicates  = errors.New("doe: need at least two replicates per run for significance")
+	ErrShape       = errors.New("doe: observations do not match the design")
+)
+
+// FullFactorial enumerates every combination of factor levels, varying
+// the last factor fastest.
+func FullFactorial(factors []Factor) (*Design, error) {
+	if len(factors) == 0 {
+		return nil, ErrNoFactors
+	}
+	total := 1
+	for _, f := range factors {
+		if len(f.Levels) < 2 {
+			return nil, ErrBadLevels
+		}
+		total *= len(f.Levels)
+	}
+	d := &Design{Factors: factors, Runs: make([][]int, 0, total)}
+	cur := make([]int, len(factors))
+	for {
+		run := make([]int, len(cur))
+		copy(run, cur)
+		d.Runs = append(d.Runs, run)
+		// Odometer increment.
+		i := len(cur) - 1
+		for ; i >= 0; i-- {
+			cur[i]++
+			if cur[i] < len(factors[i].Levels) {
+				break
+			}
+			cur[i] = 0
+		}
+		if i < 0 {
+			return d, nil
+		}
+	}
+}
+
+// TwoLevel builds the 2^k full factorial over the named factors with
+// conventional low/high levels.
+func TwoLevel(names ...string) (*Design, error) {
+	factors := make([]Factor, len(names))
+	for i, n := range names {
+		factors[i] = Factor{Name: n, Levels: []string{"low", "high"}}
+	}
+	return FullFactorial(factors)
+}
+
+// RunLabel renders one run's levels, e.g. "blocksize=high, placement=low".
+func (d *Design) RunLabel(run []int) string {
+	parts := make([]string, len(d.Factors))
+	for i, f := range d.Factors {
+		parts[i] = f.Name + "=" + f.Levels[run[i]]
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Observations holds replicated measurements: Y[r][j] is replicate j of
+// design run r.
+type Observations struct {
+	Design *Design
+	Y      [][]float64
+}
+
+// Collect executes the design: measure(levels) is invoked `reps` times
+// per run (the measurement layer's warmup/outlier policy applies inside
+// the closure).
+func Collect(d *Design, reps int, measure func(levels []int) float64) (*Observations, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	if measure == nil {
+		return nil, errors.New("doe: nil measure function")
+	}
+	obs := &Observations{Design: d, Y: make([][]float64, len(d.Runs))}
+	for r, run := range d.Runs {
+		for j := 0; j < reps; j++ {
+			obs.Y[r] = append(obs.Y[r], measure(run))
+		}
+	}
+	return obs, nil
+}
+
+// Effect is one estimated effect of a two-level design: a main effect
+// (one factor) or an interaction (multiple factors). Effect is the
+// change in the response when moving the factor set's contrast from low
+// to high; T and P are the replicate-based significance test.
+type Effect struct {
+	Factors []string
+	Effect  float64
+	SE      float64
+	T       float64
+	P       float64
+}
+
+// Name renders the effect's factor set, e.g. "A×B".
+func (e Effect) Name() string { return strings.Join(e.Factors, "×") }
+
+// String renders the effect with its significance.
+func (e Effect) String() string {
+	return fmt.Sprintf("%s: %+.6g (t=%.3g, p=%.3g)", e.Name(), e.Effect, e.T, e.P)
+}
+
+// Effects estimates all main effects and, when interactions is true, all
+// two-factor interactions of a replicated two-level design using
+// orthogonal contrasts: effect = (2/N)·Σ sign(run)·ȳ(run), with the
+// standard error pooled from the within-run replicate variance.
+func Effects(obs *Observations, interactions bool) ([]Effect, error) {
+	d := obs.Design
+	if d == nil || len(obs.Y) != len(d.Runs) {
+		return nil, ErrShape
+	}
+	for _, f := range d.Factors {
+		if len(f.Levels) != 2 {
+			return nil, ErrNotTwoLevel
+		}
+	}
+	reps := -1
+	for _, y := range obs.Y {
+		if reps == -1 {
+			reps = len(y)
+		} else if len(y) != reps {
+			return nil, ErrShape
+		}
+	}
+	if reps < 2 {
+		return nil, ErrReplicates
+	}
+	nRuns := len(d.Runs)
+
+	// Pooled within-run variance of a run mean: s²_pooled/reps, with
+	// nRuns·(reps−1) degrees of freedom.
+	var pooledSS float64
+	for _, y := range obs.Y {
+		m := stats.Mean(y)
+		for _, v := range y {
+			dlt := v - m
+			pooledSS += dlt * dlt
+		}
+	}
+	df := nRuns * (reps - 1)
+	s2 := pooledSS / float64(df)
+	// Var(effect) = (2/nRuns)² · Σ Var(ȳ_run) = 4·s²/(nRuns·reps).
+	seEffect := 2 * math.Sqrt(s2/float64(nRuns*reps))
+
+	means := make([]float64, nRuns)
+	for r, y := range obs.Y {
+		means[r] = stats.Mean(y)
+	}
+
+	var sets [][]int
+	for i := range d.Factors {
+		sets = append(sets, []int{i})
+	}
+	if interactions {
+		for i := range d.Factors {
+			for j := i + 1; j < len(d.Factors); j++ {
+				sets = append(sets, []int{i, j})
+			}
+		}
+	}
+
+	td := dist.StudentT{Nu: float64(df)}
+	var out []Effect
+	for _, set := range sets {
+		sum := 0.0
+		for r, run := range d.Runs {
+			sign := 1.0
+			for _, fi := range set {
+				if run[fi] == 0 {
+					sign = -sign
+				}
+			}
+			sum += sign * means[r]
+		}
+		eff := 2 * sum / float64(nRuns)
+		var names []string
+		for _, fi := range set {
+			names = append(names, d.Factors[fi].Name)
+		}
+		e := Effect{Factors: names, Effect: eff, SE: seEffect}
+		if seEffect > 0 {
+			e.T = eff / seEffect
+			e.P = 2 * td.CDF(-math.Abs(e.T))
+		} else if eff != 0 {
+			e.P = 0
+		} else {
+			e.P = 1
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+package doe
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func TestFullFactorialEnumeration(t *testing.T) {
+	d, err := FullFactorial([]Factor{
+		{Name: "A", Levels: []string{"a0", "a1"}},
+		{Name: "B", Levels: []string{"b0", "b1", "b2"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Runs) != 6 {
+		t.Fatalf("runs = %d, want 6", len(d.Runs))
+	}
+	// Unique combinations.
+	seen := map[string]bool{}
+	for _, run := range d.Runs {
+		label := d.RunLabel(run)
+		if seen[label] {
+			t.Fatalf("duplicate run %s", label)
+		}
+		seen[label] = true
+	}
+	if !seen["A=a1, B=b2"] || !seen["A=a0, B=b0"] {
+		t.Errorf("missing corners: %v", seen)
+	}
+}
+
+func TestFullFactorialValidation(t *testing.T) {
+	if _, err := FullFactorial(nil); err != ErrNoFactors {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := FullFactorial([]Factor{{Name: "A", Levels: []string{"only"}}}); err != ErrBadLevels {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTwoLevelDesign(t *testing.T) {
+	d, err := TwoLevel("A", "B", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Runs) != 8 {
+		t.Fatalf("2^3 = %d runs", len(d.Runs))
+	}
+	// Balance: each factor is high in exactly half the runs.
+	for f := 0; f < 3; f++ {
+		high := 0
+		for _, run := range d.Runs {
+			high += run[f]
+		}
+		if high != 4 {
+			t.Errorf("factor %d high in %d/8 runs", f, high)
+		}
+	}
+}
+
+// TestEffectsRecoverKnownModel plants y = 10 + 3A − 2B + 1.5AB + ε (with
+// A, B coded ±1) and checks the contrast analysis recovers each effect.
+// Effects in the 2-level convention are the change from low to high,
+// i.e. 2× the coded coefficient.
+func TestEffectsRecoverKnownModel(t *testing.T) {
+	d, err := TwoLevel("A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	obs, err := Collect(d, 50, func(levels []int) float64 {
+		a := float64(2*levels[0] - 1)
+		b := float64(2*levels[1] - 1)
+		return 10 + 3*a - 2*b + 1.5*a*b + 0.5*rng.NormFloat64()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	effects, err := Effects(obs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"A": 6, "B": -4, "A×B": 3}
+	if len(effects) != 3 {
+		t.Fatalf("effects = %d, want 3", len(effects))
+	}
+	for _, e := range effects {
+		w, ok := want[e.Name()]
+		if !ok {
+			t.Fatalf("unexpected effect %s", e.Name())
+		}
+		if math.Abs(e.Effect-w) > 0.3 {
+			t.Errorf("%s = %.3g, want %.3g", e.Name(), e.Effect, w)
+		}
+		if !(&e).Significant() {
+			t.Errorf("%s should be significant: %s", e.Name(), e)
+		}
+	}
+}
+
+// Significant is a test helper: effect significant at 1%.
+func (e *Effect) Significant() bool { return e.P < 0.01 }
+
+func TestEffectsNullFactorNotSignificant(t *testing.T) {
+	d, err := TwoLevel("A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(2, 2))
+	// B has no effect at all.
+	obs, err := Collect(d, 30, func(levels []int) float64 {
+		a := float64(2*levels[0] - 1)
+		return 5 + 2*a + rng.NormFloat64()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	effects, err := Effects(obs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(effects) != 2 {
+		t.Fatalf("main effects = %d", len(effects))
+	}
+	for _, e := range effects {
+		switch e.Name() {
+		case "A":
+			if e.P > 0.001 {
+				t.Errorf("A should be strongly significant: %s", e)
+			}
+		case "B":
+			if e.P < 0.05 {
+				t.Errorf("null factor B flagged significant: %s", e)
+			}
+		}
+	}
+}
+
+func TestEffectsValidation(t *testing.T) {
+	d, _ := TwoLevel("A")
+	obs := &Observations{Design: d, Y: [][]float64{{1}, {2}}}
+	if _, err := Effects(obs, false); err != ErrReplicates {
+		t.Errorf("err = %v", err)
+	}
+	obs = &Observations{Design: d, Y: [][]float64{{1, 2}}}
+	if _, err := Effects(obs, false); err != ErrShape {
+		t.Errorf("err = %v", err)
+	}
+	mixed, _ := FullFactorial([]Factor{{Name: "A", Levels: []string{"x", "y", "z"}}, {Name: "B", Levels: []string{"0", "1"}}})
+	obsM := &Observations{Design: mixed, Y: make([][]float64, len(mixed.Runs))}
+	for i := range obsM.Y {
+		obsM.Y[i] = []float64{1, 2}
+	}
+	if _, err := Effects(obsM, false); err != ErrNotTwoLevel {
+		t.Errorf("err = %v", err)
+	}
+	ragged := &Observations{Design: d, Y: [][]float64{{1, 2}, {3}}}
+	if _, err := Effects(ragged, false); err != ErrShape {
+		t.Errorf("ragged err = %v", err)
+	}
+}
+
+func TestCollectValidation(t *testing.T) {
+	d, _ := TwoLevel("A")
+	if _, err := Collect(d, 3, nil); err == nil {
+		t.Error("nil measure should error")
+	}
+	obs, err := Collect(d, 0, func([]int) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.Y[0]) != 1 {
+		t.Error("reps < 1 should clamp to 1")
+	}
+}
+
+func TestEffectString(t *testing.T) {
+	e := Effect{Factors: []string{"A", "B"}, Effect: 1.5, T: 3, P: 0.01}
+	if !strings.Contains(e.String(), "A×B") {
+		t.Errorf("String = %s", e.String())
+	}
+}
+
+func TestDeterministicEffectOrdering(t *testing.T) {
+	d, _ := TwoLevel("A", "B", "C")
+	obs, _ := Collect(d, 2, func(levels []int) float64 {
+		return float64(levels[0])
+	})
+	effects, err := Effects(obs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Main effects first (A, B, C), then interactions (A×B, A×C, B×C).
+	wantOrder := []string{"A", "B", "C", "A×B", "A×C", "B×C"}
+	for i, e := range effects {
+		if e.Name() != wantOrder[i] {
+			t.Fatalf("order[%d] = %s, want %s", i, e.Name(), wantOrder[i])
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/htest"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// Fig2Variant is one panel of Figure 2: a normalization strategy applied
+// to the raw ping-pong sample, with its normality diagnostics.
+type Fig2Variant struct {
+	Name     string
+	N        int
+	QQCorr   float64 // Q-Q straightness (1 = perfectly normal)
+	ShapiroW float64
+	ShapiroP float64
+	Skewness float64
+}
+
+// Fig2Data is the regenerated Figure 2: normalization of ping-pong
+// latency samples on the simulated Piz Dora — original data, log
+// transform, and CLT block means with k = 100 and k = 1000 — each with
+// Q-Q diagnostics.
+type Fig2Data struct {
+	Samples  int
+	Variants []Fig2Variant // original, log, k=100, k=1000
+}
+
+// Fig2 regenerates Figure 2 with the given sample count (paper: 10⁶).
+func Fig2(w io.Writer, samples int, seed uint64) (Fig2Data, error) {
+	if samples <= 0 {
+		samples = 1000000
+	}
+	xs, err := pingPongMicros(cluster.PizDora(), samples, seed)
+	if err != nil {
+		return Fig2Data{}, err
+	}
+	d := Fig2Data{Samples: samples}
+
+	logXs, err := stats.LogTransform(xs)
+	if err != nil {
+		return Fig2Data{}, err
+	}
+	variants := []struct {
+		name string
+		data []float64
+	}{
+		{"a) Original", xs},
+		{"b) Log Norm", logXs},
+	}
+	for _, k := range []int{100, 1000} {
+		norm, err := stats.BlockNormalize(xs, k)
+		if err != nil {
+			return Fig2Data{}, fmt.Errorf("figures: block k=%d: %w", k, err)
+		}
+		variants = append(variants, struct {
+			name string
+			data []float64
+		}{fmt.Sprintf("c/d) Norm K=%d", k), norm})
+	}
+
+	for _, v := range variants {
+		fv := Fig2Variant{
+			Name:     v.name,
+			N:        len(v.data),
+			QQCorr:   stats.QQCorrelation(v.data),
+			Skewness: stats.Skewness(v.data),
+		}
+		sample := v.data
+		if len(sample) > 5000 {
+			sample = sample[:5000]
+		}
+		if sw, err := htest.ShapiroWilk(sample); err == nil {
+			fv.ShapiroW = sw.Stat
+			fv.ShapiroP = sw.P
+		}
+		d.Variants = append(d.Variants, fv)
+		if w != nil {
+			fprintf(w, "%s (n=%d, skew=%.3f, Q-Q corr=%.5f, Shapiro W=%.4f p=%.3g)\n",
+				fv.Name, fv.N, fv.Skewness, fv.QQCorr, fv.ShapiroW, fv.ShapiroP)
+			plotData := v.data
+			if len(plotData) > 100000 {
+				plotData = plotData[:100000]
+			}
+			if err := report.HistogramPlot(w, plotData, 16, 48); err != nil {
+				return d, err
+			}
+			// The paper's bottom row: normal Q-Q inspection per variant.
+			if err := report.QQPlot(w, plotData, 48, 10); err != nil {
+				return d, err
+			}
+			fprintf(w, "\n")
+		}
+	}
+	if w != nil {
+		tbl := &report.Table{
+			Title:   "Figure 2 summary: normalization strategies vs normality diagnostics",
+			Headers: []string{"variant", "n", "skewness", "Q-Q corr", "Shapiro W", "p"},
+		}
+		for _, v := range d.Variants {
+			tbl.AddRow(v.Name, v.N, fmt.Sprintf("%.3f", v.Skewness),
+				fmt.Sprintf("%.5f", v.QQCorr), fmt.Sprintf("%.4f", v.ShapiroW),
+				fmt.Sprintf("%.3g", v.ShapiroP))
+		}
+		if err := tbl.Render(w); err != nil {
+			return d, err
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,176 @@
+package figures
+
+import (
+	"io"
+
+	"repro/internal/ci"
+	"repro/internal/cluster"
+	"repro/internal/htest"
+	"repro/internal/qreg"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// Fig3System is one system's panel in Figure 3.
+type Fig3System struct {
+	Name       string
+	Summary    stats.Summary
+	MeanCI99   ci.Interval
+	MedianCI99 ci.Interval
+}
+
+// Fig3Data is the regenerated Figure 3: 64 B ping-pong latency
+// distributions on the two simulated systems with 99% CIs of both mean
+// and median, and the Kruskal–Wallis significance of the median
+// difference.
+type Fig3Data struct {
+	Samples    int
+	Dora       Fig3System
+	Pilatus    Fig3System
+	KW         htest.TestResult
+	Differs    bool // medians differ at 95% confidence
+	MeanDiff   float64
+	DoraRaw    []float64 `json:"-"`
+	PilatusRaw []float64 `json:"-"`
+}
+
+// Fig3 regenerates Figure 3 with the given per-system sample count
+// (paper: 10⁶).
+func Fig3(w io.Writer, samples int, seed uint64) (Fig3Data, error) {
+	if samples <= 0 {
+		samples = 1000000
+	}
+	dora, err := pingPongMicros(cluster.PizDora(), samples, seed)
+	if err != nil {
+		return Fig3Data{}, err
+	}
+	pil, err := pingPongMicros(cluster.Pilatus(), samples, seed+1)
+	if err != nil {
+		return Fig3Data{}, err
+	}
+	d := Fig3Data{Samples: samples, DoraRaw: dora, PilatusRaw: pil}
+
+	build := func(name string, xs []float64) (Fig3System, error) {
+		s := Fig3System{Name: name, Summary: stats.Summarize(xs)}
+		var err error
+		if s.MeanCI99, err = ci.MeanCI(xs, 0.99); err != nil {
+			return s, err
+		}
+		if s.MedianCI99, err = ci.MedianCI(xs, 0.99); err != nil {
+			return s, err
+		}
+		return s, nil
+	}
+	if d.Dora, err = build("Piz Dora", dora); err != nil {
+		return d, err
+	}
+	if d.Pilatus, err = build("Pilatus", pil); err != nil {
+		return d, err
+	}
+	kw, err := htest.KruskalWallis(dora, pil)
+	if err != nil {
+		return d, err
+	}
+	d.KW = kw
+	d.Differs = kw.Significant(0.05)
+	d.MeanDiff = d.Pilatus.Summary.Mean - d.Dora.Summary.Mean
+
+	if w != nil {
+		fprintf(w, "Figure 3: significance of latency results on two systems (n=%d each)\n\n", samples)
+		for _, s := range []Fig3System{d.Dora, d.Pilatus} {
+			fprintf(w, "%s:\n", s.Name)
+			raw := dora
+			if s.Name == "Pilatus" {
+				raw = pil
+			}
+			plot := raw
+			if len(plot) > 100000 {
+				plot = plot[:100000]
+			}
+			if err := report.DensityPlot(w, plot, 72, 8); err != nil {
+				return d, err
+			}
+			fprintf(w, "  min %.3g  median %.4g (99%% CI [%.4g, %.4g])  mean %.4g (99%% CI [%.4g, %.4g])  max %.3g µs\n\n",
+				s.Summary.Min, s.Summary.Median, s.MedianCI99.Lo, s.MedianCI99.Hi,
+				s.Summary.Mean, s.MeanCI99.Lo, s.MeanCI99.Hi, s.Summary.Max)
+		}
+		fprintf(w, "Kruskal–Wallis: %s → medians differ: %v (paper: significant at 95%%)\n",
+			d.KW, d.Differs)
+		fprintf(w, "mean difference (Pilatus − Dora): %.4g µs (paper: 0.108 µs)\n", d.MeanDiff)
+	}
+	return d, nil
+}
+
+// Fig4Data is the regenerated Figure 4: quantile regression of latency
+// on the system indicator — the base system's (Piz Dora's) per-quantile
+// latency ("intercept") and Pilatus's per-quantile difference with 95%
+// confidence bands, across quantiles 0.1–0.9 plus the tails.
+type Fig4Data struct {
+	Points   []qreg.TwoGroupPoint
+	MeanDiff float64
+	// SignFlip reports whether the difference changes sign across the
+	// evaluated quantiles (the paper's headline observation).
+	SignFlip bool
+}
+
+// Fig4 regenerates Figure 4 from the same samples as Figure 3.
+func Fig4(w io.Writer, samples int, seed uint64) (Fig4Data, error) {
+	f3, err := Fig3(nil, samples, seed)
+	if err != nil {
+		return Fig4Data{}, err
+	}
+	taus := []float64{0.01, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.99, 0.999}
+	pts, err := qreg.TwoGroupQuantiles(f3.DoraRaw, f3.PilatusRaw, taus, 0.95)
+	if err != nil {
+		return Fig4Data{}, err
+	}
+	d := Fig4Data{Points: pts, MeanDiff: f3.MeanDiff}
+	neg, pos := false, false
+	for _, p := range pts {
+		if p.SignificantDif {
+			if p.Difference > 0 {
+				pos = true
+			} else if p.Difference < 0 {
+				neg = true
+			}
+		}
+	}
+	d.SignFlip = neg && pos
+
+	if w != nil {
+		fprintf(w, "Figure 4: quantile regression, Pilatus vs Piz Dora (intercept = Dora)\n\n")
+		tbl := &report.Table{Headers: []string{
+			"quantile", "Dora latency (µs)", "95% CI", "difference (µs)", "95% CI", "significant",
+		}}
+		for _, p := range pts {
+			tbl.AddRow(
+				p.Tau,
+				fmtG4(p.Intercept),
+				fmtIv(p.InterceptLo, p.InterceptHi),
+				fmtG4(p.Difference),
+				fmtIv(p.DifferenceLo, p.DifferenceHi),
+				p.SignificantDif,
+			)
+		}
+		if err := tbl.Render(w); err != nil {
+			return d, err
+		}
+		var xs, ys []float64
+		for _, p := range pts {
+			xs = append(xs, p.Tau)
+			ys = append(ys, p.Difference)
+		}
+		if err := report.XYPlot(w, "\ndifference (Pilatus − Dora) vs quantile",
+			[]report.Series{{Name: "difference", X: xs, Y: ys, Marker: 'o'}}, 64, 14); err != nil {
+			return d, err
+		}
+		fprintf(w, "mean difference: %.4g µs (paper: 0.108 µs); sign flip across quantiles: %v\n",
+			d.MeanDiff, d.SignFlip)
+	}
+	return d, nil
+}
+
+func fmtG4(v float64) string { return fmt6(v) }
+func fmtIv(lo, hi float64) string {
+	return "[" + fmt6(lo) + ", " + fmt6(hi) + "]"
+}

@@ -1,0 +1,150 @@
+package figures
+
+import (
+	"io"
+	"math/bits"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// Fig5Point is one process count's reduction-time distribution summary
+// (the paper plots the maximum across processes per run; we keep the
+// full per-run max distribution).
+type Fig5Point struct {
+	P          int
+	PowerOfTwo bool
+	MedianUs   float64
+	Q1Us       float64
+	Q3Us       float64
+	MaxUs      float64
+}
+
+// Fig5Data is the regenerated Figure 5: completion time of 1,000
+// MPI_Reduce-style reductions for every process count 2..64, showing the
+// powers-of-two advantage.
+type Fig5Data struct {
+	Runs   int
+	Points []Fig5Point
+}
+
+// Fig5 regenerates Figure 5 (runs per process count; paper: 1,000).
+func Fig5(w io.Writer, runs int, seed uint64) (Fig5Data, error) {
+	if runs <= 0 {
+		runs = 1000
+	}
+	d := Fig5Data{Runs: runs}
+	for p := 2; p <= 64; p++ {
+		cfg := cluster.PizDaint()
+		cfg.Placement = cluster.Scattered // one rank per node, as in the paper's setup
+		m, err := cluster.New(cfg, p, seed+uint64(p))
+		if err != nil {
+			return d, err
+		}
+		maxes := make([]float64, runs)
+		for i := 0; i < runs; i++ {
+			res := m.Reduce(8, nil)
+			maxes[i] = float64(res.Max()) / float64(time.Microsecond)
+			m.Advance(100 * time.Microsecond)
+		}
+		s := stats.Sorted(maxes)
+		d.Points = append(d.Points, Fig5Point{
+			P:          p,
+			PowerOfTwo: bits.OnesCount(uint(p)) == 1,
+			MedianUs:   stats.Quantile(s, 0.5),
+			Q1Us:       stats.Quantile(s, 0.25),
+			Q3Us:       stats.Quantile(s, 0.75),
+			MaxUs:      stats.Max(maxes),
+		})
+	}
+	if w != nil {
+		fprintf(w, "Figure 5: %d MPI_Reduce runs per process count (maximum across processes)\n\n", runs)
+		var px, py, ox, oy []float64
+		for _, pt := range d.Points {
+			if pt.PowerOfTwo {
+				px = append(px, float64(pt.P))
+				py = append(py, pt.MedianUs)
+			} else {
+				ox = append(ox, float64(pt.P))
+				oy = append(oy, pt.MedianUs)
+			}
+		}
+		series := []report.Series{
+			{Name: "powers of two (median)", X: px, Y: py, Marker: 'P'},
+			{Name: "others (median)", X: ox, Y: oy, Marker: '.'},
+		}
+		if err := report.XYPlot(w, "completion time (µs) vs processes", series, 64, 16); err != nil {
+			return d, err
+		}
+	}
+	return d, nil
+}
+
+// Fig6Data is the regenerated Figure 6: the per-process completion-time
+// distributions of repeated reductions on 64 processes, and the ANOVA
+// verdict on whether processes may be pooled (Rule 10).
+type Fig6Data struct {
+	Runs       int
+	PerProcess [][]float64 // [rank][run] in µs
+	Cross      bench.CrossProcess
+}
+
+// Fig6 regenerates Figure 6 (paper: 1,000 runs on 64 processes on Piz
+// Daint, with visible per-process differences).
+func Fig6(w io.Writer, runs int, seed uint64) (Fig6Data, error) {
+	if runs <= 0 {
+		runs = 1000
+	}
+	cfg := cluster.PizDaint()
+	cfg.Placement = cluster.Scattered
+	// A fraction of nodes runs OS daemons with short periods so some
+	// ranks are systematically slower (the paper's "significant
+	// difference for some processes").
+	cfg.DaemonNodes = 12
+	cfg.DaemonPeriod = 250 * time.Microsecond
+	cfg.DaemonWindow = 25 * time.Microsecond
+	const p = 64
+	m, err := cluster.New(cfg, p, seed)
+	if err != nil {
+		return Fig6Data{}, err
+	}
+	d := Fig6Data{Runs: runs, PerProcess: make([][]float64, p)}
+	for i := 0; i < runs; i++ {
+		res := m.Reduce(8, nil)
+		for r, t := range res.PerRank {
+			d.PerProcess[r] = append(d.PerProcess[r], float64(t)/float64(time.Microsecond))
+		}
+		m.Advance(130 * time.Microsecond)
+	}
+	cross, err := bench.SummarizeAcrossProcesses(d.PerProcess, 0.05)
+	if err != nil {
+		return d, err
+	}
+	d.Cross = cross
+	if w != nil {
+		fprintf(w, "Figure 6: variation across %d processes in MPI_Reduce (%d runs)\n\n", p, runs)
+		groups := map[string][]float64{}
+		for _, r := range []int{0, 1, 8, 16, 24, 32, 40, 48, 56, 63} {
+			groups[fmtRank(r)] = d.PerProcess[r]
+		}
+		if err := report.BoxPlot(w, groups, 56); err != nil {
+			return d, err
+		}
+		fprintf(w, "\nANOVA across all %d processes: %s\n", p, cross.ANOVA.TestResult)
+		fprintf(w, "processes statistically homogeneous: %v (paper: significant differences)\n",
+			cross.Homogeneous)
+		fprintf(w, "summaries across processes: max of means %.4g µs, median of means %.4g µs\n",
+			cross.MaxOfMeans, cross.MedianOfMeans)
+	}
+	return d, nil
+}
+
+func fmtRank(r int) string {
+	if r < 10 {
+		return "rank 0" + string(rune('0'+r))
+	}
+	return "rank " + string(rune('0'+r/10)) + string(rune('0'+r%10))
+}

@@ -1,0 +1,199 @@
+package figures
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/bounds"
+	"repro/internal/cluster"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// Fig7ScalingPoint is one process count of the Fig 7a/b scaling study
+// with the three bounds models evaluated at that count.
+type Fig7ScalingPoint struct {
+	P              int
+	TimeMs         float64
+	Speedup        float64
+	IdealMs        float64
+	AmdahlMs       float64
+	ParallelOvhdMs float64
+}
+
+// Fig7abData is the regenerated Figure 7a/b: measured Pi-calculation
+// scaling against the ideal, Amdahl, and parallel-overhead bounds
+// (base 20 ms, serial fraction 0.01, the paper's piecewise reduction
+// overhead model).
+type Fig7abData struct {
+	Points     []Fig7ScalingPoint
+	Violations []string // measurements beating a bound (model errors)
+}
+
+// Fig7ab regenerates Figure 7a/b. reps is the per-point repetition count
+// (the paper repeated ten times; the 95% CI was within 5% of the mean).
+func Fig7ab(w io.Writer, reps int, seed uint64) (Fig7abData, error) {
+	if reps <= 0 {
+		reps = 10
+	}
+	pc := workloads.PiScalingConfig{
+		Base:        20 * time.Millisecond,
+		Serial:      0.01,
+		ReduceBytes: 8,
+	}
+	ps := []int{1, 2, 4, 8, 12, 16, 20, 24, 28, 32}
+	cfg := cluster.PizDaint()
+	cfg.Placement = cluster.Scattered
+	points, _, err := workloads.SimulatePiScaling(cfg, pc, ps, reps, seed)
+	if err != nil {
+		return Fig7abData{}, err
+	}
+
+	ideal := bounds.Ideal{Base: pc.Base}
+	amdahl := bounds.Amdahl{Base: pc.Base, Serial: pc.Serial}
+	// The paper's published piecewise constants (0.1 ms·log₂p, …) are an
+	// *empirical* model of Piz Daint's reduction; following §5.1 we
+	// parametrize the same model shape with microbenchmarks of our own
+	// (simulated) machine: the calibrated overhead is 90% of the fastest
+	// observed reduction at each process count.
+	overhead, err := calibrateReduceOverhead(cfg, ps, pc.ReduceBytes, seed+997)
+	if err != nil {
+		return Fig7abData{}, err
+	}
+	parov := bounds.ParallelOverhead{
+		Base:     pc.Base,
+		Serial:   pc.Serial,
+		Overhead: overhead,
+		Label:    "parallel overheads",
+	}
+
+	var d Fig7abData
+	var measured []time.Duration
+	for _, pt := range points {
+		measured = append(measured, pt.Time)
+		d.Points = append(d.Points, Fig7ScalingPoint{
+			P:              pt.P,
+			TimeMs:         pt.Time.Seconds() * 1e3,
+			Speedup:        pt.Speedup,
+			IdealMs:        ideal.MinTime(pt.P).Seconds() * 1e3,
+			AmdahlMs:       amdahl.MinTime(pt.P).Seconds() * 1e3,
+			ParallelOvhdMs: parov.MinTime(pt.P).Seconds() * 1e3,
+		})
+	}
+	eval, err := bounds.Evaluate(ps, measured, ideal, amdahl, parov)
+	if err != nil {
+		return d, err
+	}
+	d.Violations = bounds.Violations(eval, 0.02)
+
+	if w != nil {
+		fprintf(w, "Figure 7a/b: Pi scaling vs bounds models (base %.0f ms, b = %.2f)\n\n",
+			pc.Base.Seconds()*1e3, pc.Serial)
+		tbl := &report.Table{Headers: []string{
+			"p", "measured (ms)", "ideal (ms)", "Amdahl (ms)", "par-ovhd (ms)", "speedup",
+		}}
+		var xs, measuredS, idealS, amdahlS, povS []float64
+		for _, pt := range d.Points {
+			tbl.AddRow(pt.P, fmt6(pt.TimeMs), fmt6(pt.IdealMs), fmt6(pt.AmdahlMs),
+				fmt6(pt.ParallelOvhdMs), fmt6(pt.Speedup))
+			xs = append(xs, float64(pt.P))
+			measuredS = append(measuredS, pt.Speedup)
+			idealS = append(idealS, bounds.MaxSpeedup(ideal, pt.P))
+			amdahlS = append(amdahlS, bounds.MaxSpeedup(amdahl, pt.P))
+			povS = append(povS, bounds.MaxSpeedup(parov, pt.P))
+		}
+		if err := tbl.Render(w); err != nil {
+			return d, err
+		}
+		series := []report.Series{
+			{Name: "measured speedup", X: xs, Y: measuredS, Marker: 'o'},
+			{Name: "ideal linear", X: xs, Y: idealS, Marker: '/'},
+			{Name: "Amdahl bound", X: xs, Y: amdahlS, Marker: 'a'},
+			{Name: "parallel-overhead bound", X: xs, Y: povS, Marker: 'p'},
+		}
+		if err := report.XYPlot(w, "\nspeedup vs processes", series, 64, 16); err != nil {
+			return d, err
+		}
+		if len(d.Violations) > 0 {
+			fprintf(w, "bound violations: %v\n", d.Violations)
+		} else {
+			fprintf(w, "no bound violations: measured ≥ every model at every p\n")
+		}
+	}
+	return d, nil
+}
+
+// calibrateReduceOverhead builds the empirical piecewise reduction
+// overhead model f(p): 90% of the fastest of `trials` reductions at each
+// requested process count (interpolated log-linearly between measured
+// counts is unnecessary — every evaluated p is measured).
+func calibrateReduceOverhead(cfg cluster.Config, ps []int, bytes int, seed uint64) (func(int) time.Duration, error) {
+	const trials = 60
+	floor := map[int]time.Duration{1: 0}
+	for _, p := range ps {
+		if p <= 1 {
+			continue
+		}
+		m, err := cluster.New(cfg, p, seed+uint64(p)*13)
+		if err != nil {
+			return nil, err
+		}
+		best := time.Duration(1<<62 - 1)
+		for i := 0; i < trials; i++ {
+			if t := m.Reduce(bytes, nil).Root; t < best {
+				best = t
+			}
+			m.Advance(150 * time.Microsecond)
+		}
+		floor[p] = time.Duration(float64(best) * 0.9)
+	}
+	return func(p int) time.Duration {
+		if f, ok := floor[p]; ok {
+			return f
+		}
+		// Uncalibrated count: fall back to the nearest smaller measured
+		// count (still a valid lower bound as reductions grow with p).
+		bestP := 1
+		for q := range floor {
+			if q <= p && q > bestP {
+				bestP = q
+			}
+		}
+		return floor[bestP]
+	}, nil
+}
+
+// Fig7cData is the regenerated Figure 7c: box, violin and combined views
+// of a large 64 B ping-pong latency sample on Piz Dora.
+type Fig7cData struct {
+	Samples int
+	Box     report.BoxStats
+}
+
+// Fig7c regenerates Figure 7c (paper: 10⁶ samples).
+func Fig7c(w io.Writer, samples int, seed uint64) (Fig7cData, error) {
+	if samples <= 0 {
+		samples = 1000000
+	}
+	xs, err := pingPongMicros(cluster.PizDora(), samples, seed)
+	if err != nil {
+		return Fig7cData{}, err
+	}
+	d := Fig7cData{Samples: samples, Box: report.ComputeBoxStats("latency", xs)}
+	if w != nil {
+		fprintf(w, "Figure 7c: box and violin plots of %d ping-pong latencies (µs)\n\n", samples)
+		groups := map[string][]float64{"latency": xs}
+		fprintf(w, "box plot:\n")
+		if err := report.BoxPlot(w, groups, 64); err != nil {
+			return d, err
+		}
+		fprintf(w, "\nviolin plot:\n")
+		if err := report.ViolinPlot(w, groups, 64); err != nil {
+			return d, err
+		}
+		b := d.Box
+		fprintf(w, "\nquartiles [%.4g, %.4g], median %.4g, mean %.4g, 1.5-IQR whiskers [%.4g, %.4g], outside %d\n",
+			b.Q1, b.Q3, b.Median, b.Mean, b.WhiskerLo, b.WhiskerHi, b.NumOutside)
+	}
+	return d, nil
+}

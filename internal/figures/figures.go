@@ -1,0 +1,46 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation from this repository's own substrates (see DESIGN.md's
+// per-experiment index). Each generator returns the computed data for
+// programmatic checks (tests, EXPERIMENTS.md) and renders a text version
+// of the figure to the supplied writer (pass io.Discard to skip).
+//
+// Sizes are parameters so the full paper-scale versions run from
+// cmd/figures while tests and benchmarks use scaled-down variants; the
+// *shapes* under comparison are size-invariant (see EXPERIMENTS.md).
+package figures
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// pingPongMicros draws n one-way 64 B ping-pong latency estimates (in
+// microseconds) between two ranks on different nodes of the configured
+// system.
+func pingPongMicros(cfg cluster.Config, n int, seed uint64) ([]float64, error) {
+	// The paper's ping-pong nodes show no OS-daemon spikes (Dora's
+	// 10⁶-sample maximum is 7.2 µs): model a dedicated allocation away
+	// from service nodes.
+	cfg.DaemonNodes = 0
+	// Two processes on different compute nodes (§4.1.2).
+	ranks := cfg.CoresPerNode + 1
+	m, err := cluster.New(cfg, ranks, seed)
+	if err != nil {
+		return nil, err
+	}
+	raw := m.PingPong(0, ranks-1, 64, n)
+	out := make([]float64, len(raw))
+	for i, d := range raw {
+		out[i] = float64(d) / float64(time.Microsecond)
+	}
+	return out, nil
+}
+
+func fprintf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}

@@ -1,0 +1,304 @@
+package figures
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/survey"
+)
+
+func TestFig1Shape(t *testing.T) {
+	var sb strings.Builder
+	d, err := Fig1(&sb, 50, 32768, 2015)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.TimesSec) != 50 {
+		t.Fatalf("runs = %d", len(d.TimesSec))
+	}
+	// Paper shapes: right-skewed completion times (mean > median), a
+	// spread of roughly 10–30%, best efficiency in the 70–90% band.
+	if d.Summary.Mean <= d.Summary.Median*0.999 {
+		t.Errorf("mean %.4g should exceed median %.4g (right skew)",
+			d.Summary.Mean, d.Summary.Median)
+	}
+	if d.SpreadRel < 0.05 || d.SpreadRel > 0.5 {
+		t.Errorf("spread = %.1f%%, paper reports ≈20%%", 100*d.SpreadRel)
+	}
+	if d.EffAtBest < 0.6 || d.EffAtBest > 0.95 {
+		t.Errorf("best efficiency = %.1f%%, paper reports 81.8%%", 100*d.EffAtBest)
+	}
+	// Rates order inversely to times.
+	if !(d.TflopsAtMin > d.TflopsMedian && d.TflopsMedian > d.TflopsAtMax) {
+		t.Error("rate ordering inconsistent with time ordering")
+	}
+	// The median CI must bracket the median.
+	if d.MedianCI99.Lo > d.Summary.Median || d.MedianCI99.Hi < d.Summary.Median {
+		t.Error("median CI does not bracket the median")
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "% of peak") {
+		t.Error("rendered output incomplete")
+	}
+}
+
+func TestFig2NormalizationImproves(t *testing.T) {
+	d, err := Fig2(io.Discard, 200000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Variants) != 4 {
+		t.Fatalf("variants = %d", len(d.Variants))
+	}
+	orig, logn, k100, k1000 := d.Variants[0], d.Variants[1], d.Variants[2], d.Variants[3]
+	// The raw data is right-skewed and clearly non-normal.
+	if orig.Skewness <= 0.2 {
+		t.Errorf("original skewness = %.3f, want clearly positive", orig.Skewness)
+	}
+	// Log transform reduces skew; block means approach normality.
+	if math.Abs(logn.Skewness) >= orig.Skewness {
+		t.Errorf("log transform did not reduce skew: %.3f vs %.3f",
+			logn.Skewness, orig.Skewness)
+	}
+	if !(k100.QQCorr > orig.QQCorr) {
+		t.Errorf("k=100 Q-Q corr %.5f should beat original %.5f", k100.QQCorr, orig.QQCorr)
+	}
+	if k1000.QQCorr < 0.97 {
+		t.Errorf("k=1000 block means should be nearly normal, corr %.5f", k1000.QQCorr)
+	}
+}
+
+func TestFig3SignificantMedians(t *testing.T) {
+	d, err := Fig3(io.Discard, 60000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Differs {
+		t.Errorf("medians not significantly different: %v", d.KW)
+	}
+	// Shape relations from the paper's annotations.
+	if !(d.Pilatus.Summary.Min < d.Dora.Summary.Min) {
+		t.Error("Pilatus should have the lower minimum")
+	}
+	if !(d.Pilatus.Summary.Median > d.Dora.Summary.Median) {
+		t.Error("Pilatus should have the higher median")
+	}
+	if !(d.Pilatus.Summary.Max > d.Dora.Summary.Max) {
+		t.Error("Pilatus should have the heavier extreme tail")
+	}
+	if d.MeanDiff < 0.02 || d.MeanDiff > 0.4 {
+		t.Errorf("mean difference %.4g µs, paper reports 0.108 µs", d.MeanDiff)
+	}
+	// Mean CIs are far tighter than the distribution spread at n=60000.
+	if d.Dora.MeanCI99.Width() > 0.01 {
+		t.Errorf("mean CI suspiciously wide: %v", d.Dora.MeanCI99)
+	}
+}
+
+func TestFig4SignFlip(t *testing.T) {
+	d, err := Fig4(io.Discard, 60000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.SignFlip {
+		t.Error("expected a significant sign flip across quantiles (the paper's headline)")
+	}
+	// Low quantiles: Pilatus faster (negative difference); median:
+	// Pilatus slower (positive).
+	var lowDiff, medDiff float64
+	for _, p := range d.Points {
+		if p.Tau == 0.01 {
+			lowDiff = p.Difference
+		}
+		if p.Tau == 0.5 {
+			medDiff = p.Difference
+		}
+	}
+	if lowDiff >= 0 {
+		t.Errorf("p01 difference = %.4g, want < 0 (Pilatus faster at best case)", lowDiff)
+	}
+	if medDiff <= 0 {
+		t.Errorf("median difference = %.4g, want > 0", medDiff)
+	}
+	// Intercept (Dora quantiles) must be monotone in tau.
+	prev := 0.0
+	for _, p := range d.Points {
+		if p.Intercept < prev {
+			t.Errorf("intercepts not monotone at tau=%g", p.Tau)
+		}
+		prev = p.Intercept
+	}
+}
+
+func TestFig5PowersOfTwoWin(t *testing.T) {
+	d, err := Fig5(io.Discard, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Points) != 63 {
+		t.Fatalf("points = %d, want 63 (p=2..64)", len(d.Points))
+	}
+	byP := map[int]Fig5Point{}
+	for _, pt := range d.Points {
+		byP[pt.P] = pt
+	}
+	// Every power of two must beat its successor count.
+	for _, p := range []int{4, 8, 16, 32} {
+		if byP[p].MedianUs >= byP[p+1].MedianUs {
+			t.Errorf("T(%d)=%.3g should beat T(%d)=%.3g",
+				p, byP[p].MedianUs, p+1, byP[p+1].MedianUs)
+		}
+	}
+	// Median completion grows with log p overall: T(64) > T(2).
+	if byP[64].MedianUs <= byP[2].MedianUs {
+		t.Error("completion should grow with process count")
+	}
+	// The powers-of-two series should generally lie below the
+	// interpolated "others" of similar size: compare each 2^k with the
+	// median of counts 2^k+1..2^k+3.
+	for _, p := range []int{8, 16, 32} {
+		others := (byP[p+1].MedianUs + byP[p+2].MedianUs + byP[p+3].MedianUs) / 3
+		if byP[p].MedianUs >= others {
+			t.Errorf("p=%d (%.3gµs) should undercut neighbours (%.3gµs)",
+				p, byP[p].MedianUs, others)
+		}
+	}
+}
+
+func TestFig6PerProcessHeterogeneity(t *testing.T) {
+	d, err := Fig6(io.Discard, 150, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.PerProcess) != 64 || len(d.PerProcess[0]) != 150 {
+		t.Fatalf("data shape %dx%d", len(d.PerProcess), len(d.PerProcess[0]))
+	}
+	// The paper's point: differences across processes are significant.
+	if d.Cross.Homogeneous {
+		t.Errorf("expected significant per-process differences: %v", d.Cross.ANOVA)
+	}
+	// Leaves finish before the root, so means differ structurally too.
+	if d.Cross.MaxOfMeans <= d.Cross.MedianOfMeans {
+		t.Error("max of means should exceed median of means")
+	}
+}
+
+func TestFig7abBoundsOrdering(t *testing.T) {
+	d, err := Fig7ab(io.Discard, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Violations) > 0 {
+		t.Errorf("measurements beat bounds: %v", d.Violations)
+	}
+	for _, pt := range d.Points {
+		// Bound ordering: ideal <= Amdahl <= parallel-overhead <= measured.
+		if !(pt.IdealMs <= pt.AmdahlMs+1e-9 && pt.AmdahlMs <= pt.ParallelOvhdMs+1e-9) {
+			t.Errorf("p=%d: bound ordering broken: %.4g %.4g %.4g",
+				pt.P, pt.IdealMs, pt.AmdahlMs, pt.ParallelOvhdMs)
+		}
+		if pt.TimeMs < pt.ParallelOvhdMs*0.98 {
+			t.Errorf("p=%d: measured %.4g below the tightest bound %.4g",
+				pt.P, pt.TimeMs, pt.ParallelOvhdMs)
+		}
+		if pt.Speedup > float64(pt.P) {
+			t.Errorf("p=%d: super-linear speedup %.3g", pt.P, pt.Speedup)
+		}
+	}
+	// The parallel-overhead bound explains most of the gap: measured
+	// time within 25% of it at the largest p.
+	last := d.Points[len(d.Points)-1]
+	if last.TimeMs > last.ParallelOvhdMs*1.5 {
+		t.Errorf("p=%d: measured %.4g far above the overhead bound %.4g",
+			last.P, last.TimeMs, last.ParallelOvhdMs)
+	}
+}
+
+func TestFig7cBoxStats(t *testing.T) {
+	d, err := Fig7c(io.Discard, 60000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := d.Box
+	if !(b.Q1 < b.Median && b.Median < b.Q3) {
+		t.Error("quartile ordering broken")
+	}
+	if b.Mean <= b.Median {
+		t.Error("right-skewed latency should have mean > median")
+	}
+	if b.NumOutside == 0 {
+		t.Error("heavy tail should place observations beyond the whiskers")
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	var sb strings.Builder
+	d, err := Table1(&sb, 2015)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.Aggregate
+	if a.ApplicablePapers != 95 {
+		t.Errorf("applicable = %d", a.ApplicablePapers)
+	}
+	if a.DesignCounts[survey.Processor] != 79 || a.DesignCounts[survey.CodeAvailable] != 7 {
+		t.Error("design counts drifted from the paper")
+	}
+	if a.AnalysisCounts[survey.Mean] != 51 || a.AnalysisCounts[survey.Variation] != 17 {
+		t.Error("analysis counts drifted from the paper")
+	}
+	if !strings.Contains(sb.String(), "79/95") {
+		t.Error("rendered table missing the processor count")
+	}
+}
+
+func TestMeansExampleExact(t *testing.T) {
+	d, err := MeansExample(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MeanTimeSec != 50 || d.RateFromMeanTime != 2 {
+		t.Errorf("mean time %.4g / rate %.4g", d.MeanTimeSec, d.RateFromMeanTime)
+	}
+	if d.ArithMeanOfRates != 4.5 {
+		t.Errorf("arith of rates = %.4g", d.ArithMeanOfRates)
+	}
+	if math.Abs(d.HarmonicMeanRates-2) > 1e-12 {
+		t.Errorf("harmonic = %.6g", d.HarmonicMeanRates)
+	}
+	if math.Abs(d.GeoMeanOfRatios-0.29) > 0.003 {
+		t.Errorf("geometric = %.4g, paper says 0.29", d.GeoMeanOfRatios)
+	}
+}
+
+func TestWeakScalingExtension(t *testing.T) {
+	d, err := WeakScaling(io.Discard, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Points) != 6 {
+		t.Fatalf("points = %d", len(d.Points))
+	}
+	base := d.Points[0].TimeMs
+	for _, pt := range d.Points {
+		// Weak scaling: time stays within ~25% of the base.
+		if pt.TimeMs < base*0.95 || pt.TimeMs > base*1.25 {
+			t.Errorf("p=%d: time %.4g ms strays from base %.4g", pt.P, pt.TimeMs, base)
+		}
+		if pt.Efficiency > 1.02 {
+			t.Errorf("p=%d: efficiency %.3f above 1", pt.P, pt.Efficiency)
+		}
+		// Gustafson bound grows nearly linearly.
+		if pt.GustafsonS > float64(pt.P) {
+			t.Errorf("p=%d: Gustafson bound %g exceeds p", pt.P, pt.GustafsonS)
+		}
+	}
+	// Efficiency at p=32 clearly below 1 (the reduction isn't free) but
+	// far above strong scaling's 24/32 at this size.
+	last := d.Points[len(d.Points)-1]
+	if last.Efficiency < 0.8 {
+		t.Errorf("weak-scaling efficiency at p=32 = %.3f, want > 0.8", last.Efficiency)
+	}
+}

@@ -1,0 +1,135 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/survey"
+)
+
+// Table1Data is the regenerated Table 1 plus the in-text survey
+// statistics of §2–3.
+type Table1Data struct {
+	Aggregate survey.Table1
+}
+
+// Table1 regenerates the literature-survey table from the synthetic
+// per-paper dataset (exact published marginals; see DESIGN.md).
+func Table1(w io.Writer, seed uint64) (Table1Data, error) {
+	ds, err := survey.Synthetic(survey.PaperMarginals(), seed)
+	if err != nil {
+		return Table1Data{}, err
+	}
+	agg := ds.Aggregate()
+	d := Table1Data{Aggregate: agg}
+	if w == nil {
+		return d, nil
+	}
+
+	fprintf(w, "Table 1: literature survey summary (%d applicable of %d papers)\n\n",
+		agg.ApplicablePapers, len(ds.Papers))
+	if err := ds.RenderMatrix(w); err != nil {
+		return d, err
+	}
+	fprintf(w, "\n")
+	tbl := &report.Table{Title: "Experimental design documentation",
+		Headers: []string{"class", "papers w/ sufficient info", "fraction"}}
+	for c := survey.DesignClass(0); c < survey.NumDesignClasses; c++ {
+		n := agg.DesignCounts[c]
+		tbl.AddRow(c.String(), fmt.Sprintf("%d/%d", n, agg.ApplicablePapers),
+			fmt.Sprintf("%.0f%%", 100*float64(n)/float64(agg.ApplicablePapers)))
+	}
+	if err := tbl.Render(w); err != nil {
+		return d, err
+	}
+
+	fprintf(w, "\n")
+	tbl2 := &report.Table{Title: "Data analysis",
+		Headers: []string{"row", "papers", "fraction"}}
+	for r := survey.AnalysisRow(0); r < survey.NumAnalysisRows; r++ {
+		n := agg.AnalysisCounts[r]
+		tbl2.AddRow(r.String(), fmt.Sprintf("%d/%d", n, agg.ApplicablePapers),
+			fmt.Sprintf("%.0f%%", 100*float64(n)/float64(agg.ApplicablePapers)))
+	}
+	if err := tbl2.Render(w); err != nil {
+		return d, err
+	}
+
+	fprintf(w, "\n")
+	tbl3 := &report.Table{Title: "Per conference-year design-score box summaries (0-9 checks per paper)",
+		Headers: []string{"conference", "year", "applicable", "min", "median", "max"}}
+	for _, c := range agg.Cells {
+		tbl3.AddRow(c.Conference, c.Year, c.Applicable, c.Min,
+			fmt.Sprintf("%.1f", c.Median), c.Max)
+	}
+	if err := tbl3.Render(w); err != nil {
+		return d, err
+	}
+
+	fprintf(w, "\nIn-text statistics (§2–3):\n")
+	fprintf(w, "  speedup papers: %d, of which %d (%.0f%%) omit the absolute base case\n",
+		agg.Speedups, agg.SpeedupsWithoutBase,
+		100*float64(agg.SpeedupsWithoutBase)/float64(agg.Speedups))
+	fprintf(w, "  papers specifying the exact averaging method: %d of %d summarizing papers\n",
+		agg.SpecifyMethod, agg.AnalysisCounts[survey.Mean])
+	fprintf(w, "  papers with fully unambiguous units: %d of %d\n",
+		agg.UnambiguousUnits, agg.ApplicablePapers)
+	fprintf(w, "  papers reporting confidence intervals: %d of %d\n",
+		agg.ReportCIs, agg.ApplicablePapers)
+	return d, nil
+}
+
+// MeansExampleData is the worked §3.1.1 HPL-means example.
+type MeansExampleData struct {
+	MeanTimeSec       float64 // 50
+	RateFromMeanTime  float64 // 2 Gflop/s
+	ArithMeanOfRates  float64 // 4.5 Gflop/s (wrong)
+	HarmonicMeanRates float64 // 2 Gflop/s (correct)
+	GeoMeanOfRatios   float64 // ≈0.29 (incorrect efficiency 2.9 Gflop/s)
+}
+
+// MeansExample reproduces the paper's worked example: three 100 Gflop
+// runs at (10, 100, 40) seconds, summarized every way the paper
+// discusses.
+func MeansExample(w io.Writer) (MeansExampleData, error) {
+	times := []float64{10, 100, 40}
+	const work = 100.0 // Gflop
+	const peak = 10.0  // Gflop/s
+
+	rates := make([]float64, len(times))
+	ratios := make([]float64, len(times))
+	for i, t := range times {
+		rates[i] = work / t
+		ratios[i] = rates[i] / peak
+	}
+	var d MeansExampleData
+	d.MeanTimeSec = stats.Mean(times)
+	d.RateFromMeanTime = work / d.MeanTimeSec
+	d.ArithMeanOfRates = stats.Mean(rates)
+	h, err := stats.HarmonicMean(rates)
+	if err != nil {
+		return d, err
+	}
+	d.HarmonicMeanRates = h
+	g, err := stats.GeometricMean(ratios)
+	if err != nil {
+		return d, err
+	}
+	d.GeoMeanOfRatios = g
+
+	if w != nil {
+		fprintf(w, "§3.1.1 worked example: 100 Gflop runs at (10, 100, 40) s\n")
+		tbl := &report.Table{Headers: []string{"summary", "value", "verdict"}}
+		tbl.AddRow("arithmetic mean of times", fmt.Sprintf("%.4g s", d.MeanTimeSec), "correct for costs")
+		tbl.AddRow("rate from mean time", fmt.Sprintf("%.4g Gflop/s", d.RateFromMeanTime), "correct")
+		tbl.AddRow("arithmetic mean of rates", fmt.Sprintf("%.4g Gflop/s", d.ArithMeanOfRates), "WRONG (Rule 3)")
+		tbl.AddRow("harmonic mean of rates", fmt.Sprintf("%.4g Gflop/s", d.HarmonicMeanRates), "correct")
+		tbl.AddRow("geometric mean of peak ratios", fmt.Sprintf("%.4g (=%.2g Gflop/s)", d.GeoMeanOfRatios, d.GeoMeanOfRatios*peak), "incorrect (Rule 4)")
+		if err := tbl.Render(w); err != nil {
+			return d, err
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,78 @@
+package figures
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/bounds"
+	"repro/internal/cluster"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// WeakScalingPoint is one process count of the weak-scaling extension
+// experiment.
+type WeakScalingPoint struct {
+	P          int
+	TimeMs     float64
+	Efficiency float64 // T(1)/T(p), 1 = perfect weak scaling
+	GustafsonS float64 // Gustafson's scaled-speedup bound
+}
+
+// WeakScalingData is the §4.2 extension experiment: the Pi workload under
+// *weak* scaling (problem size grown linearly with p — the growth
+// function the paper requires papers to state), against Gustafson's
+// bound. The paper's Fig 7 is the strong-scaling counterpart.
+type WeakScalingData struct {
+	Points []WeakScalingPoint
+}
+
+// WeakScaling runs the weak-scaling study (reps repetitions per point).
+func WeakScaling(w io.Writer, reps int, seed uint64) (WeakScalingData, error) {
+	if reps <= 0 {
+		reps = 10
+	}
+	pc := workloads.PiScalingConfig{
+		Base:        20 * time.Millisecond,
+		Serial:      0.01,
+		ReduceBytes: 8,
+		Mode:        workloads.WeakScaling,
+	}
+	ps := []int{1, 2, 4, 8, 16, 32}
+	cfg := cluster.PizDaint()
+	cfg.Placement = cluster.Scattered
+	points, _, err := workloads.SimulatePiScaling(cfg, pc, ps, reps, seed)
+	if err != nil {
+		return WeakScalingData{}, err
+	}
+	g := bounds.Gustafson{Base: pc.Base, Serial: pc.Serial}
+
+	var d WeakScalingData
+	for _, pt := range points {
+		d.Points = append(d.Points, WeakScalingPoint{
+			P:          pt.P,
+			TimeMs:     pt.Time.Seconds() * 1e3,
+			Efficiency: pt.Speedup, // T(1)/T(p) under weak scaling
+			GustafsonS: g.ScaledSpeedup(pt.P),
+		})
+	}
+
+	if w != nil {
+		fprintf(w, "Weak-scaling extension (§4.2): Pi workload, problem size linear in p\n")
+		fprintf(w, "mode: %s\n\n", pc.Mode)
+		tbl := &report.Table{Headers: []string{
+			"p", "time (ms)", "efficiency T(1)/T(p)", "Gustafson scaled-speedup bound",
+		}}
+		for _, pt := range d.Points {
+			tbl.AddRow(pt.P, fmt6(pt.TimeMs), fmt6(pt.Efficiency), fmt6(pt.GustafsonS))
+		}
+		if err := tbl.Render(w); err != nil {
+			return d, err
+		}
+		fprintf(w, "\nideal weak scaling keeps time flat at %.4g ms; the growing gap is the\n",
+			pc.Base.Seconds()*1e3)
+		fprintf(w, "Θ(log p) reduction plus per-rank noise — exactly the overheads Fig 7's\n")
+		fprintf(w, "strong-scaling bounds isolate.\n")
+	}
+	return d, nil
+}

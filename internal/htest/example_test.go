@@ -1,0 +1,60 @@
+package htest_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/htest"
+)
+
+// ExampleShapiroWilk shows Rule 6 in action: the same test accepts
+// normal data and rejects the skewed timing data measured systems
+// actually produce.
+func ExampleShapiroWilk() {
+	rng := rand.New(rand.NewPCG(1, 1))
+	normal := make([]float64, 100)
+	skewed := make([]float64, 100)
+	for i := range normal {
+		z := rng.NormFloat64()
+		normal[i] = 10 + z
+		skewed[i] = math.Exp(z)
+	}
+	n, _ := htest.ShapiroWilk(normal)
+	s, _ := htest.ShapiroWilk(skewed)
+	fmt.Printf("normal sample rejected at 5%%: %v\n", n.Significant(0.05))
+	fmt.Printf("skewed sample rejected at 5%%: %v\n", s.Significant(0.05))
+	// Output:
+	// normal sample rejected at 5%: false
+	// skewed sample rejected at 5%: true
+}
+
+// ExampleKruskalWallis compares two systems' medians without any
+// normality assumption (§3.2.2).
+func ExampleKruskalWallis() {
+	rng := rand.New(rand.NewPCG(2, 2))
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	for i := range a {
+		a[i] = 1.70 + 0.2*math.Exp(0.3*rng.NormFloat64())
+		b[i] = 1.80 + 0.2*math.Exp(0.3*rng.NormFloat64())
+	}
+	res, _ := htest.KruskalWallis(a, b)
+	fmt.Printf("medians differ at 95%%: %v\n", res.Significant(0.05))
+	// Output:
+	// medians differ at 95%: true
+}
+
+// ExampleOneWayANOVA reproduces the hand-checkable §3.2.1 calculation:
+// groups {1,2,3}, {2,3,4}, {3,4,5} give F = egv/igv = 3.
+func ExampleOneWayANOVA() {
+	res, _ := htest.OneWayANOVA(
+		[]float64{1, 2, 3},
+		[]float64{2, 3, 4},
+		[]float64{3, 4, 5},
+	)
+	fmt.Printf("F = %g (egv %g / igv %g), p = %.3f\n",
+		res.Stat, res.EGV, res.IGV, res.P)
+	// Output:
+	// F = 3 (egv 3 / igv 1), p = 0.125
+}

@@ -1,0 +1,322 @@
+package htest
+
+import (
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/stats"
+)
+
+// This file implements the three normality tests the paper's Rule 6
+// discussion compares Shapiro–Wilk against (via Razali & Wah [48]):
+// Kolmogorov–Smirnov (known parameters), Lilliefors (estimated
+// parameters), and Anderson–Darling. Razali & Wah's empirical power
+// ranking — Shapiro–Wilk ≥ Anderson–Darling > Lilliefors > KS — is
+// reproduced by TestNormalityPowerRanking.
+
+// KolmogorovSmirnov tests xs against a fully specified continuous
+// distribution (location and scale NOT estimated from the data; use
+// Lilliefors for the composite normality hypothesis). The p-value uses
+// the asymptotic Kolmogorov distribution with Stephens' small-sample
+// modification.
+func KolmogorovSmirnov(xs []float64, cdf func(float64) float64) (TestResult, error) {
+	n := len(xs)
+	if n < 3 {
+		return TestResult{}, ErrSampleSize
+	}
+	s := stats.Sorted(xs)
+	d := 0.0
+	for i, x := range s {
+		f := cdf(x)
+		dPlus := float64(i+1)/float64(n) - f
+		dMinus := f - float64(i)/float64(n)
+		d = math.Max(d, math.Max(dPlus, dMinus))
+	}
+	// Stephens' modified statistic for the asymptotic distribution.
+	nf := float64(n)
+	t := d * (math.Sqrt(nf) + 0.12 + 0.11/math.Sqrt(nf))
+	return TestResult{Name: "D", Stat: d, P: kolmogorovQ(t)}, nil
+}
+
+// kolmogorovQ evaluates the Kolmogorov survival function
+// Q(t) = 2 Σ_{k≥1} (−1)^{k−1} exp(−2 k² t²).
+func kolmogorovQ(t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := math.Exp(-2 * float64(k) * float64(k) * t * t)
+		sum += sign * term
+		if term < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	q := 2 * sum
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}
+
+// Lilliefors tests composite normality (mean and variance estimated from
+// the sample) with the KS statistic and Dallal–Wilkinson's p-value
+// approximation (the same approximation R's nortest uses).
+func Lilliefors(xs []float64) (TestResult, error) {
+	n := len(xs)
+	if n < 5 {
+		return TestResult{}, ErrSampleSize
+	}
+	mean := stats.Mean(xs)
+	sd := stats.StdDev(xs)
+	if sd == 0 {
+		return TestResult{}, ErrConstant
+	}
+	s := stats.Sorted(xs)
+	d := 0.0
+	for i, x := range s {
+		f := dist.NormalCDF((x - mean) / sd)
+		dPlus := float64(i+1)/float64(n) - f
+		dMinus := f - float64(i)/float64(n)
+		d = math.Max(d, math.Max(dPlus, dMinus))
+	}
+
+	// Dallal–Wilkinson (1986) approximation.
+	nf := float64(n)
+	kd := d
+	nd := nf
+	if n > 100 {
+		kd = d * math.Pow(nf/100, 0.49)
+		nd = 100
+	}
+	p := math.Exp(-7.01256*kd*kd*(nd+2.78019) +
+		2.99587*kd*math.Sqrt(nd+2.78019) - 0.122119 +
+		0.974598/math.Sqrt(nd) + 1.67997/nd)
+	if p > 0.1 {
+		// Outside the approximation's accurate range: fall back to the
+		// Stephens-modified statistic against the Lilliefors critical
+		// region via a conservative transform.
+		kk := (math.Sqrt(nf) - 0.01 + 0.85/math.Sqrt(nf)) * d
+		switch {
+		case kk <= 0.302:
+			p = 1
+		case kk <= 0.5:
+			p = 2.76773 - 19.828315*kk + 80.709644*kk*kk -
+				138.55152*kk*kk*kk + 81.218052*kk*kk*kk*kk
+		case kk <= 0.9:
+			p = -4.901232 + 40.662806*kk - 97.490286*kk*kk +
+				94.029866*kk*kk*kk - 32.355711*kk*kk*kk*kk
+		case kk <= 1.31:
+			p = 6.198765 - 19.558097*kk + 23.186922*kk*kk -
+				12.234627*kk*kk*kk + 2.423045*kk*kk*kk*kk
+		default:
+			p = 0
+		}
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return TestResult{Name: "D", Stat: d, P: p}, nil
+}
+
+// AndersonDarling tests composite normality with the A² statistic and
+// Stephens' case-3 (mean and variance estimated) p-value approximation.
+func AndersonDarling(xs []float64) (TestResult, error) {
+	n := len(xs)
+	if n < 8 {
+		return TestResult{}, ErrSampleSize
+	}
+	mean := stats.Mean(xs)
+	sd := stats.StdDev(xs)
+	if sd == 0 {
+		return TestResult{}, ErrConstant
+	}
+	s := stats.Sorted(xs)
+	nf := float64(n)
+	a2 := -nf
+	for i := 0; i < n; i++ {
+		zi := dist.NormalCDF((s[i] - mean) / sd)
+		zni := dist.NormalCDF((s[n-1-i] - mean) / sd)
+		// Clamp to avoid log(0) from extreme observations.
+		zi = math.Min(math.Max(zi, 1e-300), 1-1e-15)
+		zni = math.Min(math.Max(zni, 1e-300), 1-1e-15)
+		a2 -= (2*float64(i) + 1) / nf * (math.Log(zi) + math.Log1p(-zni))
+	}
+	// Stephens' modification and p-value bands.
+	a2star := a2 * (1 + 0.75/nf + 2.25/(nf*nf))
+	var p float64
+	switch {
+	case a2star >= 0.6:
+		p = math.Exp(1.2937 - 5.709*a2star + 0.0186*a2star*a2star)
+	case a2star >= 0.34:
+		p = math.Exp(0.9177 - 4.279*a2star - 1.38*a2star*a2star)
+	case a2star >= 0.2:
+		p = 1 - math.Exp(-8.318+42.796*a2star-59.938*a2star*a2star)
+	default:
+		p = 1 - math.Exp(-13.436+101.14*a2star-223.73*a2star*a2star)
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return TestResult{Name: "A²", Stat: a2, P: p}, nil
+}
+
+// Autocorrelation returns the lag-k sample autocorrelation of xs — the
+// iid diagnostic behind the paper's "independent and identically
+// distributed" requirement for rank statistics (§3.1.3). Values beyond
+// ±2/√n indicate serial dependence (e.g. warmup drift or periodic
+// interference).
+func Autocorrelation(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag < 1 || lag >= n {
+		return math.NaN()
+	}
+	mean := stats.Mean(xs)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - mean
+		den += d * d
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	for i := 0; i+lag < n; i++ {
+		num += (xs[i] - mean) * (xs[i+lag] - mean)
+	}
+	return num / den
+}
+
+// RunsTest performs the Wald–Wolfowitz runs test for randomness around
+// the median: too few runs indicate trend/drift, too many indicate
+// oscillation. The p-value is two-sided via the normal approximation.
+func RunsTest(xs []float64) (TestResult, error) {
+	if len(xs) < 10 {
+		return TestResult{}, ErrSampleSize
+	}
+	med := stats.Median(xs)
+	// Classify against the median, dropping exact ties.
+	var signs []bool
+	for _, x := range xs {
+		if x == med {
+			continue
+		}
+		signs = append(signs, x > med)
+	}
+	if len(signs) < 10 {
+		return TestResult{}, ErrConstant
+	}
+	var n1, n2, runs int
+	for i, s := range signs {
+		if s {
+			n1++
+		} else {
+			n2++
+		}
+		if i == 0 || signs[i] != signs[i-1] {
+			runs++
+		}
+	}
+	if n1 == 0 || n2 == 0 {
+		return TestResult{}, ErrConstant
+	}
+	f1, f2 := float64(n1), float64(n2)
+	nf := f1 + f2
+	mu := 2*f1*f2/nf + 1
+	sigma2 := 2 * f1 * f2 * (2*f1*f2 - nf) / (nf * nf * (nf - 1))
+	if sigma2 <= 0 {
+		return TestResult{}, ErrConstant
+	}
+	z := (float64(runs) - mu) / math.Sqrt(sigma2)
+	p := 2 * dist.NormalCDF(-math.Abs(z))
+	return TestResult{Name: "runs z", Stat: z, P: p}, nil
+}
+
+// IIDDiagnosis bundles the independence diagnostics: lag-1..lag-k
+// autocorrelations with their ±2/√n band and the runs test.
+type IIDDiagnosis struct {
+	Autocorr []float64 // lag 1..len(Autocorr)
+	Band     float64   // ±2/√n significance band
+	Runs     TestResult
+	LooksIID bool
+}
+
+// DiagnoseIID checks xs for serial dependence using maxLag
+// autocorrelations and the runs test; LooksIID is true when no
+// autocorrelation leaves the band and the runs test is not significant
+// at 1%.
+func DiagnoseIID(xs []float64, maxLag int) (IIDDiagnosis, error) {
+	if maxLag < 1 {
+		maxLag = 5
+	}
+	if len(xs) < 20 {
+		return IIDDiagnosis{}, ErrSampleSize
+	}
+	d := IIDDiagnosis{Band: 2 / math.Sqrt(float64(len(xs)))}
+	ok := true
+	for lag := 1; lag <= maxLag; lag++ {
+		ac := Autocorrelation(xs, lag)
+		d.Autocorr = append(d.Autocorr, ac)
+		if math.Abs(ac) > d.Band {
+			ok = false
+		}
+	}
+	runs, err := RunsTest(xs)
+	if err != nil {
+		return d, err
+	}
+	d.Runs = runs
+	d.LooksIID = ok && !runs.Significant(0.01)
+	return d, nil
+}
+
+// NormalityPower estimates, by Monte Carlo, each normality test's power
+// to reject samples drawn by `gen` at significance level alpha — the
+// Razali & Wah experiment behind the paper's Rule 6 recommendation.
+// Returns rejection rates in the order Shapiro–Wilk, Anderson–Darling,
+// Lilliefors, Kolmogorov–Smirnov(standardized).
+func NormalityPower(gen func() []float64, trials int, alpha float64) ([4]float64, error) {
+	if trials < 1 {
+		trials = 100
+	}
+	var reject [4]int
+	for t := 0; t < trials; t++ {
+		xs := gen()
+		if sw, err := ShapiroWilk(xs); err == nil && sw.P < alpha {
+			reject[0]++
+		}
+		if ad, err := AndersonDarling(xs); err == nil && ad.P < alpha {
+			reject[1]++
+		}
+		if li, err := Lilliefors(xs); err == nil && li.P < alpha {
+			reject[2]++
+		}
+		// KS with parameters estimated per sample (the naive-but-common
+		// misuse; its low power is part of the point).
+		mean := stats.Mean(xs)
+		sd := stats.StdDev(xs)
+		if sd > 0 {
+			ks, err := KolmogorovSmirnov(xs, func(x float64) float64 {
+				return dist.NormalCDF((x - mean) / sd)
+			})
+			if err == nil && ks.P < alpha {
+				reject[3]++
+			}
+		}
+	}
+	var out [4]float64
+	for i, r := range reject {
+		out[i] = float64(r) / float64(trials)
+	}
+	return out, nil
+}

@@ -1,0 +1,281 @@
+package htest
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestKolmogorovSmirnovUniform(t *testing.T) {
+	// Perfectly spread uniform sample against the uniform CDF: D is the
+	// minimal 1/(2n) discretization gap and p should be near 1.
+	n := 100
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = (float64(i) + 0.5) / float64(n)
+	}
+	res, err := KolmogorovSmirnov(xs, func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Stat-0.005) > 1e-12 {
+		t.Errorf("D = %g, want 0.005", res.Stat)
+	}
+	if res.P < 0.99 {
+		t.Errorf("p = %g, want ≈1", res.P)
+	}
+}
+
+func TestKolmogorovSmirnovRejectsWrongDistribution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = math.Exp(rng.NormFloat64()) // log-normal
+	}
+	// Tested against a standard normal CDF: reject strongly.
+	res, err := KolmogorovSmirnov(xs, dist.NormalCDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant(0.001) {
+		t.Errorf("KS failed to reject a blatant mismatch: %v", res)
+	}
+	if _, err := KolmogorovSmirnov(xs[:2], dist.NormalCDF); err != ErrSampleSize {
+		t.Error("tiny sample should error")
+	}
+}
+
+func TestKolmogorovQBounds(t *testing.T) {
+	if kolmogorovQ(0) != 1 || kolmogorovQ(-1) != 1 {
+		t.Error("Q(<=0) must be 1")
+	}
+	if q := kolmogorovQ(10); q > 1e-10 {
+		t.Errorf("Q(10) = %g, want ≈0", q)
+	}
+	// Known value: Q(1.36) ≈ 0.0505 (the classic 5% critical point).
+	if q := kolmogorovQ(1.358); math.Abs(q-0.05) > 0.002 {
+		t.Errorf("Q(1.358) = %g, want ≈0.05", q)
+	}
+}
+
+func TestLillieforsBehaviour(t *testing.T) {
+	// Accepts normal samples most of the time.
+	rejected := 0
+	for i := 0; i < 100; i++ {
+		xs := normalSample(60, 5, 2, uint64(i+1))
+		res, err := Lilliefors(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Significant(0.05) {
+			rejected++
+		}
+	}
+	if rejected > 20 {
+		t.Errorf("Lilliefors rejected %d/100 normal samples", rejected)
+	}
+	// Rejects log-normal samples usually.
+	rejected = 0
+	for i := 0; i < 50; i++ {
+		xs := lognormalSample(100, 0, 1, uint64(i+1))
+		res, err := Lilliefors(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Significant(0.05) {
+			rejected++
+		}
+	}
+	if rejected < 40 {
+		t.Errorf("Lilliefors rejected only %d/50 log-normal samples", rejected)
+	}
+	if _, err := Lilliefors([]float64{1, 2, 3}); err != ErrSampleSize {
+		t.Error("n<5 should error")
+	}
+	if _, err := Lilliefors([]float64{2, 2, 2, 2, 2}); err != ErrConstant {
+		t.Error("constant should error")
+	}
+}
+
+func TestAndersonDarlingBehaviour(t *testing.T) {
+	rejected := 0
+	for i := 0; i < 100; i++ {
+		xs := normalSample(60, 5, 2, uint64(1000+i))
+		res, err := AndersonDarling(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P < 0 || res.P > 1 {
+			t.Fatalf("p = %g out of range", res.P)
+		}
+		if res.Significant(0.05) {
+			rejected++
+		}
+	}
+	if rejected > 20 {
+		t.Errorf("AD rejected %d/100 normal samples", rejected)
+	}
+	rejected = 0
+	for i := 0; i < 50; i++ {
+		xs := lognormalSample(100, 0, 1, uint64(2000+i))
+		res, err := AndersonDarling(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Significant(0.05) {
+			rejected++
+		}
+	}
+	if rejected < 45 {
+		t.Errorf("AD rejected only %d/50 log-normal samples", rejected)
+	}
+	if _, err := AndersonDarling(make([]float64, 5)); err == nil {
+		t.Error("n<8 or constant should error")
+	}
+}
+
+// TestNormalityPowerRanking reproduces Razali & Wah's finding (cited by
+// Rule 6): against skewed alternatives, Shapiro–Wilk and Anderson–
+// Darling dominate Lilliefors, which dominates the (misused,
+// parameters-estimated) Kolmogorov–Smirnov test.
+func TestNormalityPowerRanking(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 42))
+	gen := func() []float64 {
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = math.Exp(0.5 * rng.NormFloat64())
+		}
+		return xs
+	}
+	power, err := NormalityPower(gen, 300, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, ad, li, ks := power[0], power[1], power[2], power[3]
+	if !(sw >= ad-0.05) {
+		t.Errorf("Shapiro–Wilk power %.2f should be ≈top (AD %.2f)", sw, ad)
+	}
+	if !(ad > li) {
+		t.Errorf("AD power %.2f should beat Lilliefors %.2f", ad, li)
+	}
+	if !(li > ks) {
+		t.Errorf("Lilliefors power %.2f should beat naive KS %.2f", li, ks)
+	}
+	if sw < 0.5 {
+		t.Errorf("SW power %.2f implausibly low for this alternative", sw)
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// A strongly trending series has high lag-1 autocorrelation.
+	trend := make([]float64, 100)
+	for i := range trend {
+		trend[i] = float64(i)
+	}
+	if ac := Autocorrelation(trend, 1); ac < 0.9 {
+		t.Errorf("trend lag-1 autocorr = %g, want ≈1", ac)
+	}
+	// Alternating series has strongly negative lag-1 autocorrelation.
+	alt := make([]float64, 100)
+	for i := range alt {
+		alt[i] = float64(i % 2)
+	}
+	if ac := Autocorrelation(alt, 1); ac > -0.9 {
+		t.Errorf("alternating lag-1 autocorr = %g, want ≈-1", ac)
+	}
+	if !math.IsNaN(Autocorrelation(trend, 0)) || !math.IsNaN(Autocorrelation(trend, 100)) {
+		t.Error("invalid lags should be NaN")
+	}
+	if !math.IsNaN(Autocorrelation([]float64{3, 3, 3}, 1)) {
+		t.Error("constant series should be NaN")
+	}
+}
+
+func TestRunsTest(t *testing.T) {
+	// Alternating: far too many runs → strongly significant.
+	alt := make([]float64, 50)
+	for i := range alt {
+		alt[i] = float64(i % 2)
+	}
+	res, err := RunsTest(alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant(0.001) || res.Stat < 0 {
+		t.Errorf("alternating series: %v", res)
+	}
+	// Trending: far too few runs.
+	trend := make([]float64, 50)
+	for i := range trend {
+		trend[i] = float64(i)
+	}
+	res, err = RunsTest(trend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant(0.001) || res.Stat > 0 {
+		t.Errorf("trending series: %v", res)
+	}
+	// Random: usually not significant.
+	sig := 0
+	for i := 0; i < 50; i++ {
+		xs := normalSample(60, 0, 1, uint64(i+500))
+		res, err := RunsTest(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Significant(0.05) {
+			sig++
+		}
+	}
+	if sig > 10 {
+		t.Errorf("runs test rejected %d/50 iid samples", sig)
+	}
+	if _, err := RunsTest([]float64{1, 2}); err != ErrSampleSize {
+		t.Error("tiny sample should error")
+	}
+	if _, err := RunsTest(make([]float64, 20)); err != ErrConstant {
+		t.Error("constant sample should error")
+	}
+}
+
+func TestDiagnoseIID(t *testing.T) {
+	xs := normalSample(200, 10, 1, 99)
+	d, err := DiagnoseIID(xs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.LooksIID {
+		t.Errorf("iid sample misdiagnosed: autocorr %v band %g runs %v",
+			d.Autocorr, d.Band, d.Runs)
+	}
+	if len(d.Autocorr) != 5 {
+		t.Errorf("lags = %d", len(d.Autocorr))
+	}
+	// A drifting series must be flagged.
+	drift := make([]float64, 200)
+	rng := rand.New(rand.NewPCG(3, 3))
+	for i := range drift {
+		drift[i] = float64(i)*0.05 + rng.NormFloat64()
+	}
+	d2, err := DiagnoseIID(drift, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.LooksIID {
+		t.Error("drifting series passed the iid diagnosis")
+	}
+	if _, err := DiagnoseIID(xs[:10], 5); err != ErrSampleSize {
+		t.Error("tiny sample should error")
+	}
+}

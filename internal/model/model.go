@@ -1,0 +1,315 @@
+// Package model implements the semi-analytic performance modeling of
+// §5.1: fitting interpretable cost models to measured data so results
+// can be put into perspective. It provides ordinary least squares on
+// arbitrary feature bases (solved from scratch via normal equations and
+// Gaussian elimination with partial pivoting), the LogP-style collective
+// model T(p) = a + b·log₂p + c·p, and the segmented (piecewise) fit the
+// paper uses for Piz Daint's reduction ("the three pieces can be
+// explained by Piz Daint's architecture").
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Errors.
+var (
+	ErrShape    = errors.New("model: x and y shapes disagree")
+	ErrSingular = errors.New("model: normal equations are singular (collinear features)")
+	ErrTooFew   = errors.New("model: not enough observations for the parameter count")
+)
+
+// Fit is a fitted linear model y ≈ Σ βᵢ·featureᵢ(x).
+type Fit struct {
+	Beta     []float64
+	Features []string
+	R2       float64 // coefficient of determination
+	RMSE     float64 // root mean squared residual
+}
+
+// String renders the fitted formula.
+func (f Fit) String() string {
+	var b strings.Builder
+	for i, name := range f.Features {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "%.4g·%s", f.Beta[i], name)
+	}
+	fmt.Fprintf(&b, "  (R²=%.4f)", f.R2)
+	return b.String()
+}
+
+// LeastSquares fits y ≈ X·β by ordinary least squares. Rows of x are
+// observations; names label the columns for reporting.
+func LeastSquares(x [][]float64, y []float64, names []string) (Fit, error) {
+	n := len(y)
+	if n == 0 || len(x) != n {
+		return Fit{}, ErrShape
+	}
+	p := len(x[0])
+	if p == 0 || (names != nil && len(names) != p) {
+		return Fit{}, ErrShape
+	}
+	if n < p {
+		return Fit{}, ErrTooFew
+	}
+	// Normal equations: (XᵀX)β = Xᵀy.
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p+1) // augmented with Xᵀy
+	}
+	for r := 0; r < n; r++ {
+		row := x[r]
+		if len(row) != p {
+			return Fit{}, ErrShape
+		}
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+			xtx[i][p] += row[i] * y[r]
+		}
+	}
+	beta, err := solveGauss(xtx)
+	if err != nil {
+		return Fit{}, err
+	}
+	if names == nil {
+		names = make([]string, p)
+		for i := range names {
+			names[i] = fmt.Sprintf("x%d", i)
+		}
+	}
+	fit := Fit{Beta: beta, Features: append([]string(nil), names...)}
+
+	// Goodness of fit.
+	var meanY float64
+	for _, v := range y {
+		meanY += v
+	}
+	meanY /= float64(n)
+	var ssRes, ssTot float64
+	for r := 0; r < n; r++ {
+		pred := 0.0
+		for j := 0; j < p; j++ {
+			pred += beta[j] * x[r][j]
+		}
+		d := y[r] - pred
+		ssRes += d * d
+		t := y[r] - meanY
+		ssTot += t * t
+	}
+	if ssTot > 0 {
+		fit.R2 = 1 - ssRes/ssTot
+	} else if ssRes == 0 {
+		fit.R2 = 1
+	}
+	fit.RMSE = math.Sqrt(ssRes / float64(n))
+	return fit, nil
+}
+
+// solveGauss solves the augmented system [A | b] in place via Gaussian
+// elimination with partial pivoting.
+func solveGauss(aug [][]float64) ([]float64, error) {
+	p := len(aug)
+	for col := 0; col < p; col++ {
+		// Pivot.
+		best := col
+		for r := col + 1; r < p; r++ {
+			if math.Abs(aug[r][col]) > math.Abs(aug[best][col]) {
+				best = r
+			}
+		}
+		if math.Abs(aug[best][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		aug[col], aug[best] = aug[best], aug[col]
+		// Eliminate below.
+		inv := 1 / aug[col][col]
+		for r := col + 1; r < p; r++ {
+			f := aug[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= p; c++ {
+				aug[r][c] -= f * aug[col][c]
+			}
+		}
+	}
+	// Back substitution.
+	beta := make([]float64, p)
+	for i := p - 1; i >= 0; i-- {
+		s := aug[i][p]
+		for j := i + 1; j < p; j++ {
+			s -= aug[i][j] * beta[j]
+		}
+		beta[i] = s / aug[i][i]
+	}
+	return beta, nil
+}
+
+// Predict evaluates the fitted model on one feature row.
+func (f Fit) Predict(row []float64) float64 {
+	s := 0.0
+	for i, b := range f.Beta {
+		if i < len(row) {
+			s += b * row[i]
+		}
+	}
+	return s
+}
+
+// CollectiveModel is the LogP-style collective cost model
+// T(p) = A + B·log₂p + C·p fitted to (process count, time) data.
+type CollectiveModel struct {
+	A, B, C float64
+	R2      float64
+}
+
+// FitCollective fits the collective model to measured (p, seconds)
+// pairs. At least four distinct process counts are required.
+func FitCollective(ps []int, seconds []float64) (CollectiveModel, error) {
+	if len(ps) != len(seconds) {
+		return CollectiveModel{}, ErrShape
+	}
+	if len(ps) < 4 {
+		return CollectiveModel{}, ErrTooFew
+	}
+	x := make([][]float64, len(ps))
+	for i, p := range ps {
+		if p < 1 {
+			return CollectiveModel{}, fmt.Errorf("model: process count %d", p)
+		}
+		x[i] = []float64{1, math.Log2(float64(p)), float64(p)}
+	}
+	fit, err := LeastSquares(x, seconds, []string{"1", "log2(p)", "p"})
+	if err != nil {
+		return CollectiveModel{}, err
+	}
+	return CollectiveModel{A: fit.Beta[0], B: fit.Beta[1], C: fit.Beta[2], R2: fit.R2}, nil
+}
+
+// Eval evaluates the collective model at p.
+func (m CollectiveModel) Eval(p int) float64 {
+	return m.A + m.B*math.Log2(float64(p)) + m.C*float64(p)
+}
+
+// String renders the model.
+func (m CollectiveModel) String() string {
+	return fmt.Sprintf("T(p) = %.4g + %.4g·log2(p) + %.4g·p  (R²=%.4f)", m.A, m.B, m.C, m.R2)
+}
+
+// Segment is one piece of a segmented model: for p in (LoExclusive, Hi],
+// T(p) = Coef·log₂p + Const.
+type Segment struct {
+	LoExclusive int
+	Hi          int
+	Const       float64
+	Coef        float64
+	R2          float64
+}
+
+// Segmented is the piecewise log-linear model of the paper's Fig 7
+// reduction overhead: pieces split at architectural boundaries (e.g.
+// socket, group, global).
+type Segmented struct {
+	Segments []Segment
+}
+
+// FitSegmented fits one log-linear piece per interval between the given
+// breakpoints (e.g. breaks = [8, 16] fits pieces for p ≤ 8,
+// 8 < p ≤ 16, p > 16 — the paper's three Piz Daint pieces). Each piece
+// needs at least two observations; single-observation pieces become
+// constants.
+func FitSegmented(ps []int, seconds []float64, breaks []int) (Segmented, error) {
+	if len(ps) != len(seconds) || len(ps) == 0 {
+		return Segmented{}, ErrShape
+	}
+	for i := 1; i < len(breaks); i++ {
+		if breaks[i] <= breaks[i-1] {
+			return Segmented{}, fmt.Errorf("model: breakpoints must be increasing")
+		}
+	}
+	maxP := 0
+	for _, p := range ps {
+		if p > maxP {
+			maxP = p
+		}
+	}
+	bounds := append(append([]int{0}, breaks...), maxP)
+
+	var out Segmented
+	for s := 0; s+1 < len(bounds); s++ {
+		lo, hi := bounds[s], bounds[s+1]
+		if hi <= lo {
+			continue
+		}
+		var xs [][]float64
+		var ys []float64
+		for i, p := range ps {
+			if p > lo && p <= hi {
+				xs = append(xs, []float64{1, math.Log2(float64(p))})
+				ys = append(ys, seconds[i])
+			}
+		}
+		seg := Segment{LoExclusive: lo, Hi: hi}
+		switch len(ys) {
+		case 0:
+			continue
+		case 1:
+			seg.Const = ys[0]
+			seg.R2 = 1
+		default:
+			fit, err := LeastSquares(xs, ys, []string{"1", "log2(p)"})
+			if err == nil {
+				seg.Const = fit.Beta[0]
+				seg.Coef = fit.Beta[1]
+				seg.R2 = fit.R2
+			} else {
+				// Collinear (all same p): constant fallback.
+				mean := 0.0
+				for _, v := range ys {
+					mean += v
+				}
+				seg.Const = mean / float64(len(ys))
+			}
+		}
+		out.Segments = append(out.Segments, seg)
+	}
+	if len(out.Segments) == 0 {
+		return Segmented{}, ErrTooFew
+	}
+	return out, nil
+}
+
+// Eval evaluates the segmented model at p (the last covering segment
+// wins; p beyond the data extrapolates the final piece).
+func (m Segmented) Eval(p int) float64 {
+	if len(m.Segments) == 0 {
+		return math.NaN()
+	}
+	seg := m.Segments[len(m.Segments)-1]
+	for _, s := range m.Segments {
+		if p > s.LoExclusive && p <= s.Hi {
+			seg = s
+			break
+		}
+	}
+	return seg.Const + seg.Coef*math.Log2(float64(p))
+}
+
+// String renders the segmented model piece by piece.
+func (m Segmented) String() string {
+	var b strings.Builder
+	for i, s := range m.Segments {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "p∈(%d,%d]: %.4g + %.4g·log2(p)", s.LoExclusive, s.Hi, s.Const, s.Coef)
+	}
+	return b.String()
+}

@@ -1,0 +1,267 @@
+package model
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func TestLeastSquaresExact(t *testing.T) {
+	// y = 2 + 3x, noise-free.
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 10; i++ {
+		xi := float64(i)
+		x = append(x, []float64{1, xi})
+		y = append(y, 2+3*xi)
+	}
+	fit, err := LeastSquares(x, y, []string{"1", "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Beta[0]-2) > 1e-9 || math.Abs(fit.Beta[1]-3) > 1e-9 {
+		t.Errorf("beta = %v", fit.Beta)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 || fit.RMSE > 1e-9 {
+		t.Errorf("R² = %g, RMSE = %g", fit.R2, fit.RMSE)
+	}
+	if !strings.Contains(fit.String(), "R²") {
+		t.Error("String rendering")
+	}
+	if got := fit.Predict([]float64{1, 10}); math.Abs(got-32) > 1e-9 {
+		t.Errorf("Predict = %g", got)
+	}
+}
+
+func TestLeastSquaresNoisy(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 500; i++ {
+		a := rng.Float64() * 10
+		b := rng.Float64() * 5
+		x = append(x, []float64{1, a, b})
+		y = append(y, 1+2*a-0.5*b+0.1*rng.NormFloat64())
+	}
+	fit, err := LeastSquares(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, -0.5}
+	for i, w := range want {
+		if math.Abs(fit.Beta[i]-w) > 0.05 {
+			t.Errorf("beta[%d] = %g, want %g", i, fit.Beta[i], w)
+		}
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R² = %g", fit.R2)
+	}
+	// Default feature names.
+	if fit.Features[1] != "x1" {
+		t.Errorf("names = %v", fit.Features)
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil, nil); err != ErrShape {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}}, []float64{1}, nil); err != ErrTooFew {
+		t.Errorf("err = %v", err)
+	}
+	// Collinear columns → singular.
+	x := [][]float64{{1, 2}, {2, 4}, {3, 6}}
+	if _, err := LeastSquares(x, []float64{1, 2, 3}, nil); err != ErrSingular {
+		t.Errorf("err = %v", err)
+	}
+	// Ragged rows.
+	bad := [][]float64{{1, 2}, {1}}
+	if _, err := LeastSquares(bad, []float64{1, 2}, nil); err != ErrShape {
+		t.Errorf("ragged err = %v", err)
+	}
+	// Name count mismatch.
+	if _, err := LeastSquares([][]float64{{1}, {2}}, []float64{1, 2}, []string{"a", "b"}); err != ErrShape {
+		t.Errorf("names err = %v", err)
+	}
+}
+
+func TestFitCollectiveRecoversModel(t *testing.T) {
+	// Plant T(p) = 1e-6 + 2e-6·log2(p) + 3e-8·p with tiny noise.
+	rng := rand.New(rand.NewPCG(2, 2))
+	var ps []int
+	var ts []float64
+	for p := 2; p <= 512; p *= 2 {
+		for r := 0; r < 5; r++ {
+			ps = append(ps, p)
+			ts = append(ts, 1e-6+2e-6*math.Log2(float64(p))+3e-8*float64(p)+1e-9*rng.NormFloat64())
+		}
+	}
+	m, err := FitCollective(ps, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.A-1e-6) > 1e-7 || math.Abs(m.B-2e-6) > 1e-7 || math.Abs(m.C-3e-8) > 1e-8 {
+		t.Errorf("model = %+v", m)
+	}
+	if m.R2 < 0.999 {
+		t.Errorf("R² = %g", m.R2)
+	}
+	if m.Eval(64) <= m.Eval(32) {
+		t.Error("model not increasing")
+	}
+	if m.String() == "" {
+		t.Error("String rendering")
+	}
+}
+
+func TestFitCollectiveOnSimulatedReduce(t *testing.T) {
+	// Fit the LogP-style model to real simulated reductions and verify
+	// it explains the data (the §5.1 semi-analytic workflow).
+	var ps []int
+	var ts []float64
+	for p := 2; p <= 64; p *= 2 {
+		m, err := cluster.New(cluster.Quiet(64, 1), p, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 3; r++ {
+			ps = append(ps, p)
+			ts = append(ts, m.Reduce(8, nil).Root.Seconds())
+		}
+	}
+	fit, err := FitCollective(ps, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.R2 < 0.98 {
+		t.Errorf("LogP model explains only R²=%g of quiet reduce", fit.R2)
+	}
+	// The log coefficient dominates: a binomial tree is Θ(log p).
+	if fit.B <= 0 {
+		t.Errorf("log2 coefficient = %g, want > 0", fit.B)
+	}
+}
+
+func TestFitCollectiveValidation(t *testing.T) {
+	if _, err := FitCollective([]int{1, 2}, []float64{1}); err != ErrShape {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := FitCollective([]int{1, 2, 4}, []float64{1, 2, 3}); err != ErrTooFew {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := FitCollective([]int{0, 2, 4, 8}, []float64{1, 2, 3, 4}); err == nil {
+		t.Error("p=0 should error")
+	}
+}
+
+func TestFitSegmentedThreePieces(t *testing.T) {
+	// Plant the paper's Fig 7 overhead structure: constant for p<=8,
+	// 0.1·log2 for 8<p<=16, 0.17·log2 for p>16.
+	var ps []int
+	var ts []float64
+	f := func(p int) float64 {
+		switch {
+		case p <= 8:
+			return 10e-9
+		case p <= 16:
+			return 0.1e-3 * math.Log2(float64(p))
+		default:
+			return 0.17e-3 * math.Log2(float64(p))
+		}
+	}
+	for p := 2; p <= 64; p++ {
+		ps = append(ps, p)
+		ts = append(ts, f(p))
+	}
+	m, err := FitSegmented(ps, ts, []int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Segments) != 3 {
+		t.Fatalf("segments = %d", len(m.Segments))
+	}
+	// Evaluate against the ground truth everywhere.
+	for p := 2; p <= 64; p++ {
+		got := m.Eval(p)
+		want := f(p)
+		if math.Abs(got-want) > 1e-6+0.01*want {
+			t.Errorf("Eval(%d) = %g, want %g", p, got, want)
+		}
+	}
+	// Middle segment recovers the 0.1 ms coefficient.
+	mid := m.Segments[1]
+	if math.Abs(mid.Coef-0.1e-3) > 1e-5 {
+		t.Errorf("middle coefficient = %g, want 1e-4", mid.Coef)
+	}
+	if m.String() == "" {
+		t.Error("String rendering")
+	}
+}
+
+func TestFitSegmentedEdgeCases(t *testing.T) {
+	if _, err := FitSegmented(nil, nil, nil); err != ErrShape {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := FitSegmented([]int{2, 4}, []float64{1, 2}, []int{8, 4}); err == nil {
+		t.Error("unsorted breakpoints should error")
+	}
+	// A single observation in a piece becomes a constant.
+	m, err := FitSegmented([]int{4, 32, 33}, []float64{1, 5, 5.1}, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Eval(4)-1) > 1e-12 {
+		t.Errorf("single-point segment Eval = %g", m.Eval(4))
+	}
+	// Extrapolation beyond the data uses the final piece.
+	if m.Eval(128) <= 0 {
+		t.Error("extrapolation broken")
+	}
+	// A piece with all-identical p falls back to the mean constant.
+	m2, err := FitSegmented([]int{4, 4, 4, 32, 64}, []float64{1, 2, 3, 5, 6}, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m2.Eval(4)-2) > 1e-9 {
+		t.Errorf("identical-p fallback Eval(4) = %g, want 2", m2.Eval(4))
+	}
+}
+
+func TestSegmentedMatchesSimulatedReduceFloor(t *testing.T) {
+	// Fit the empirical reduce floor per process count and confirm the
+	// fitted model lower-bounds noisy reductions (the Fig 7 calibrated
+	// bound's soundness).
+	cfg := cluster.PizDaint()
+	var ps []int
+	var floor []float64
+	for p := 2; p <= 64; p *= 2 {
+		m, err := cluster.New(cfg, p, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := math.Inf(1)
+		for r := 0; r < 40; r++ {
+			v := m.Reduce(8, nil).Root.Seconds()
+			if v < best {
+				best = v
+			}
+			m.Advance(100 * time.Microsecond)
+		}
+		ps = append(ps, p)
+		floor = append(floor, best)
+	}
+	seg, err := FitSegmented(ps, floor, []int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fit at measured points should be within 20% of the floors.
+	for i, p := range ps {
+		if math.Abs(seg.Eval(p)-floor[i]) > 0.2*floor[i] {
+			t.Errorf("p=%d: fitted %g vs floor %g", p, seg.Eval(p), floor[i])
+		}
+	}
+}

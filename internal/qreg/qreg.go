@@ -1,0 +1,209 @@
+package qreg
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/dist"
+)
+
+// Fit is the result of a quantile regression at one quantile tau:
+// the coefficient vector Beta (Beta[0] is the intercept when the design
+// was built with an intercept column) and the achieved check-function
+// loss.
+type Fit struct {
+	Tau  float64
+	Beta []float64
+	Loss float64
+}
+
+// Regress fits the linear tau-quantile regression of y on the design
+// matrix X (rows are observations) by solving the exact Koenker–Bassett
+// linear program
+//
+//	min Σᵢ τ·uᵢ + (1−τ)·vᵢ   s.t.   yᵢ = Xᵢ·β + uᵢ − vᵢ,  u, v ≥ 0
+//
+// with the simplex method. β is split into positive and negative parts to
+// reach standard form. Complexity is polynomial but dense — intended for
+// n up to a few thousand; subsample larger datasets (the estimator is
+// n-consistent, see SubsampleRegress).
+func Regress(x [][]float64, y []float64, tau float64) (Fit, error) {
+	n := len(y)
+	if n == 0 || len(x) != n {
+		return Fit{}, ErrBadShape
+	}
+	p := len(x[0])
+	if p == 0 {
+		return Fit{}, ErrBadShape
+	}
+	if tau <= 0 || tau >= 1 {
+		return Fit{}, fmt.Errorf("qreg: tau = %g outside (0, 1)", tau)
+	}
+
+	// Columns: beta+ (p), beta- (p), u (n), v (n).
+	ncols := 2*p + 2*n
+	c := make([]float64, ncols)
+	for i := 0; i < n; i++ {
+		c[2*p+i] = tau       // u_i
+		c[2*p+n+i] = 1 - tau // v_i
+	}
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	basis := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, ncols)
+		if len(x[i]) != p {
+			return Fit{}, ErrBadShape
+		}
+		for j := 0; j < p; j++ {
+			row[j] = x[i][j]
+			row[p+j] = -x[i][j]
+		}
+		row[2*p+i] = 1    // + u_i
+		row[2*p+n+i] = -1 // − v_i
+		// Standard form needs b >= 0 for the trivial starting basis:
+		// flip the row when y_i < 0 and start from v_i instead of u_i.
+		if y[i] >= 0 {
+			b[i] = y[i]
+			basis[i] = 2*p + i // u_i basic
+		} else {
+			for j := range row {
+				row[j] = -row[j]
+			}
+			b[i] = -y[i]
+			basis[i] = 2*p + n + i // v_i basic
+		}
+		a[i] = row
+	}
+
+	lp := &LP{C: c, A: a, B: b, Basis: basis}
+	sol, obj, err := lp.Solve()
+	if err != nil {
+		return Fit{}, err
+	}
+	beta := make([]float64, p)
+	for j := 0; j < p; j++ {
+		beta[j] = sol[j] - sol[p+j]
+	}
+	return Fit{Tau: tau, Beta: beta, Loss: obj}, nil
+}
+
+// CheckLoss evaluates the quantile-regression objective
+// Σ ρ_τ(yᵢ − Xᵢ·β) with ρ_τ(r) = r·(τ − 1{r<0}).
+func CheckLoss(x [][]float64, y []float64, beta []float64, tau float64) float64 {
+	loss := 0.0
+	for i := range y {
+		r := y[i]
+		for j := range beta {
+			r -= x[i][j] * beta[j]
+		}
+		if r >= 0 {
+			loss += tau * r
+		} else {
+			loss += (tau - 1) * r
+		}
+	}
+	return loss
+}
+
+// SubsampleRegress fits the tau-quantile regression on a uniform random
+// subsample of at most maxN observations, which keeps the simplex
+// tractable on the paper's million-sample latency datasets while
+// preserving the estimator's consistency.
+func SubsampleRegress(x [][]float64, y []float64, tau float64, maxN int, rng *rand.Rand) (Fit, error) {
+	n := len(y)
+	if maxN <= 0 || n <= maxN {
+		return Regress(x, y, tau)
+	}
+	idx := rng.Perm(n)[:maxN]
+	sort.Ints(idx)
+	sx := make([][]float64, maxN)
+	sy := make([]float64, maxN)
+	for i, id := range idx {
+		sx[i] = x[id]
+		sy[i] = y[id]
+	}
+	return Regress(sx, sy, tau)
+}
+
+// TwoGroupPoint is one quantile's comparison between a base system and an
+// alternative: Intercept is the base group's tau-quantile, Difference the
+// alternative's offset at that quantile, with nonparametric confidence
+// bounds on each (the layout of the paper's Figure 4).
+type TwoGroupPoint struct {
+	Tau            float64
+	Intercept      float64
+	InterceptLo    float64
+	InterceptHi    float64
+	Difference     float64
+	DifferenceLo   float64
+	DifferenceHi   float64
+	SignificantDif bool
+}
+
+// TwoGroupQuantiles computes, for each requested tau, the quantile
+// regression of a measurement on a binary system indicator — analytically
+// (for the one-regressor binary design the LP solution is exactly the
+// per-group quantile and the quantile difference), with rank-based
+// confidence bounds derived per group and combined conservatively.
+// This is the computation behind Figure 4, scaled to millions of samples.
+func TwoGroupQuantiles(base, alt []float64, taus []float64, confidence float64) ([]TwoGroupPoint, error) {
+	if len(base) < 6 || len(alt) < 6 {
+		return nil, fmt.Errorf("qreg: need at least 6 observations per group")
+	}
+	sb := append([]float64(nil), base...)
+	sa := append([]float64(nil), alt...)
+	sort.Float64s(sb)
+	sort.Float64s(sa)
+
+	out := make([]TwoGroupPoint, 0, len(taus))
+	for _, tau := range taus {
+		if tau <= 0 || tau >= 1 {
+			return nil, fmt.Errorf("qreg: tau = %g outside (0, 1)", tau)
+		}
+		bq, blo, bhi := rankCI(sb, tau, confidence)
+		aq, alo, ahi := rankCI(sa, tau, confidence)
+		pt := TwoGroupPoint{
+			Tau:          tau,
+			Intercept:    bq,
+			InterceptLo:  blo,
+			InterceptHi:  bhi,
+			Difference:   aq - bq,
+			DifferenceLo: alo - bhi, // conservative interval arithmetic
+			DifferenceHi: ahi - blo,
+		}
+		pt.SignificantDif = pt.DifferenceLo > 0 || pt.DifferenceHi < 0
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// rankCI returns the tau-quantile of the sorted sample plus Le Boudec
+// rank-based confidence bounds (the same construction as ci.QuantileCI,
+// specialized to pre-sorted data so repeated taus avoid re-sorting
+// million-element samples).
+func rankCI(sorted []float64, tau, confidence float64) (q, lo, hi float64) {
+	n := len(sorted)
+	nf := float64(n)
+	// Type-7 interpolated quantile.
+	h := tau * (nf - 1)
+	li := int(math.Floor(h))
+	if li >= n-1 {
+		q = sorted[n-1]
+	} else {
+		q = sorted[li] + (h-float64(li))*(sorted[li+1]-sorted[li])
+	}
+	z := dist.NormalQuantile(1 - (1-confidence)/2)
+	sd := z * math.Sqrt(nf*tau*(1-tau))
+	loRank := int(math.Floor(nf*tau - sd))
+	hiRank := int(math.Ceil(nf*tau+sd)) + 1
+	if loRank < 1 {
+		loRank = 1
+	}
+	if hiRank > n {
+		hiRank = n
+	}
+	return q, sorted[loRank-1], sorted[hiRank-1]
+}

@@ -1,0 +1,352 @@
+package qreg
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestSimplexKnownLP(t *testing.T) {
+	// minimize -3x - 5y s.t. x + s1 = 4; 2y + s2 = 12; 3x + 2y + s3 = 18.
+	// Classic Dantzig example: optimum x=2, y=6, obj = -36.
+	lp := &LP{
+		C: []float64{-3, -5, 0, 0, 0},
+		A: [][]float64{
+			{1, 0, 1, 0, 0},
+			{0, 2, 0, 1, 0},
+			{3, 2, 0, 0, 1},
+		},
+		B:     []float64{4, 12, 18},
+		Basis: []int{2, 3, 4},
+	}
+	x, obj, err := lp.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-9 || math.Abs(x[1]-6) > 1e-9 {
+		t.Errorf("x = %v, want (2, 6, ...)", x)
+	}
+	if math.Abs(obj+36) > 1e-9 {
+		t.Errorf("obj = %g, want -36", obj)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	// minimize -x s.t. x - s = 0 (x can grow forever).
+	lp := &LP{
+		C:     []float64{-1, 0},
+		A:     [][]float64{{1, -1}},
+		B:     []float64{0},
+		Basis: []int{1},
+	}
+	if _, _, err := lp.Solve(); err != ErrUnbounded {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSimplexBadShape(t *testing.T) {
+	lp := &LP{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}, Basis: []int{0}}
+	if _, _, err := lp.Solve(); err != ErrBadShape {
+		t.Errorf("err = %v, want ErrBadShape", err)
+	}
+	empty := &LP{}
+	if _, _, err := empty.Solve(); err != ErrBadShape {
+		t.Errorf("empty: err = %v", err)
+	}
+}
+
+func interceptDesign(n int) [][]float64 {
+	x := make([][]float64, n)
+	for i := range x {
+		x[i] = []float64{1}
+	}
+	return x
+}
+
+func TestRegressInterceptOnlyIsQuantile(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	y := make([]float64, 101)
+	for i := range y {
+		y[i] = rng.NormFloat64()*5 + 20
+	}
+	x := interceptDesign(len(y))
+	for _, tau := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		fit, err := Regress(x, y, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The LP optimum of intercept-only QR is attained at an order
+		// statistic; its loss must equal the loss at the empirical
+		// quantile within tie slack, and never exceed it.
+		qLoss := CheckLoss(x, y, []float64{stats.QuantileOf(y, tau)}, tau)
+		if fit.Loss > qLoss+1e-7 {
+			t.Errorf("tau=%g: LP loss %g exceeds quantile loss %g", tau, fit.Loss, qLoss)
+		}
+		// And the estimate must be within the data range near the quantile.
+		lo := stats.QuantileOf(y, math.Max(0, tau-0.05))
+		hi := stats.QuantileOf(y, math.Min(1, tau+0.05))
+		if fit.Beta[0] < lo-1e-9 || fit.Beta[0] > hi+1e-9 {
+			t.Errorf("tau=%g: intercept %g outside [%g, %g]", tau, fit.Beta[0], lo, hi)
+		}
+	}
+}
+
+func TestRegressExactLine(t *testing.T) {
+	// Noise-free y = 2 + 3x: every tau recovers the line exactly.
+	n := 50
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xi := float64(i) / 10
+		x[i] = []float64{1, xi}
+		y[i] = 2 + 3*xi
+	}
+	for _, tau := range []float64{0.2, 0.5, 0.8} {
+		fit, err := Regress(x, y, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fit.Beta[0]-2) > 1e-6 || math.Abs(fit.Beta[1]-3) > 1e-6 {
+			t.Errorf("tau=%g: beta = %v, want (2, 3)", tau, fit.Beta)
+		}
+		if fit.Loss > 1e-6 {
+			t.Errorf("tau=%g: loss = %g, want 0", tau, fit.Loss)
+		}
+	}
+}
+
+func TestMedianRegressionRobustToOutliers(t *testing.T) {
+	// A line with one gross outlier: median regression shrugs it off
+	// while the mean (least squares) would be dragged.
+	rng := rand.New(rand.NewPCG(4, 2))
+	n := 60
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xi := rng.Float64() * 10
+		x[i] = []float64{1, xi}
+		y[i] = 1 + 2*xi + 0.01*rng.NormFloat64()
+	}
+	y[7] += 1e4 // gross outlier
+	fit, err := Regress(x, y, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Beta[0]-1) > 0.05 || math.Abs(fit.Beta[1]-2) > 0.05 {
+		t.Errorf("outlier broke median regression: beta = %v", fit.Beta)
+	}
+}
+
+// TestRegressOptimalityProperty verifies LP optimality: no random
+// perturbation of the fitted coefficients improves the check loss.
+func TestRegressOptimalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	n := 40
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xi := rng.Float64() * 5
+		x[i] = []float64{1, xi}
+		y[i] = 3 - xi + math.Exp(rng.NormFloat64())
+	}
+	fit, err := Regress(x, y, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := CheckLoss(x, y, fit.Beta, 0.7)
+	f := func(d0, d1 float64) bool {
+		// Bound perturbations to a sane range.
+		b := []float64{
+			fit.Beta[0] + math.Mod(d0, 10),
+			fit.Beta[1] + math.Mod(d1, 10),
+		}
+		return CheckLoss(x, y, b, 0.7) >= base-1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegressQuantileCrossingMonotone(t *testing.T) {
+	// For intercept-only designs, fitted quantiles must be monotone
+	// in tau.
+	rng := rand.New(rand.NewPCG(17, 3))
+	y := make([]float64, 80)
+	for i := range y {
+		y[i] = math.Exp(rng.NormFloat64())
+	}
+	x := interceptDesign(len(y))
+	prev := math.Inf(-1)
+	for _, tau := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		fit, err := Regress(x, y, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fit.Beta[0] < prev-1e-9 {
+			t.Errorf("quantile estimates not monotone at tau=%g", tau)
+		}
+		prev = fit.Beta[0]
+	}
+}
+
+func TestRegressErrors(t *testing.T) {
+	x := interceptDesign(3)
+	y := []float64{1, 2, 3}
+	if _, err := Regress(x, y, 0); err == nil {
+		t.Error("tau=0 should error")
+	}
+	if _, err := Regress(x, y, 1); err == nil {
+		t.Error("tau=1 should error")
+	}
+	if _, err := Regress(x[:2], y, 0.5); err != ErrBadShape {
+		t.Error("shape mismatch should error")
+	}
+	if _, err := Regress(nil, nil, 0.5); err != ErrBadShape {
+		t.Error("empty should error")
+	}
+	if _, err := Regress([][]float64{{1}, {1, 2}, {1}}, y, 0.5); err != ErrBadShape {
+		t.Error("ragged design should error")
+	}
+}
+
+func TestSubsampleRegress(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	n := 5000
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xi := rng.Float64()
+		x[i] = []float64{1, xi}
+		y[i] = 1 + 0.5*xi + 0.1*rng.NormFloat64()
+	}
+	fit, err := SubsampleRegress(x, y, 0.5, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Beta[0]-1) > 0.1 || math.Abs(fit.Beta[1]-0.5) > 0.3 {
+		t.Errorf("subsampled beta = %v, want ≈(1, 0.5)", fit.Beta)
+	}
+	// maxN larger than n falls through to exact fit.
+	small := x[:50]
+	if _, err := SubsampleRegress(small, y[:50], 0.5, 1000, rng); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoGroupQuantilesFig4Scenario(t *testing.T) {
+	// Construct the paper's Fig 4 situation: the base system (Dora) is
+	// slower at low quantiles but faster at high quantiles than the
+	// alternative (Pilatus); mean/median favor one side while the tail
+	// favors the other.
+	rng := rand.New(rand.NewPCG(6, 7))
+	n := 20000
+	base := make([]float64, n) // "Piz Dora": tight but slower baseline latency
+	alt := make([]float64, n)  // "Pilatus": slower body, lighter tail
+	for i := 0; i < n; i++ {
+		base[i] = 1.70 + 0.05*rng.Float64() + math.Exp(rng.NormFloat64()*0.8)*0.04
+		alt[i] = 1.85 + 0.03*rng.Float64() + 0.001*rng.NormFloat64()
+	}
+	taus := []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99}
+	pts, err := TwoGroupQuantiles(base, alt, taus, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(taus) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Low quantile: alt is slower (positive difference).
+	if pts[0].Difference <= 0 {
+		t.Errorf("low quantile difference = %g, want > 0", pts[0].Difference)
+	}
+	// Very high quantile: base's tail overtakes (negative difference).
+	last := pts[len(pts)-1]
+	if last.Difference >= 0 {
+		t.Errorf("p99 difference = %g, want < 0 (sign flip)", last.Difference)
+	}
+	// With n=20000, both ends should be statistically significant.
+	if !pts[0].SignificantDif || !last.SignificantDif {
+		t.Error("expected significant differences at both extremes")
+	}
+	// Intercepts track the base quantiles and are bracketed by their CIs.
+	for _, pt := range pts {
+		if pt.InterceptLo > pt.Intercept || pt.Intercept > pt.InterceptHi {
+			t.Errorf("tau=%g: intercept %g outside its CI [%g, %g]",
+				pt.Tau, pt.Intercept, pt.InterceptLo, pt.InterceptHi)
+		}
+		if pt.DifferenceLo > pt.Difference || pt.Difference > pt.DifferenceHi {
+			t.Errorf("tau=%g: difference outside its band", pt.Tau)
+		}
+	}
+}
+
+func TestTwoGroupQuantilesErrors(t *testing.T) {
+	if _, err := TwoGroupQuantiles([]float64{1, 2}, []float64{1, 2, 3, 4, 5, 6}, []float64{0.5}, 0.95); err == nil {
+		t.Error("tiny group should error")
+	}
+	six := []float64{1, 2, 3, 4, 5, 6}
+	if _, err := TwoGroupQuantiles(six, six, []float64{0}, 0.95); err == nil {
+		t.Error("tau=0 should error")
+	}
+}
+
+func TestRegressAgreesWithTwoGroupAnalytic(t *testing.T) {
+	// Binary design: LP result must match per-group quantile arithmetic.
+	rng := rand.New(rand.NewPCG(9, 1))
+	var x [][]float64
+	var y []float64
+	var g0, g1 []float64
+	for i := 0; i < 120; i++ {
+		v := rng.NormFloat64()
+		if i%2 == 0 {
+			x = append(x, []float64{1, 0})
+			y = append(y, 5+v)
+			g0 = append(g0, 5+v)
+		} else {
+			x = append(x, []float64{1, 1})
+			y = append(y, 7+v)
+			g1 = append(g1, 7+v)
+		}
+	}
+	fit, err := Regress(x, y, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := CheckLoss(x, y, []float64{
+		stats.Median(g0),
+		stats.Median(g1) - stats.Median(g0),
+	}, 0.5)
+	if fit.Loss > analytic+1e-7 {
+		t.Errorf("LP loss %g exceeds analytic group-median loss %g", fit.Loss, analytic)
+	}
+}
+
+// TestSimplexRandomLPsAgainstVertexEnumeration cross-checks the simplex
+// on small random LPs: min c·x s.t. x1+x2+s = b (one constraint), whose
+// optimum is computable by inspection.
+func TestSimplexRandomLPsAgainstVertexEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewPCG(99, 99))
+	for trial := 0; trial < 200; trial++ {
+		// min c1·x1 + c2·x2  s.t.  x1 + x2 + s = b;  x, s >= 0.
+		c1 := rng.Float64()*4 - 2
+		c2 := rng.Float64()*4 - 2
+		b := rng.Float64()*10 + 0.1
+		lp := &LP{
+			C:     []float64{c1, c2, 0},
+			A:     [][]float64{{1, 1, 1}},
+			B:     []float64{b},
+			Basis: []int{2},
+		}
+		_, obj, err := lp.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Optimum: put everything on the cheapest of {x1, x2, slack}.
+		want := math.Min(0, math.Min(c1, c2)*b)
+		if math.Abs(obj-want) > 1e-9 {
+			t.Fatalf("trial %d: obj %g, want %g (c=%g,%g b=%g)", trial, obj, want, c1, c2, b)
+		}
+	}
+}

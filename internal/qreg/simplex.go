@@ -1,0 +1,147 @@
+// Package qreg implements quantile regression (paper §3.2.3) from
+// scratch: the estimator is the exact linear-programming formulation of
+// Koenker & Bassett solved with a dense primal simplex method, plus
+// nonparametric confidence bands. Quantile regression models the effect
+// of factors on arbitrary quantiles — the paper uses it to show that two
+// systems can rank differently at low and high percentiles even when
+// their means and medians agree on a winner (Fig 4).
+package qreg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Simplex errors.
+var (
+	ErrInfeasible = errors.New("qreg: linear program is infeasible")
+	ErrUnbounded  = errors.New("qreg: linear program is unbounded")
+	ErrMaxIter    = errors.New("qreg: simplex iteration limit exceeded")
+	ErrBadShape   = errors.New("qreg: inconsistent problem dimensions")
+)
+
+// LP is a linear program in standard equality form:
+//
+//	minimize  c·x   subject to   A·x = b,  x >= 0.
+//
+// Basis must name one column per row forming a feasible starting basis
+// (the quantile-regression construction always has one available, so no
+// phase-1 is needed).
+type LP struct {
+	C     []float64
+	A     [][]float64
+	B     []float64
+	Basis []int
+}
+
+// Solve runs the primal simplex method with Bland's anti-cycling rule and
+// returns the optimal vertex and objective value.
+func (lp *LP) Solve() (x []float64, obj float64, err error) {
+	m := len(lp.A)
+	if m == 0 || len(lp.B) != m || len(lp.Basis) != m {
+		return nil, 0, ErrBadShape
+	}
+	n := len(lp.C)
+	for _, row := range lp.A {
+		if len(row) != n {
+			return nil, 0, ErrBadShape
+		}
+	}
+
+	// Build the tableau: rows 0..m-1 are constraints (augmented with b in
+	// the last column), row m is the reduced-cost row.
+	t := make([][]float64, m+1)
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, n+1)
+		copy(t[i], lp.A[i])
+		t[i][n] = lp.B[i]
+	}
+	t[m] = make([]float64, n+1)
+	copy(t[m], lp.C)
+
+	basis := make([]int, m)
+	copy(basis, lp.Basis)
+
+	// Price out the initial basis so reduced costs are consistent.
+	for i, bj := range basis {
+		if bj < 0 || bj >= n {
+			return nil, 0, ErrBadShape
+		}
+		if t[i][bj] == 0 {
+			return nil, 0, fmt.Errorf("qreg: zero pivot in initial basis column %d", bj)
+		}
+		pivotRow(t, i, bj)
+	}
+	// Feasibility of the starting basis.
+	for i := 0; i < m; i++ {
+		if t[i][n] < -1e-9 {
+			return nil, 0, ErrInfeasible
+		}
+	}
+
+	const eps = 1e-10
+	maxIter := 50 * (m + n)
+	for iter := 0; iter < maxIter; iter++ {
+		// Entering column: Bland's rule (lowest index with negative
+		// reduced cost).
+		enter := -1
+		for j := 0; j < n; j++ {
+			if t[m][j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			// Optimal.
+			x = make([]float64, n)
+			for i, bj := range basis {
+				x[bj] = t[i][n]
+			}
+			return x, -t[m][n], nil
+		}
+		// Leaving row: minimum ratio, ties broken by lowest basis index
+		// (Bland).
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][enter] > eps {
+				ratio := t[i][n] / t[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave == -1 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return nil, 0, ErrUnbounded
+		}
+		pivotRow(t, leave, enter)
+		basis[leave] = enter
+	}
+	return nil, 0, ErrMaxIter
+}
+
+// pivotRow performs a Gauss–Jordan pivot on tableau element (r, c).
+func pivotRow(t [][]float64, r, c int) {
+	pr := t[r]
+	inv := 1 / pr[c]
+	for j := range pr {
+		pr[j] *= inv
+	}
+	pr[c] = 1 // exact
+	for i := range t {
+		if i == r {
+			continue
+		}
+		f := t[i][c]
+		if f == 0 {
+			continue
+		}
+		row := t[i]
+		for j := range row {
+			row[j] -= f * pr[j]
+		}
+		row[c] = 0 // exact
+	}
+}

@@ -1,0 +1,366 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// HistogramPlot renders a horizontal-bar histogram of xs with the given
+// number of bins (Sturges when nbins <= 0) and bar width in characters.
+func HistogramPlot(w io.Writer, xs []float64, nbins, width int) error {
+	if nbins <= 0 {
+		nbins = stats.SturgesBins(len(xs))
+	}
+	if width < 10 {
+		width = 40
+	}
+	bins := stats.Histogram(xs, nbins)
+	if bins == nil {
+		return fmt.Errorf("report: nothing to plot")
+	}
+	maxC := 0
+	for _, b := range bins {
+		if b.Count > maxC {
+			maxC = b.Count
+		}
+	}
+	for _, b := range bins {
+		bar := 0
+		if maxC > 0 {
+			bar = b.Count * width / maxC
+		}
+		if _, err := fmt.Fprintf(w, "[%12.6g, %12.6g) %6d %s\n",
+			b.Lo, b.Hi, b.Count, strings.Repeat("#", bar)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DensityPlot renders a KDE curve as a vertical-axis ASCII chart, the
+// text analogue of the paper's Figure 1 density with annotated summary
+// positions (min, median, mean, 95th percentile, max).
+func DensityPlot(w io.Writer, xs []float64, width, height int) error {
+	if len(xs) == 0 {
+		return fmt.Errorf("report: nothing to plot")
+	}
+	if width < 20 {
+		width = 72
+	}
+	if height < 4 {
+		height = 12
+	}
+	pts := stats.KDE(xs, 0, width)
+	if pts == nil {
+		return fmt.Errorf("report: degenerate sample")
+	}
+	maxD := 0.0
+	for _, p := range pts {
+		if p.Density > maxD {
+			maxD = p.Density
+		}
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for c, p := range pts {
+		h := int(p.Density / maxD * float64(height-1))
+		for r := 0; r <= h; r++ {
+			grid[height-1-r][c] = '#'
+		}
+	}
+	// Annotate summary positions on an axis row.
+	axis := []byte(strings.Repeat("-", width))
+	lo, hi := pts[0].X, pts[len(pts)-1].X
+	mark := func(x float64, ch byte) {
+		if hi == lo {
+			return
+		}
+		c := int((x - lo) / (hi - lo) * float64(width-1))
+		if c >= 0 && c < width {
+			axis[c] = ch
+		}
+	}
+	s := stats.Summarize(xs)
+	mark(s.Min, '|')
+	mark(s.Max, '|')
+	mark(s.Median, 'M')
+	mark(s.Mean, 'A')
+	mark(s.P95, '9')
+	for _, row := range grid {
+		if _, err := fmt.Fprintln(w, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, string(axis)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%-12.6g%s%12.6g\n  (axis marks: | min/max, M median, A mean, 9 p95)\n",
+		lo, strings.Repeat(" ", max(0, width-24)), hi)
+	return err
+}
+
+// BoxStats are the five-number summary plus mean and 1.5-IQR whiskers
+// used by box plots (whisker semantics per the paper: lowest/highest
+// observation within 1.5 IQR of the box).
+type BoxStats struct {
+	Label      string
+	Min, Max   float64
+	Q1, Q3     float64
+	Median     float64
+	Mean       float64
+	WhiskerLo  float64
+	WhiskerHi  float64
+	NumOutside int // observations beyond the whiskers
+}
+
+// ComputeBoxStats derives box-plot statistics from a sample.
+func ComputeBoxStats(label string, xs []float64) BoxStats {
+	s := stats.Sorted(xs)
+	q1 := stats.Quantile(s, 0.25)
+	q3 := stats.Quantile(s, 0.75)
+	iqr := q3 - q1
+	loFence := q1 - 1.5*iqr
+	hiFence := q3 + 1.5*iqr
+	b := BoxStats{
+		Label:  label,
+		Min:    stats.Min(xs),
+		Max:    stats.Max(xs),
+		Q1:     q1,
+		Q3:     q3,
+		Median: stats.Quantile(s, 0.5),
+		Mean:   stats.Mean(xs),
+	}
+	b.WhiskerLo = b.Max
+	b.WhiskerHi = b.Min
+	for _, v := range s {
+		if v >= loFence && v < b.WhiskerLo {
+			b.WhiskerLo = v
+		}
+		if v <= hiFence && v > b.WhiskerHi {
+			b.WhiskerHi = v
+		}
+		if v < loFence || v > hiFence {
+			b.NumOutside++
+		}
+	}
+	return b
+}
+
+// BoxPlot renders one horizontal box plot line per group on a shared
+// axis spanning all groups' whiskers.
+func BoxPlot(w io.Writer, groups map[string][]float64, width int) error {
+	if len(groups) == 0 {
+		return fmt.Errorf("report: no groups")
+	}
+	if width < 30 {
+		width = 60
+	}
+	var boxes []BoxStats
+	lo, hi := math.Inf(1), math.Inf(-1)
+	// Deterministic order: sort keys.
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	labelW := 0
+	for _, k := range keys {
+		b := ComputeBoxStats(k, groups[k])
+		boxes = append(boxes, b)
+		lo = math.Min(lo, b.WhiskerLo)
+		hi = math.Max(hi, b.WhiskerHi)
+		if len(k) > labelW {
+			labelW = len(k)
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	col := func(x float64) int {
+		c := int((x - lo) / (hi - lo) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	for _, b := range boxes {
+		row := []byte(strings.Repeat(" ", width))
+		for c := col(b.WhiskerLo); c <= col(b.WhiskerHi); c++ {
+			row[c] = '-'
+		}
+		for c := col(b.Q1); c <= col(b.Q3); c++ {
+			row[c] = '='
+		}
+		row[col(b.WhiskerLo)] = '|'
+		row[col(b.WhiskerHi)] = '|'
+		row[col(b.Median)] = 'M'
+		if c := col(b.Mean); row[c] != 'M' {
+			row[c] = 'A'
+		}
+		if _, err := fmt.Fprintf(w, "%-*s %s (med %.4g, out %d)\n",
+			labelW, b.Label, string(row), b.Median, b.NumOutside); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-*s %-12.6g%s%12.6g\n", labelW, "",
+		lo, strings.Repeat(" ", max(0, width-24)), hi)
+	return err
+}
+
+// ViolinPlot renders per-group density strips using glyph thickness —
+// the text analogue of Fig 7c's violin plot. Each group occupies one row.
+func ViolinPlot(w io.Writer, groups map[string][]float64, width int) error {
+	if len(groups) == 0 {
+		return fmt.Errorf("report: no groups")
+	}
+	if width < 30 {
+		width = 60
+	}
+	keys := make([]string, 0, len(groups))
+	labelW := 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for k, xs := range groups {
+		keys = append(keys, k)
+		if len(k) > labelW {
+			labelW = len(k)
+		}
+		lo = math.Min(lo, stats.Min(xs))
+		hi = math.Max(hi, stats.Max(xs))
+	}
+	sort.Strings(keys)
+	if hi == lo {
+		hi = lo + 1
+	}
+	glyphs := []byte(" .:-=+*#%@")
+	for _, k := range keys {
+		xs := groups[k]
+		// Bin the data onto the shared axis and map counts to glyphs.
+		counts := make([]int, width)
+		for _, v := range xs {
+			c := int((v - lo) / (hi - lo) * float64(width-1))
+			if c >= 0 && c < width {
+				counts[c]++
+			}
+		}
+		maxC := 0
+		for _, c := range counts {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		row := make([]byte, width)
+		for i, c := range counts {
+			g := 0
+			if maxC > 0 && c > 0 {
+				g = 1 + c*(len(glyphs)-2)/maxC
+			}
+			row[i] = glyphs[g]
+		}
+		med := stats.Median(xs)
+		if _, err := fmt.Fprintf(w, "%-*s %s (med %.4g)\n", labelW, k, string(row), med); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-*s %-12.6g%s%12.6g\n", labelW, "",
+		lo, strings.Repeat(" ", max(0, width-24)), hi)
+	return err
+}
+
+// Series is one named line in an XY chart.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker byte
+}
+
+// XYPlot renders multiple series on a shared linear-axis character grid
+// (the text analogue of Figs 4, 5 and 7a/b).
+func XYPlot(w io.Writer, title string, series []Series, width, height int) error {
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series")
+	}
+	if width < 20 {
+		width = 72
+	}
+	if height < 5 {
+		height = 20
+	}
+	xlo, xhi := math.Inf(1), math.Inf(-1)
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("report: series %q x/y length mismatch", s.Name)
+		}
+		for i := range s.X {
+			xlo = math.Min(xlo, s.X[i])
+			xhi = math.Max(xhi, s.X[i])
+			ylo = math.Min(ylo, s.Y[i])
+			yhi = math.Max(yhi, s.Y[i])
+		}
+	}
+	if xhi == xlo {
+		xhi = xlo + 1
+	}
+	if yhi == ylo {
+		yhi = ylo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		for i := range s.X {
+			c := int((s.X[i] - xlo) / (xhi - xlo) * float64(width-1))
+			r := int((s.Y[i] - ylo) / (yhi - ylo) * float64(height-1))
+			grid[height-1-r][c] = marker
+		}
+	}
+	if title != "" {
+		if _, err := fmt.Fprintln(w, title); err != nil {
+			return err
+		}
+	}
+	for r, row := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%.4g", yhi)
+		case height - 1:
+			label = fmt.Sprintf("%.4g", ylo)
+		}
+		if _, err := fmt.Fprintf(w, "%10s |%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%10s +%s\n", "", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%10s  %-12.6g%s%12.6g\n", "",
+		xlo, strings.Repeat(" ", max(0, width-24)), xhi); err != nil {
+		return err
+	}
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		if _, err := fmt.Fprintf(w, "%10s  %c = %s\n", "", marker, s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// QQPlot renders a normal quantile-quantile scatter of xs (the paper's
+// Fig 2 bottom row): theoretical standard-normal quantiles on the x
+// axis, sample order statistics on the y axis, with the least-squares
+// reference line drawn as '-' where no point lands. Near-linear point
+// clouds indicate normality.
+func QQPlot(w io.Writer, xs []float64, width, height int) error {
+	pts := stats.QQPoints(xs)
+	if len(pts) < 3 {
+		return fmt.Errorf("report: need at least 3 observations for a Q-Q plot")
+	}
+	if width < 20 {
+		width = 60
+	}
+	if height < 8 {
+		height = 16
+	}
+	// Subsample huge datasets evenly (order statistics are already
+	// sorted, so striding keeps the shape).
+	if len(pts) > 2000 {
+		stride := len(pts) / 2000
+		sub := make([]stats.QQPoint, 0, 2000)
+		for i := 0; i < len(pts); i += stride {
+			sub = append(sub, pts[i])
+		}
+		pts = sub
+	}
+
+	xlo, xhi := pts[0].Theoretical, pts[len(pts)-1].Theoretical
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		ylo = math.Min(ylo, p.Sample)
+		yhi = math.Max(yhi, p.Sample)
+	}
+	if xhi == xlo {
+		xhi = xlo + 1
+	}
+	if yhi == ylo {
+		yhi = ylo + 1
+	}
+
+	// Least-squares reference line through the Q-Q points.
+	var sx, sy, sxx, sxy float64
+	for _, p := range pts {
+		sx += p.Theoretical
+		sy += p.Sample
+		sxx += p.Theoretical * p.Theoretical
+		sxy += p.Theoretical * p.Sample
+	}
+	n := float64(len(pts))
+	denom := n*sxx - sx*sx
+	slope, intercept := 0.0, sy/n
+	if denom != 0 {
+		slope = (n*sxy - sx*sy) / denom
+		intercept = (sy - slope*sx) / n
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int((x - xlo) / (xhi - xlo) * float64(width-1))
+		return min(max(c, 0), width-1)
+	}
+	row := func(y float64) int {
+		r := int((y - ylo) / (yhi - ylo) * float64(height-1))
+		return height - 1 - min(max(r, 0), height-1)
+	}
+	// Reference line first so points overwrite it.
+	for c := 0; c < width; c++ {
+		x := xlo + (xhi-xlo)*float64(c)/float64(width-1)
+		y := intercept + slope*x
+		if y >= ylo && y <= yhi {
+			grid[row(y)][c] = '-'
+		}
+	}
+	for _, p := range pts {
+		grid[row(p.Sample)][col(p.Theoretical)] = 'o'
+	}
+
+	corr := stats.QQCorrelation(xs)
+	if _, err := fmt.Fprintf(w, "normal Q-Q plot (n=%d, straightness r=%.5f)\n", len(xs), corr); err != nil {
+		return err
+	}
+	for r, rowBytes := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%.4g", yhi)
+		case height - 1:
+			label = fmt.Sprintf("%.4g", ylo)
+		}
+		if _, err := fmt.Fprintf(w, "%10s |%s\n", label, string(rowBytes)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%10s +%s\n", "", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%10s  %-8.3g%s%8.3g  (theoretical N(0,1) quantiles)\n", "",
+		xlo, strings.Repeat(" ", max(0, width-16)), xhi)
+	return err
+}
+
+// RenderMarkdown writes the table as GitHub-flavored Markdown — handy
+// for dropping regenerated results straight into EXPERIMENTS.md-style
+// documents.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	if len(t.Headers) == 0 {
+		return fmt.Errorf("report: markdown tables need headers")
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "**%s**\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		b.WriteString("|")
+		for i := 0; i < len(t.Headers); i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			b.WriteString(" ")
+			b.WriteString(strings.ReplaceAll(cell, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		_, err := fmt.Fprintln(w, b.String())
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	var sep []string
+	for range t.Headers {
+		sep = append(sep, "---")
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

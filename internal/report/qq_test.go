@@ -1,0 +1,77 @@
+package report
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func TestQQPlotNormalData(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = 5 + 2*rng.NormFloat64()
+	}
+	var sb strings.Builder
+	if err := QQPlot(&sb, xs, 50, 12); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "o") || !strings.Contains(out, "straightness") {
+		t.Errorf("Q-Q output incomplete:\n%s", out)
+	}
+	// For normal data the straightness annotation should read ≈1.
+	if !strings.Contains(out, "r=0.99") && !strings.Contains(out, "r=1.00") {
+		t.Errorf("expected high straightness annotation:\n%s", strings.SplitN(out, "\n", 2)[0])
+	}
+}
+
+func TestQQPlotSubsamplesHugeData(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = math.Exp(rng.NormFloat64())
+	}
+	var sb strings.Builder
+	if err := QQPlot(&sb, xs, 50, 12); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() == 0 {
+		t.Error("nothing rendered")
+	}
+}
+
+func TestQQPlotValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := QQPlot(&sb, []float64{1, 2}, 50, 12); err == nil {
+		t.Error("tiny sample should error")
+	}
+	// Constant data is degenerate but must not panic.
+	if err := QQPlot(&sb, []float64{3, 3, 3, 3}, 50, 12); err != nil {
+		t.Errorf("constant data: %v", err)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Headers: []string{"name", "value"},
+	}
+	tbl.AddRow("a|b", 1.5) // pipe must be escaped
+	tbl.AddRow("c", 2)
+	var sb strings.Builder
+	if err := tbl.RenderMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"**demo**", "| name | value |", "| --- | --- |", `a\|b`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	empty := &Table{}
+	if err := empty.RenderMarkdown(&sb); err == nil {
+		t.Error("headerless table should error")
+	}
+}

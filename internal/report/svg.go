@@ -1,0 +1,208 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// This file renders publication-style SVG figures (stdlib-only): XY
+// charts with axes, ticks and legends, and filled density curves — the
+// vector twins of the package's ASCII renderers, for dropping
+// regenerated paper figures into documents.
+
+// svgPalette holds the stroke colors assigned to series in order.
+var svgPalette = []string{
+	"#1b9e77", "#d95f02", "#7570b3", "#e7298a", "#66a61e", "#e6ab02",
+}
+
+type svgCanvas struct {
+	w, h       int
+	padL, padR int
+	padT, padB int
+	xlo, xhi   float64
+	ylo, yhi   float64
+	b          strings.Builder
+}
+
+func newSVGCanvas(w, h int, xlo, xhi, ylo, yhi float64) *svgCanvas {
+	c := &svgCanvas{
+		w: w, h: h,
+		padL: 64, padR: 16, padT: 28, padB: 44,
+		xlo: xlo, xhi: xhi, ylo: ylo, yhi: yhi,
+	}
+	if c.xhi == c.xlo {
+		c.xhi = c.xlo + 1
+	}
+	if c.yhi == c.ylo {
+		c.yhi = c.ylo + 1
+	}
+	fmt.Fprintf(&c.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		w, h, w, h)
+	fmt.Fprintf(&c.b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	return c
+}
+
+func (c *svgCanvas) x(v float64) float64 {
+	return float64(c.padL) + (v-c.xlo)/(c.xhi-c.xlo)*float64(c.w-c.padL-c.padR)
+}
+
+func (c *svgCanvas) y(v float64) float64 {
+	return float64(c.h-c.padB) - (v-c.ylo)/(c.yhi-c.ylo)*float64(c.h-c.padT-c.padB)
+}
+
+func (c *svgCanvas) axes(title, xlabel, ylabel string) {
+	left, right := float64(c.padL), float64(c.w-c.padR)
+	top, bottom := float64(c.padT), float64(c.h-c.padB)
+	fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		left, bottom, right, bottom)
+	fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		left, bottom, left, top)
+	// Five ticks per axis.
+	for i := 0; i <= 4; i++ {
+		fx := c.xlo + (c.xhi-c.xlo)*float64(i)/4
+		fy := c.ylo + (c.yhi-c.ylo)*float64(i)/4
+		px := c.x(fx)
+		py := c.y(fy)
+		fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+			px, bottom, px, bottom+5)
+		fmt.Fprintf(&c.b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle">%.4g</text>`+"\n",
+			px, bottom+18, fx)
+		fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+			left-5, py, left, py)
+		fmt.Fprintf(&c.b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="end">%.4g</text>`+"\n",
+			left-8, py+4, fy)
+	}
+	if title != "" {
+		fmt.Fprintf(&c.b, `<text x="%d" y="18" font-size="14" text-anchor="middle" font-weight="bold">%s</text>`+"\n",
+			c.w/2, svgEscape(title))
+	}
+	if xlabel != "" {
+		fmt.Fprintf(&c.b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			c.w/2, c.h-8, svgEscape(xlabel))
+	}
+	if ylabel != "" {
+		fmt.Fprintf(&c.b, `<text x="14" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+			c.h/2, c.h/2, svgEscape(ylabel))
+	}
+}
+
+func (c *svgCanvas) close() string {
+	c.b.WriteString("</svg>\n")
+	return c.b.String()
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// SVGXYPlot renders the series as an SVG line chart with axes, ticks and
+// a legend.
+func SVGXYPlot(w io.Writer, title, xlabel, ylabel string, series []Series, width, height int) error {
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series")
+	}
+	if width < 200 {
+		width = 560
+	}
+	if height < 150 {
+		height = 360
+	}
+	xlo, xhi := math.Inf(1), math.Inf(-1)
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("report: series %q x/y length mismatch", s.Name)
+		}
+		for i := range s.X {
+			xlo = math.Min(xlo, s.X[i])
+			xhi = math.Max(xhi, s.X[i])
+			ylo = math.Min(ylo, s.Y[i])
+			yhi = math.Max(yhi, s.Y[i])
+		}
+	}
+	c := newSVGCanvas(width, height, xlo, xhi, ylo, yhi)
+	c.axes(title, xlabel, ylabel)
+	for si, s := range series {
+		color := svgPalette[si%len(svgPalette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", c.x(s.X[i]), c.y(s.Y[i])))
+		}
+		fmt.Fprintf(&c.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i := range s.X {
+			fmt.Fprintf(&c.b, `<circle cx="%.1f" cy="%.1f" r="2.6" fill="%s"/>`+"\n",
+				c.x(s.X[i]), c.y(s.Y[i]), color)
+		}
+		// Legend entry.
+		ly := c.padT + 14 + 16*si
+		fmt.Fprintf(&c.b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			c.padL+10, ly, c.padL+34, ly, color)
+		fmt.Fprintf(&c.b, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n",
+			c.padL+40, ly+4, svgEscape(s.Name))
+	}
+	_, err := io.WriteString(w, c.close())
+	return err
+}
+
+// SVGDensityPlot renders a filled KDE curve of xs with vertical marker
+// lines for min, median, mean, the 95th percentile and max — the SVG
+// twin of the paper's Figure 1.
+func SVGDensityPlot(w io.Writer, title, xlabel string, xs []float64, width, height int) error {
+	if len(xs) == 0 {
+		return fmt.Errorf("report: nothing to plot")
+	}
+	if width < 200 {
+		width = 560
+	}
+	if height < 150 {
+		height = 300
+	}
+	pts := stats.KDE(xs, 0, 256)
+	if pts == nil {
+		return fmt.Errorf("report: degenerate sample")
+	}
+	maxD := 0.0
+	for _, p := range pts {
+		maxD = math.Max(maxD, p.Density)
+	}
+	c := newSVGCanvas(width, height, pts[0].X, pts[len(pts)-1].X, 0, maxD*1.05)
+	c.axes(title, xlabel, "density")
+
+	// Filled density polygon.
+	var poly []string
+	poly = append(poly, fmt.Sprintf("%.1f,%.1f", c.x(pts[0].X), c.y(0)))
+	for _, p := range pts {
+		poly = append(poly, fmt.Sprintf("%.1f,%.1f", c.x(p.X), c.y(p.Density)))
+	}
+	poly = append(poly, fmt.Sprintf("%.1f,%.1f", c.x(pts[len(pts)-1].X), c.y(0)))
+	fmt.Fprintf(&c.b, `<polygon points="%s" fill="#1b9e77" fill-opacity="0.35" stroke="#1b9e77" stroke-width="1.5"/>`+"\n",
+		strings.Join(poly, " "))
+
+	s := stats.Summarize(xs)
+	markers := []struct {
+		v     float64
+		label string
+		color string
+	}{
+		{s.Min, "min", "#666666"},
+		{s.Median, "median", "#d95f02"},
+		{s.Mean, "mean", "#7570b3"},
+		{s.P95, "p95", "#e7298a"},
+		{s.Max, "max", "#666666"},
+	}
+	for i, mk := range markers {
+		px := c.x(mk.v)
+		fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%d" stroke="%s" stroke-dasharray="4 3"/>`+"\n",
+			px, c.y(0), px, c.padT+12, mk.color)
+		fmt.Fprintf(&c.b, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle" fill="%s">%s</text>`+"\n",
+			px, c.padT+10-(i%2)*10+10, mk.color, mk.label)
+	}
+	_, err := io.WriteString(w, c.close())
+	return err
+}

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"encoding/xml"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+// parseSVG validates well-formedness by streaming the tokens.
+func parseSVG(t *testing.T, s string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(s))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestSVGXYPlot(t *testing.T) {
+	var sb strings.Builder
+	series := []Series{
+		{Name: "measured <µs>", X: []float64{1, 2, 4, 8}, Y: []float64{1, 2.2, 4.1, 8.9}},
+		{Name: "ideal", X: []float64{1, 2, 4, 8}, Y: []float64{1, 2, 4, 8}},
+	}
+	if err := SVGXYPlot(&sb, "scaling & bounds", "processes", "speedup", series, 560, 360); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	parseSVG(t, out)
+	for _, want := range []string{"<svg", "polyline", "circle", "scaling &amp; bounds", "measured &lt;µs&gt;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if err := SVGXYPlot(&sb, "", "", "", nil, 0, 0); err == nil {
+		t.Error("no series should error")
+	}
+	bad := []Series{{Name: "b", X: []float64{1}, Y: []float64{1, 2}}}
+	if err := SVGXYPlot(&sb, "", "", "", bad, 0, 0); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestSVGDensityPlot(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = 280 + 15*rng.NormFloat64()
+	}
+	var sb strings.Builder
+	if err := SVGDensityPlot(&sb, "HPL completion times", "seconds", xs, 560, 300); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	parseSVG(t, out)
+	for _, want := range []string{"polygon", "median", "mean", "p95"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("density SVG missing %q", want)
+		}
+	}
+	if err := SVGDensityPlot(&sb, "", "", nil, 0, 0); err == nil {
+		t.Error("empty data should error")
+	}
+	if err := SVGDensityPlot(&sb, "", "", []float64{5, 5, 5}, 0, 0); err == nil {
+		t.Error("constant data should error (no KDE)")
+	}
+}
+
+func TestSVGFlatSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	var sb strings.Builder
+	flat := []Series{{Name: "flat", X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}}}
+	if err := SVGXYPlot(&sb, "", "", "", flat, 300, 200); err != nil {
+		t.Fatal(err)
+	}
+	parseSVG(t, sb.String())
+	if strings.Contains(sb.String(), "NaN") {
+		t.Error("NaN leaked into SVG coordinates")
+	}
+}

@@ -1,0 +1,509 @@
+// Package rules codifies the paper's twelve guidelines as an executable
+// audit: a Report describes how an experiment was designed, measured,
+// analyzed, and presented, and Audit checks it rule by rule, producing
+// findings a reviewer (or CI pipeline) can act on. The rule texts are
+// quoted from Hoefler & Belli, SC'15.
+package rules
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Severity grades a finding.
+type Severity int
+
+const (
+	// Pass: the rule's requirements are met.
+	Pass Severity = iota
+	// Warning: the rule is partially met or its applicability is unclear.
+	Warning
+	// Violation: the rule is clearly not followed.
+	Violation
+)
+
+// String returns the severity name.
+func (s Severity) String() string {
+	switch s {
+	case Pass:
+		return "PASS"
+	case Warning:
+		return "WARN"
+	case Violation:
+		return "FAIL"
+	}
+	return fmt.Sprintf("Severity(%d)", int(s))
+}
+
+// Finding is one audit observation.
+type Finding struct {
+	Rule     int
+	Severity Severity
+	Message  string
+}
+
+// String renders the finding.
+func (f Finding) String() string {
+	return fmt.Sprintf("Rule %2d [%s] %s", f.Rule, f.Severity, f.Message)
+}
+
+// RuleTexts holds the twelve rules verbatim for reporting.
+var RuleTexts = [13]string{
+	1:  "When publishing parallel speedup, report if the base case is a single parallel process or best serial execution, as well as the absolute execution performance of the base case.",
+	2:  "Specify the reason for only reporting subsets of standard benchmarks or applications or not using all system resources.",
+	3:  "Use the arithmetic mean only for summarizing costs. Use the harmonic mean for summarizing rates.",
+	4:  "Avoid summarizing ratios; summarize the costs or rates that the ratios base on instead. Only if these are not available use the geometric mean for summarizing ratios.",
+	5:  "Report if the measurement values are deterministic. For nondeterministic data, report confidence intervals of the measurement.",
+	6:  "Do not assume normality of collected data (e.g., based on the number of samples) without diagnostic checking.",
+	7:  "Compare nondeterministic data in a statistically sound way, e.g., using non-overlapping confidence intervals or ANOVA.",
+	8:  "Carefully investigate if measures of central tendency such as mean or median are useful to report. Some problems, such as worst-case latency, may require other percentiles.",
+	9:  "Document all varying factors and their levels as well as the complete experimental setup (e.g., software, hardware, techniques) to facilitate reproducibility and provide interpretability.",
+	10: "For parallel time measurements, report all measurement, (optional) synchronization, and summarization techniques.",
+	11: "If possible, show upper performance bounds to facilitate interpretability of the measured results.",
+	12: "Plot as much information as needed to interpret the experimental results. Only connect measurements by lines if they indicate trends and the interpolation is valid.",
+}
+
+// SummaryMethod names a data-summarization technique used in a report.
+type SummaryMethod string
+
+// Summary methods.
+const (
+	ArithmeticMean SummaryMethod = "arithmetic mean"
+	HarmonicMean   SummaryMethod = "harmonic mean"
+	GeometricMean  SummaryMethod = "geometric mean"
+	MedianSummary  SummaryMethod = "median"
+	PercentileOnly SummaryMethod = "percentiles"
+	Unspecified    SummaryMethod = "unspecified"
+)
+
+// SummaryUse records one summarized metric: what kind of quantity it is
+// and which method summarized it.
+type SummaryUse struct {
+	Metric      string
+	Kind        stats.Kind
+	Method      SummaryMethod
+	RawDataFrom string // where the underlying costs live ("" = unavailable)
+}
+
+// ComparisonMethod names a statistical comparison technique.
+type ComparisonMethod string
+
+// Comparison methods.
+const (
+	NoComparison     ComparisonMethod = "none (raw numbers compared)"
+	CIOverlap        ComparisonMethod = "non-overlapping confidence intervals"
+	ANOVATest        ComparisonMethod = "ANOVA"
+	KruskalWallis    ComparisonMethod = "Kruskal-Wallis"
+	TTestComparison  ComparisonMethod = "t-test"
+	EffectSizeMethod ComparisonMethod = "effect size"
+)
+
+// Comparison records one claim that system/configuration A beats B.
+type Comparison struct {
+	Claim  string
+	Method ComparisonMethod
+}
+
+// Environment documents the experimental setup per Table 1's nine
+// design classes; empty strings mean "not documented". NotApplicable
+// lists classes irrelevant to this experiment (e.g. "network" for a
+// shared-memory study), which count as documented.
+type Environment struct {
+	Processor        string // CPU model / accelerator
+	Memory           string // RAM size / type / bus
+	Network          string // NIC model / topology / latency / bandwidth
+	Compiler         string // version / flags
+	RuntimeLibs      string // kernel / library versions
+	Filesystem       string // storage configuration
+	InputAndCode     string // software versions and inputs
+	MeasurementSetup string // how time was measured, iterations, etc.
+	CodeURL          string // where the source is published
+	NotApplicable    []string
+}
+
+// classes returns the class name → (value, label) mapping.
+func (e Environment) classes() map[string]string {
+	return map[string]string{
+		"processor":         e.Processor,
+		"memory":            e.Memory,
+		"network":           e.Network,
+		"compiler":          e.Compiler,
+		"runtime libraries": e.RuntimeLibs,
+		"filesystem":        e.Filesystem,
+		"input and code":    e.InputAndCode,
+		"measurement setup": e.MeasurementSetup,
+	}
+}
+
+// Factor is one varied experimental factor and its levels (Rule 9).
+type Factor struct {
+	Name   string
+	Levels []string
+}
+
+// Plot describes one figure in the report (Rule 12).
+type Plot struct {
+	Name               string
+	ShowsVariation     bool // CIs, boxes, violins, or stated in caption
+	VariationInText    bool // spread stated in prose because it would clutter
+	ConnectsPoints     bool
+	InterpolationValid bool // connecting lines indicate a real trend
+}
+
+// ParallelTiming documents how parallel time was measured (Rule 10).
+type ParallelTiming struct {
+	MeasurementMethod   string // e.g. "per-rank interval timing"
+	SynchronizationUsed string // e.g. "delay-window", "barrier", ""
+	SummarizationAcross string // e.g. "maximum across ranks", ""
+}
+
+// Speedup documents a speedup claim (Rule 1).
+type Speedup struct {
+	BaseCase         string  // "best serial" or "single parallel process"; "" = unstated
+	BaseAbsolute     float64 // absolute base performance (0 = not reported)
+	BaseAbsoluteUnit string
+}
+
+// Report is the auditable description of one experimental study.
+type Report struct {
+	Title string
+
+	// Rule 1.
+	Speedups []Speedup
+
+	// Rule 2.
+	UsedSubset          bool   // only part of a suite/app/machine was used
+	SubsetJustification string //
+
+	// Rules 3–4.
+	Summaries []SummaryUse
+
+	// Rules 5–6.
+	Deterministic    bool
+	ReportsCI        bool
+	CILevel          float64
+	NormalityChecked bool // diagnostic test or Q-Q inspection performed
+	UsesMeanCI       bool // parametric CI of the mean in use
+
+	// Rule 7.
+	Comparisons []Comparison
+
+	// Rule 8.
+	CenterJustified     bool      // suitability of mean/median was considered
+	PercentilesReported []float64 //
+
+	// Rule 9.
+	Env     Environment
+	Factors []Factor
+
+	// Rule 10.
+	Parallel *ParallelTiming // nil = not a parallel-time experiment
+
+	// Rule 11.
+	BoundsModels []string // names of bounds shown ("" slice = none)
+	BoundsWhyNot string   // justification when no bound is possible
+
+	// Rule 12.
+	Plots []Plot
+}
+
+// Audit checks every rule and returns all findings sorted by rule.
+func Audit(r Report) []Finding {
+	var fs []Finding
+	add := func(rule int, sev Severity, msg string) {
+		fs = append(fs, Finding{Rule: rule, Severity: sev, Message: msg})
+	}
+
+	// Rule 1: speedup base case.
+	if len(r.Speedups) == 0 {
+		add(1, Pass, "no speedups reported")
+	}
+	for _, s := range r.Speedups {
+		switch {
+		case s.BaseCase == "":
+			add(1, Violation, "speedup reported without stating the base case (serial vs single parallel process)")
+		case s.BaseAbsolute <= 0:
+			add(1, Violation, fmt.Sprintf("speedup base case %q lacks absolute performance", s.BaseCase))
+		default:
+			add(1, Pass, fmt.Sprintf("speedup base %q with absolute performance %g %s",
+				s.BaseCase, s.BaseAbsolute, s.BaseAbsoluteUnit))
+		}
+	}
+
+	// Rule 2: subsets must be justified.
+	switch {
+	case !r.UsedSubset:
+		add(2, Pass, "whole benchmark/application and all resources used")
+	case r.SubsetJustification != "":
+		add(2, Pass, "subset use justified: "+r.SubsetJustification)
+	default:
+		add(2, Violation, "subset of benchmarks/resources used without justification")
+	}
+
+	// Rules 3 and 4: summary methods per metric kind.
+	sawRatio := false
+	for _, s := range r.Summaries {
+		if s.Kind == stats.Ratio {
+			sawRatio = true
+		}
+		switch s.Kind {
+		case stats.Cost:
+			switch s.Method {
+			case ArithmeticMean, MedianSummary, PercentileOnly:
+				add(3, Pass, fmt.Sprintf("cost %q summarized with %s", s.Metric, s.Method))
+			case Unspecified:
+				add(3, Violation, fmt.Sprintf("cost %q summarized with unspecified method", s.Metric))
+			default:
+				add(3, Violation, fmt.Sprintf("cost %q summarized with %s (use the arithmetic mean)", s.Metric, s.Method))
+			}
+		case stats.Rate:
+			switch s.Method {
+			case HarmonicMean, MedianSummary, PercentileOnly:
+				add(3, Pass, fmt.Sprintf("rate %q summarized with %s", s.Metric, s.Method))
+			case Unspecified:
+				add(3, Violation, fmt.Sprintf("rate %q summarized with unspecified method", s.Metric))
+			default:
+				add(3, Violation, fmt.Sprintf("rate %q summarized with %s (use the harmonic mean)", s.Metric, s.Method))
+			}
+		case stats.Ratio:
+			switch {
+			case s.RawDataFrom != "":
+				add(4, Violation, fmt.Sprintf("ratio %q summarized although raw costs/rates are available from %s", s.Metric, s.RawDataFrom))
+			case s.Method == GeometricMean:
+				add(4, Warning, fmt.Sprintf("ratio %q summarized with the geometric mean (acceptable only because raw data is unavailable)", s.Metric))
+			default:
+				add(4, Violation, fmt.Sprintf("ratio %q summarized with %s", s.Metric, s.Method))
+			}
+		}
+	}
+	if len(r.Summaries) == 0 {
+		add(3, Warning, "no summary methods documented")
+	}
+	if !sawRatio {
+		add(4, Pass, "no ratio summaries used")
+	}
+
+	// Rule 5: determinism and CIs.
+	switch {
+	case r.Deterministic:
+		add(5, Pass, "measurements reported as deterministic")
+	case r.ReportsCI && r.CILevel > 0:
+		add(5, Pass, fmt.Sprintf("nondeterministic data with %.0f%% confidence intervals", r.CILevel*100))
+	case r.ReportsCI:
+		add(5, Warning, "confidence intervals reported without stating the level")
+	default:
+		add(5, Violation, "nondeterministic data without confidence intervals")
+	}
+
+	// Rule 6: normality diagnostics before parametric statistics.
+	switch {
+	case r.Deterministic:
+		add(6, Pass, "deterministic data, normality not needed")
+	case r.UsesMeanCI && !r.NormalityChecked:
+		add(6, Violation, "parametric (mean) confidence intervals without a normality check")
+	case !r.NormalityChecked:
+		add(6, Warning, "no normality diagnostics documented")
+	default:
+		add(6, Pass, "normality diagnostically checked")
+	}
+
+	// Rule 7: sound comparisons.
+	if len(r.Comparisons) == 0 {
+		add(7, Pass, "no cross-system comparisons made")
+	}
+	for _, c := range r.Comparisons {
+		if r.Deterministic {
+			add(7, Pass, fmt.Sprintf("comparison %q on deterministic data", c.Claim))
+			continue
+		}
+		switch c.Method {
+		case CIOverlap, ANOVATest, KruskalWallis, TTestComparison, EffectSizeMethod:
+			add(7, Pass, fmt.Sprintf("comparison %q uses %s", c.Claim, c.Method))
+		default:
+			add(7, Violation, fmt.Sprintf("comparison %q lacks a statistical test", c.Claim))
+		}
+	}
+
+	// Rule 8: suitability of the central tendency.
+	switch {
+	case r.CenterJustified:
+		add(8, Pass, "choice of central tendency justified")
+	case len(r.PercentilesReported) > 0:
+		add(8, Pass, fmt.Sprintf("percentiles reported: %v", r.PercentilesReported))
+	default:
+		add(8, Warning, "no justification for the chosen measure of central tendency")
+	}
+
+	// Rule 9: environment and factors.
+	missing := missingClasses(r.Env)
+	if len(missing) == 0 {
+		add(9, Pass, "all nine documentation classes covered")
+	} else if len(missing) <= 2 {
+		add(9, Warning, "undocumented classes: "+strings.Join(missing, ", "))
+	} else {
+		add(9, Violation, "undocumented classes: "+strings.Join(missing, ", "))
+	}
+	if r.Env.CodeURL == "" {
+		add(9, Warning, "source code not published")
+	} else {
+		add(9, Pass, "source available at "+r.Env.CodeURL)
+	}
+	if len(r.Factors) == 0 {
+		add(9, Warning, "no varying factors documented")
+	} else {
+		for _, f := range r.Factors {
+			if len(f.Levels) == 0 {
+				add(9, Violation, fmt.Sprintf("factor %q has no documented levels", f.Name))
+			}
+		}
+	}
+
+	// Rule 10: parallel time measurement documentation.
+	if r.Parallel == nil {
+		add(10, Pass, "not a parallel-time experiment")
+	} else {
+		p := r.Parallel
+		if p.MeasurementMethod == "" {
+			add(10, Violation, "parallel measurement method undocumented")
+		}
+		if p.SummarizationAcross == "" {
+			add(10, Violation, "summarization across processes undocumented")
+		}
+		if p.SynchronizationUsed == "" {
+			add(10, Warning, "no synchronization method documented (acceptable only if none was used)")
+		}
+		if p.MeasurementMethod != "" && p.SummarizationAcross != "" {
+			add(10, Pass, fmt.Sprintf("parallel timing: %s, sync: %s, summary: %s",
+				p.MeasurementMethod, orNone(p.SynchronizationUsed), p.SummarizationAcross))
+		}
+	}
+
+	// Rule 11: bounds models.
+	switch {
+	case len(r.BoundsModels) > 0:
+		add(11, Pass, "bounds shown: "+strings.Join(r.BoundsModels, ", "))
+	case r.BoundsWhyNot != "":
+		add(11, Pass, "no bounds possible: "+r.BoundsWhyNot)
+	default:
+		add(11, Warning, "no upper performance bound shown")
+	}
+
+	// Rule 12: plots.
+	if len(r.Plots) == 0 {
+		add(12, Warning, "no plots described")
+	}
+	for _, p := range r.Plots {
+		switch {
+		case !p.ShowsVariation && !p.VariationInText && !r.Deterministic:
+			add(12, Violation, fmt.Sprintf("plot %q shows nondeterministic data without variation", p.Name))
+		case p.ConnectsPoints && !p.InterpolationValid:
+			add(12, Violation, fmt.Sprintf("plot %q connects points without a valid interpolation", p.Name))
+		default:
+			add(12, Pass, fmt.Sprintf("plot %q acceptable", p.Name))
+		}
+	}
+
+	sort.SliceStable(fs, func(i, j int) bool { return fs[i].Rule < fs[j].Rule })
+	return fs
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+func missingClasses(e Environment) []string {
+	na := map[string]bool{}
+	for _, c := range e.NotApplicable {
+		na[strings.ToLower(c)] = true
+	}
+	var missing []string
+	for name, val := range e.classes() {
+		if val == "" && !na[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
+// Compliance summarizes an audit: per-rule worst severity and an overall
+// pass count out of 12.
+type Compliance struct {
+	PerRule [13]Severity
+	Passed  int
+}
+
+// Summarize folds findings into a per-rule compliance summary.
+func Summarize(findings []Finding) Compliance {
+	var c Compliance
+	seen := [13]bool{}
+	for _, f := range findings {
+		if f.Rule < 1 || f.Rule > 12 {
+			continue
+		}
+		seen[f.Rule] = true
+		if f.Severity > c.PerRule[f.Rule] {
+			c.PerRule[f.Rule] = f.Severity
+		}
+	}
+	for rule := 1; rule <= 12; rule++ {
+		// Unexamined rules count as warnings, not passes.
+		if !seen[rule] {
+			c.PerRule[rule] = Warning
+		}
+		if c.PerRule[rule] == Pass {
+			c.Passed++
+		}
+	}
+	return c
+}
+
+// String renders the compliance scorecard.
+func (c Compliance) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "compliance: %d/12 rules passed\n", c.Passed)
+	for rule := 1; rule <= 12; rule++ {
+		fmt.Fprintf(&b, "  rule %2d: %s\n", rule, c.PerRule[rule])
+	}
+	return b.String()
+}
+
+// WriteReport renders the findings grouped by rule with the verbatim
+// rule text for each non-passing rule — the reviewer-facing audit
+// document.
+func WriteReport(w io.Writer, findings []Finding) error {
+	c := Summarize(findings)
+	if _, err := fmt.Fprintf(w, "twelve-rule audit: %d/12 passed\n\n", c.Passed); err != nil {
+		return err
+	}
+	for rule := 1; rule <= 12; rule++ {
+		var mine []Finding
+		for _, f := range findings {
+			if f.Rule == rule {
+				mine = append(mine, f)
+			}
+		}
+		status := c.PerRule[rule]
+		if _, err := fmt.Fprintf(w, "Rule %2d [%s]\n", rule, status); err != nil {
+			return err
+		}
+		if status != Pass {
+			if _, err := fmt.Fprintf(w, "  text: %s\n", RuleTexts[rule]); err != nil {
+				return err
+			}
+		}
+		for _, f := range mine {
+			if _, err := fmt.Fprintf(w, "  - [%s] %s\n", f.Severity, f.Message); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,334 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// goodReport builds a report that satisfies all twelve rules.
+func goodReport() Report {
+	return Report{
+		Title: "ping-pong latency study",
+		Speedups: []Speedup{{
+			BaseCase:         "best serial execution",
+			BaseAbsolute:     2.5,
+			BaseAbsoluteUnit: "Gflop/s",
+		}},
+		Summaries: []SummaryUse{
+			{Metric: "completion time", Kind: stats.Cost, Method: ArithmeticMean},
+			{Metric: "flop rate", Kind: stats.Rate, Method: HarmonicMean},
+		},
+		ReportsCI:        true,
+		CILevel:          0.95,
+		NormalityChecked: true,
+		UsesMeanCI:       false,
+		Comparisons: []Comparison{
+			{Claim: "Dora beats Pilatus at the median", Method: KruskalWallis},
+		},
+		CenterJustified:     true,
+		PercentilesReported: []float64{0.5, 0.99},
+		Env: Environment{
+			Processor:        "2x Intel Xeon E5-2690 v3",
+			Memory:           "64 GiB DDR4-1600",
+			Network:          "Aries dragonfly",
+			Compiler:         "gcc 4.8.2 -O3",
+			RuntimeLibs:      "CLE 5.2.40",
+			Filesystem:       "not used",
+			InputAndCode:     "64 B ping-pong, 1e6 samples",
+			MeasurementSetup: "single-event timing, delay-window sync",
+			CodeURL:          "https://example.org/code",
+		},
+		Factors: []Factor{{Name: "system", Levels: []string{"Dora", "Pilatus"}}},
+		Parallel: &ParallelTiming{
+			MeasurementMethod:   "per-rank interval timing",
+			SynchronizationUsed: "delay-window",
+			SummarizationAcross: "maximum across ranks",
+		},
+		BoundsModels: []string{"ideal linear", "Amdahl b=0.01"},
+		Plots: []Plot{{
+			Name:               "latency densities",
+			ShowsVariation:     true,
+			ConnectsPoints:     false,
+			InterpolationValid: false,
+		}},
+	}
+}
+
+func worstSeverity(fs []Finding, rule int) Severity {
+	worst := Pass
+	for _, f := range fs {
+		if f.Rule == rule && f.Severity > worst {
+			worst = f.Severity
+		}
+	}
+	return worst
+}
+
+func TestGoodReportPassesAllRules(t *testing.T) {
+	fs := Audit(goodReport())
+	c := Summarize(fs)
+	if c.Passed != 12 {
+		t.Errorf("passed %d/12:\n%s", c.Passed, c)
+		for _, f := range fs {
+			if f.Severity != Pass {
+				t.Logf("  %s", f)
+			}
+		}
+	}
+}
+
+func TestRule1SpeedupViolations(t *testing.T) {
+	r := goodReport()
+	r.Speedups = []Speedup{{BaseCase: ""}}
+	if worstSeverity(Audit(r), 1) != Violation {
+		t.Error("unstated base case must be a violation")
+	}
+	r.Speedups = []Speedup{{BaseCase: "single parallel process"}}
+	if worstSeverity(Audit(r), 1) != Violation {
+		t.Error("missing absolute base performance must be a violation")
+	}
+	r.Speedups = nil
+	if worstSeverity(Audit(r), 1) != Pass {
+		t.Error("no speedups is fine")
+	}
+}
+
+func TestRule2Subsets(t *testing.T) {
+	r := goodReport()
+	r.UsedSubset = true
+	r.SubsetJustification = ""
+	if worstSeverity(Audit(r), 2) != Violation {
+		t.Error("unjustified subset must be a violation")
+	}
+	r.SubsetJustification = "compiler cannot transform Fortran benchmarks"
+	if worstSeverity(Audit(r), 2) != Pass {
+		t.Error("justified subset passes")
+	}
+}
+
+func TestRule3WrongMeans(t *testing.T) {
+	r := goodReport()
+	r.Summaries = []SummaryUse{{Metric: "flop/s", Kind: stats.Rate, Method: ArithmeticMean}}
+	if worstSeverity(Audit(r), 3) != Violation {
+		t.Error("arithmetic mean of rates must be a violation")
+	}
+	r.Summaries = []SummaryUse{{Metric: "time", Kind: stats.Cost, Method: GeometricMean}}
+	if worstSeverity(Audit(r), 3) != Violation {
+		t.Error("geometric mean of costs must be a violation")
+	}
+	r.Summaries = []SummaryUse{{Metric: "time", Kind: stats.Cost, Method: Unspecified}}
+	if worstSeverity(Audit(r), 3) != Violation {
+		t.Error("unspecified summary must be a violation")
+	}
+}
+
+func TestRule4Ratios(t *testing.T) {
+	r := goodReport()
+	r.Summaries = []SummaryUse{{
+		Metric: "% of peak", Kind: stats.Ratio, Method: GeometricMean,
+		RawDataFrom: "table 3",
+	}}
+	if worstSeverity(Audit(r), 4) != Violation {
+		t.Error("summarizing ratios with raw data available must be a violation")
+	}
+	r.Summaries[0].RawDataFrom = ""
+	if worstSeverity(Audit(r), 4) != Warning {
+		t.Error("geometric mean of ratios without raw data is a warning")
+	}
+	r.Summaries[0].Method = ArithmeticMean
+	if worstSeverity(Audit(r), 4) != Violation {
+		t.Error("arithmetic mean of ratios must be a violation")
+	}
+}
+
+func TestRule5CIs(t *testing.T) {
+	r := goodReport()
+	r.ReportsCI = false
+	if worstSeverity(Audit(r), 5) != Violation {
+		t.Error("nondeterministic data without CIs must be a violation")
+	}
+	r.Deterministic = true
+	if worstSeverity(Audit(r), 5) != Pass {
+		t.Error("deterministic data passes")
+	}
+	r.Deterministic = false
+	r.ReportsCI = true
+	r.CILevel = 0
+	if worstSeverity(Audit(r), 5) != Warning {
+		t.Error("CI without level is a warning")
+	}
+}
+
+func TestRule6Normality(t *testing.T) {
+	r := goodReport()
+	r.UsesMeanCI = true
+	r.NormalityChecked = false
+	if worstSeverity(Audit(r), 6) != Violation {
+		t.Error("mean CIs without normality check must be a violation")
+	}
+	r.UsesMeanCI = false
+	if worstSeverity(Audit(r), 6) != Warning {
+		t.Error("no diagnostics is a warning")
+	}
+	r.Deterministic = true
+	if worstSeverity(Audit(r), 6) != Pass {
+		t.Error("deterministic data passes rule 6")
+	}
+}
+
+func TestRule7Comparisons(t *testing.T) {
+	r := goodReport()
+	r.Comparisons = []Comparison{{Claim: "A is 2x faster", Method: NoComparison}}
+	if worstSeverity(Audit(r), 7) != Violation {
+		t.Error("untested comparison must be a violation")
+	}
+	r.Deterministic = true
+	if worstSeverity(Audit(r), 7) != Pass {
+		t.Error("deterministic comparisons pass")
+	}
+}
+
+func TestRule8Center(t *testing.T) {
+	r := goodReport()
+	r.CenterJustified = false
+	r.PercentilesReported = nil
+	if worstSeverity(Audit(r), 8) != Warning {
+		t.Error("unjustified center is a warning")
+	}
+}
+
+func TestRule9Environment(t *testing.T) {
+	r := goodReport()
+	r.Env.Network = ""
+	r.Env.Compiler = ""
+	if worstSeverity(Audit(r), 9) != Warning {
+		t.Error("two missing classes is a warning")
+	}
+	r.Env.Memory = ""
+	if worstSeverity(Audit(r), 9) != Violation {
+		t.Error("three missing classes is a violation")
+	}
+	// NotApplicable classes count as documented, restoring a pass.
+	r.Env.NotApplicable = []string{"network", "compiler", "memory"}
+	if worstSeverity(Audit(r), 9) != Pass {
+		t.Error("not-applicable classes should count as documented")
+	}
+}
+
+func TestRule9CodeAndFactors(t *testing.T) {
+	r := goodReport()
+	r.Env.CodeURL = ""
+	if worstSeverity(Audit(r), 9) != Warning {
+		t.Error("unpublished code is a warning")
+	}
+	r = goodReport()
+	r.Factors = []Factor{{Name: "p", Levels: nil}}
+	if worstSeverity(Audit(r), 9) != Violation {
+		t.Error("factor without levels is a violation")
+	}
+}
+
+func TestRule10Parallel(t *testing.T) {
+	r := goodReport()
+	r.Parallel = &ParallelTiming{}
+	if worstSeverity(Audit(r), 10) != Violation {
+		t.Error("undocumented parallel timing must be a violation")
+	}
+	r.Parallel = nil
+	if worstSeverity(Audit(r), 10) != Pass {
+		t.Error("non-parallel experiments pass rule 10")
+	}
+	r.Parallel = &ParallelTiming{
+		MeasurementMethod:   "kernel timing",
+		SummarizationAcross: "median across ranks",
+	}
+	if worstSeverity(Audit(r), 10) != Warning {
+		t.Error("missing sync documentation is a warning")
+	}
+}
+
+func TestRule11Bounds(t *testing.T) {
+	r := goodReport()
+	r.BoundsModels = nil
+	if worstSeverity(Audit(r), 11) != Warning {
+		t.Error("missing bounds is a warning")
+	}
+	r.BoundsWhyNot = "no known nontrivial bound for this workload"
+	if worstSeverity(Audit(r), 11) != Pass {
+		t.Error("justified absence of bounds passes")
+	}
+}
+
+func TestRule12Plots(t *testing.T) {
+	r := goodReport()
+	r.Plots = []Plot{{Name: "lines", ShowsVariation: false}}
+	if worstSeverity(Audit(r), 12) != Violation {
+		t.Error("plot without variation on nondeterministic data must be a violation")
+	}
+	r.Plots = []Plot{{Name: "bars", ShowsVariation: true, ConnectsPoints: true}}
+	if worstSeverity(Audit(r), 12) != Violation {
+		t.Error("connecting lines without valid interpolation must be a violation")
+	}
+	r.Plots = []Plot{{Name: "ok", VariationInText: true}}
+	if worstSeverity(Audit(r), 12) != Pass {
+		t.Error("variation stated in text passes (the rule's comment)")
+	}
+}
+
+func TestSummarizeCountsAndUnexamined(t *testing.T) {
+	c := Summarize(nil)
+	if c.Passed != 0 {
+		t.Errorf("no findings should pass nothing, got %d", c.Passed)
+	}
+	for rule := 1; rule <= 12; rule++ {
+		if c.PerRule[rule] != Warning {
+			t.Errorf("unexamined rule %d should be a warning", rule)
+		}
+	}
+	if !strings.Contains(c.String(), "0/12") {
+		t.Error("scorecard rendering")
+	}
+}
+
+func TestFindingAndSeverityStrings(t *testing.T) {
+	f := Finding{Rule: 3, Severity: Violation, Message: "bad mean"}
+	if !strings.Contains(f.String(), "Rule  3") || !strings.Contains(f.String(), "FAIL") {
+		t.Errorf("finding = %q", f.String())
+	}
+	if Pass.String() != "PASS" || Warning.String() != "WARN" {
+		t.Error("severity strings")
+	}
+	if Severity(9).String() == "" {
+		t.Error("unknown severity should stringify")
+	}
+}
+
+func TestRuleTextsComplete(t *testing.T) {
+	for i := 1; i <= 12; i++ {
+		if RuleTexts[i] == "" {
+			t.Errorf("rule %d text missing", i)
+		}
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	r := goodReport()
+	r.Speedups = []Speedup{{}} // force a rule 1 failure
+	var sb strings.Builder
+	if err := WriteReport(&sb, Audit(r)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "11/12 passed") {
+		t.Errorf("scorecard header missing:\n%s", out)
+	}
+	// Failing rules include their verbatim text; passing ones do not.
+	if !strings.Contains(out, "When publishing parallel speedup") {
+		t.Error("rule 1 text missing for the failing rule")
+	}
+	if strings.Count(out, "Rule  3") != 1 {
+		t.Error("each rule appears exactly once as a header")
+	}
+}

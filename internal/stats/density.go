@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+
+	"repro/internal/dist"
+)
+
+// HistogramBin is one bin of a histogram: the half-open interval
+// [Lo, Hi) and the number of observations that fell into it.
+type HistogramBin struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Histogram bins xs into nbins equal-width bins spanning [min, max].
+// The final bin is closed on the right so the maximum is counted.
+// It returns nil for an empty sample or nbins < 1.
+func Histogram(xs []float64, nbins int) []HistogramBin {
+	if len(xs) == 0 || nbins < 1 {
+		return nil
+	}
+	lo, hi := Min(xs), Max(xs)
+	if lo == hi {
+		// Degenerate sample: a single bin holding everything.
+		return []HistogramBin{{Lo: lo, Hi: hi, Count: len(xs)}}
+	}
+	width := (hi - lo) / float64(nbins)
+	bins := make([]HistogramBin, nbins)
+	for i := range bins {
+		bins[i].Lo = lo + float64(i)*width
+		bins[i].Hi = lo + float64(i+1)*width
+	}
+	bins[nbins-1].Hi = hi
+	for _, x := range xs {
+		idx := int((x - lo) / width)
+		if idx >= nbins {
+			idx = nbins - 1
+		}
+		bins[idx].Count++
+	}
+	return bins
+}
+
+// SturgesBins returns the Sturges rule bin count ⌈log₂ n⌉ + 1 for a
+// sample of size n (minimum 1).
+func SturgesBins(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(n)))) + 1
+}
+
+// SilvermanBandwidth returns Silverman's rule-of-thumb bandwidth for
+// Gaussian kernel density estimation,
+// 0.9·min(s, IQR/1.34)·n^(−1/5), falling back to s when the IQR is zero.
+func SilvermanBandwidth(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return math.NaN()
+	}
+	s := StdDev(xs)
+	iqr := IQR(xs)
+	a := s
+	if iqr > 0 && iqr/1.34 < a {
+		a = iqr / 1.34
+	}
+	if a == 0 {
+		return math.NaN()
+	}
+	return 0.9 * a * math.Pow(n, -0.2)
+}
+
+// DensityPoint is one evaluation of a kernel density estimate.
+type DensityPoint struct {
+	X       float64
+	Density float64
+}
+
+// KDE evaluates a Gaussian kernel density estimate of xs at npoints
+// evenly spaced locations spanning the data range extended by three
+// bandwidths on each side (matching the density curves in the paper's
+// Figures 1–3). A non-positive bandwidth selects Silverman's rule.
+func KDE(xs []float64, bandwidth float64, npoints int) []DensityPoint {
+	if len(xs) == 0 || npoints < 2 {
+		return nil
+	}
+	h := bandwidth
+	if h <= 0 || math.IsNaN(h) {
+		h = SilvermanBandwidth(xs)
+	}
+	if math.IsNaN(h) || h <= 0 {
+		return nil
+	}
+	lo := Min(xs) - 3*h
+	hi := Max(xs) + 3*h
+	step := (hi - lo) / float64(npoints-1)
+	out := make([]DensityPoint, npoints)
+	nh := float64(len(xs)) * h
+	for i := 0; i < npoints; i++ {
+		x := lo + float64(i)*step
+		sum := 0.0
+		for _, xi := range xs {
+			sum += dist.NormalPDF((x - xi) / h)
+		}
+		out[i] = DensityPoint{X: x, Density: sum / nh}
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ExampleSummarizeMean reproduces the paper's §3.1.1 HPL example: the
+// arithmetic mean is correct for the execution times (costs), the
+// harmonic mean for the derived rates.
+func ExampleSummarizeMean() {
+	times := []float64{10, 100, 40} // seconds for 100 Gflop each
+	rates := []float64{10, 1, 2.5}  // Gflop/s per run
+
+	meanTime, _ := stats.SummarizeMean(stats.Cost, times)
+	rate, _ := stats.SummarizeMean(stats.Rate, rates)
+	wrong := stats.Mean(rates)
+
+	fmt.Printf("mean time: %g s → %g Gflop/s\n", meanTime, 100/meanTime)
+	fmt.Printf("harmonic mean of rates: %g Gflop/s (correct)\n", rate)
+	fmt.Printf("arithmetic mean of rates: %g Gflop/s (wrong)\n", wrong)
+	// Output:
+	// mean time: 50 s → 2 Gflop/s
+	// harmonic mean of rates: 2 Gflop/s (correct)
+	// arithmetic mean of rates: 4.5 Gflop/s (wrong)
+}
+
+// ExampleTukeyFilter shows the outlier policy: removal is possible but
+// the count must be reported.
+func ExampleTukeyFilter() {
+	xs := []float64{1.0, 1.1, 0.9, 1.05, 0.95, 1.0, 25.0}
+	kept, outliers := stats.TukeyFilter(xs, 1.5)
+	fmt.Printf("kept %d observations, removed %d outlier(s): %v\n",
+		len(kept), len(outliers), outliers)
+	// Output:
+	// kept 6 observations, removed 1 outlier(s): [25]
+}
+
+// ExampleBlockNormalize shows the CLT normalization of Fig 2.
+func ExampleBlockNormalize() {
+	xs := []float64{1, 3, 2, 4, 3, 5, 4, 6}
+	blocks, _ := stats.BlockNormalize(xs, 2)
+	fmt.Println(blocks)
+	// Output:
+	// [2 3 4 5]
+}
+
+// ExampleWelford shows single-pass accumulation of mean and deviation —
+// the online scheme §3.1.2 describes.
+func ExampleWelford() {
+	var w stats.Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	fmt.Printf("n=%d mean=%g sd=%.4f\n", w.N(), w.Mean(), w.StdDev())
+	// Output:
+	// n=8 mean=5 sd=2.1381
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file adds the robust location/spread estimators that complement
+// the paper's percentile recommendations: trimmed and winsorized means
+// (outlier-resistant alternatives to Tukey removal that keep sample
+// size), the median absolute deviation (a robust spread to pair with the
+// median the way the standard deviation pairs with the mean), and the
+// weighted mean for unequally weighted costs (§3.1.1 notes the standard
+// case weights all measurements equally).
+
+// TrimmedMean returns the arithmetic mean after removing the `trim`
+// fraction (0 <= trim < 0.5) from each tail, e.g. trim = 0.1 drops the
+// lowest and highest 10%.
+func TrimmedMean(xs []float64, trim float64) (float64, error) {
+	if len(xs) == 0 {
+		return math.NaN(), ErrEmpty
+	}
+	if trim < 0 || trim >= 0.5 {
+		return math.NaN(), fmt.Errorf("stats: trim fraction %g outside [0, 0.5)", trim)
+	}
+	s := Sorted(xs)
+	k := int(trim * float64(len(s)))
+	kept := s[k : len(s)-k]
+	if len(kept) == 0 {
+		return math.NaN(), ErrEmpty
+	}
+	return Mean(kept), nil
+}
+
+// WinsorizedMean replaces the `trim` fraction in each tail with the
+// nearest retained value before averaging — less variance reduction than
+// trimming but no discarded observations.
+func WinsorizedMean(xs []float64, trim float64) (float64, error) {
+	if len(xs) == 0 {
+		return math.NaN(), ErrEmpty
+	}
+	if trim < 0 || trim >= 0.5 {
+		return math.NaN(), fmt.Errorf("stats: trim fraction %g outside [0, 0.5)", trim)
+	}
+	s := Sorted(xs)
+	k := int(trim * float64(len(s)))
+	if k > 0 {
+		lo := s[k]
+		hi := s[len(s)-1-k]
+		for i := 0; i < k; i++ {
+			s[i] = lo
+			s[len(s)-1-i] = hi
+		}
+	}
+	return Mean(s), nil
+}
+
+// MAD returns the median absolute deviation about the median, scaled by
+// 1.4826 so it estimates the standard deviation for normal data — the
+// robust spread companion to the median.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	med := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	return 1.4826 * Median(dev)
+}
+
+// WeightedMean returns Σwᵢxᵢ / Σwᵢ. Weights must be non-negative with a
+// positive sum.
+func WeightedMean(xs, ws []float64) (float64, error) {
+	if len(xs) == 0 {
+		return math.NaN(), ErrEmpty
+	}
+	if len(xs) != len(ws) {
+		return math.NaN(), fmt.Errorf("stats: %d values vs %d weights", len(xs), len(ws))
+	}
+	var sum, wsum float64
+	for i, x := range xs {
+		w := ws[i]
+		if w < 0 || math.IsNaN(w) {
+			return math.NaN(), fmt.Errorf("stats: negative weight %g at %d", w, i)
+		}
+		sum += w * x
+		wsum += w
+	}
+	if wsum == 0 {
+		return math.NaN(), fmt.Errorf("stats: zero total weight")
+	}
+	return sum / wsum, nil
+}
+
+// RobustSummary pairs the robust location/spread estimators for
+// reporting alongside (or instead of) the classical ones when the data
+// is heavy-tailed.
+type RobustSummaryStats struct {
+	Median        float64
+	MAD           float64
+	TrimmedMean10 float64 // 10% trimmed
+	Winsorized10  float64 // 10% winsorized
+	RobustCoV     float64 // MAD/median, the robust stability measure
+}
+
+// RobustSummarize computes the robust summary (errors only on empty
+// input).
+func RobustSummarize(xs []float64) (RobustSummaryStats, error) {
+	if len(xs) == 0 {
+		return RobustSummaryStats{}, ErrEmpty
+	}
+	var out RobustSummaryStats
+	out.Median = Median(xs)
+	out.MAD = MAD(xs)
+	tm, err := TrimmedMean(xs, 0.1)
+	if err != nil {
+		return out, err
+	}
+	out.TrimmedMean10 = tm
+	wm, err := WinsorizedMean(xs, 0.1)
+	if err != nil {
+		return out, err
+	}
+	out.Winsorized10 = wm
+	if out.Median != 0 {
+		out.RobustCoV = out.MAD / math.Abs(out.Median)
+	} else {
+		out.RobustCoV = math.NaN()
+	}
+	return out, nil
+}

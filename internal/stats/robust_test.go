@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestTrimmedMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 1000}
+	// 10% trim drops one value from each tail: mean of 2..9 = 5.5.
+	got, err := TrimmedMean(xs, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeTo(t, "TrimmedMean", got, 5.5, 1e-12)
+	// Zero trim equals the plain mean.
+	got, err = TrimmedMean(xs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeTo(t, "trim=0", got, Mean(xs), 1e-12)
+	if _, err := TrimmedMean(nil, 0.1); err != ErrEmpty {
+		t.Error("empty should error")
+	}
+	if _, err := TrimmedMean(xs, 0.5); err == nil {
+		t.Error("trim=0.5 should error")
+	}
+}
+
+func TestWinsorizedMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 1000}
+	// Winsorizing one from each tail: 1→2, 1000→9; mean of
+	// {2,2,3,4,5,6,7,8,9,9} = 5.5.
+	got, err := WinsorizedMean(xs, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeTo(t, "WinsorizedMean", got, 5.5, 1e-12)
+	// Input must remain untouched (Sorted copies).
+	if xs[9] != 1000 {
+		t.Error("input mutated")
+	}
+	if _, err := WinsorizedMean(nil, 0.1); err != ErrEmpty {
+		t.Error("empty should error")
+	}
+	if _, err := WinsorizedMean(xs, -0.1); err == nil {
+		t.Error("negative trim should error")
+	}
+}
+
+func TestMADNormalConsistency(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = 10 + 3*rng.NormFloat64()
+	}
+	// The 1.4826 scaling makes MAD estimate sigma for normal data.
+	if mad := MAD(xs); math.Abs(mad-3) > 0.05 {
+		t.Errorf("MAD = %g, want ≈3", mad)
+	}
+	// MAD shrugs off a gross outlier that wrecks the standard deviation.
+	xs[0] = 1e9
+	if mad := MAD(xs); math.Abs(mad-3) > 0.05 {
+		t.Errorf("MAD after outlier = %g, want ≈3", mad)
+	}
+	if !math.IsNaN(MAD(nil)) {
+		t.Error("empty MAD should be NaN")
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got, err := WeightedMean([]float64{1, 3}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeTo(t, "WeightedMean", got, 2.5, 1e-12)
+	// Equal weights reduce to the mean.
+	got, err = WeightedMean([]float64{1, 2, 3}, []float64{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeTo(t, "equal weights", got, 2, 1e-12)
+	if _, err := WeightedMean(nil, nil); err != ErrEmpty {
+		t.Error("empty should error")
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{-1}); err == nil {
+		t.Error("negative weight should error")
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero total weight should error")
+	}
+}
+
+func TestRobustSummarize(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = math.Exp(0.5 * rng.NormFloat64())
+	}
+	rs, err := RobustSummarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Median <= 0 || rs.MAD <= 0 || rs.RobustCoV <= 0 {
+		t.Errorf("summary = %+v", rs)
+	}
+	// Robust location estimates sit between median and mean for
+	// right-skewed data.
+	mean := Mean(xs)
+	if !(rs.Median <= rs.TrimmedMean10 && rs.TrimmedMean10 <= mean) {
+		t.Errorf("ordering: median %g, trimmed %g, mean %g",
+			rs.Median, rs.TrimmedMean10, mean)
+	}
+	if _, err := RobustSummarize(nil); err != ErrEmpty {
+		t.Error("empty should error")
+	}
+}

@@ -1,0 +1,275 @@
+// Package suite is a SKaMPI-style collective microbenchmark suite built
+// on the library — §6 positions LibSciBench as "a building block for a
+// new benchmark suite", and this package is that suite: it sweeps
+// collectives × process counts × payload sizes on a (simulated) machine,
+// measures each configuration with adaptive CI-driven sampling, applies
+// delay-window synchronization, summarizes soundly (median + rank CI,
+// maximum across processes), and fits the LogP-style model to each
+// collective's scaling.
+package suite
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/ci"
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// Collective names supported by the suite.
+const (
+	Reduce    = "reduce"
+	Allreduce = "allreduce"
+	Bcast     = "bcast"
+	Barrier   = "barrier"
+	Gather    = "gather"
+	Scatter   = "scatter"
+	Allgather = "allgather"
+	Alltoall  = "alltoall"
+)
+
+// AllCollectives lists every supported collective in canonical order.
+var AllCollectives = []string{
+	Reduce, Allreduce, Bcast, Barrier, Gather, Scatter, Allgather, Alltoall,
+}
+
+// Config parametrizes a suite run.
+type Config struct {
+	Cluster     cluster.Config
+	Collectives []string // subset of AllCollectives (nil = all)
+	Ranks       []int    // process counts (nil = 2,4,8,16,32)
+	Bytes       []int    // payload sizes (nil = 8, 1024)
+	MinRuns     int      // minimum repetitions per configuration (default 20)
+	MaxRuns     int      // adaptive budget (default 400)
+	RelErr      float64  // target relative CI width (default 0.05)
+	Confidence  float64  // CI level (default 0.95)
+	Seed        uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Collectives == nil {
+		c.Collectives = AllCollectives
+	}
+	if c.Ranks == nil {
+		c.Ranks = []int{2, 4, 8, 16, 32}
+	}
+	if c.Bytes == nil {
+		c.Bytes = []int{8, 1024}
+	}
+	if c.MinRuns < 5 {
+		c.MinRuns = 20
+	}
+	if c.MaxRuns < c.MinRuns {
+		c.MaxRuns = 400
+	}
+	if c.RelErr <= 0 {
+		c.RelErr = 0.05
+	}
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		c.Confidence = 0.95
+	}
+	return c
+}
+
+// Row is one measured configuration.
+type Row struct {
+	Collective string
+	Ranks      int
+	Bytes      int
+	N          int     // repetitions actually used
+	MedianUs   float64 // median of max-across-ranks, µs
+	CILoUs     float64
+	CIHiUs     float64
+	P99Us      float64
+	MaxSkewUs  float64 // residual delay-window start skew
+	Converged  bool    // CI target reached within budget
+}
+
+// Result is a complete suite run.
+type Result struct {
+	Config Config
+	Rows   []Row
+	// Models maps collective/bytes to the fitted LogP-style scaling
+	// model over the measured process counts.
+	Models map[string]model.CollectiveModel
+}
+
+// Errors.
+var ErrUnknownCollective = errors.New("suite: unknown collective")
+
+// Run executes the suite. Progress rows are streamed to w as they
+// complete (pass nil to collect silently).
+func Run(cfg Config, w io.Writer) (*Result, error) {
+	cfg = cfg.withDefaults()
+	for _, c := range cfg.Collectives {
+		if !known(c) {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownCollective, c)
+		}
+	}
+	res := &Result{Config: cfg, Models: map[string]model.CollectiveModel{}}
+
+	seed := cfg.Seed
+	for _, coll := range cfg.Collectives {
+		for _, bytes := range cfg.Bytes {
+			if coll == Barrier && bytes != cfg.Bytes[0] {
+				continue // barriers carry no payload; measure once
+			}
+			var ps []int
+			var medians []float64
+			for _, p := range cfg.Ranks {
+				seed++
+				row, err := measure(cfg, coll, p, bytes, seed)
+				if err != nil {
+					return nil, err
+				}
+				res.Rows = append(res.Rows, row)
+				ps = append(ps, p)
+				medians = append(medians, row.MedianUs*1e-6)
+				if w != nil {
+					fmt.Fprintf(w, "%-10s p=%-3d %6dB  n=%-4d median %.4g µs [%.4g, %.4g]\n",
+						coll, p, bytes, row.N, row.MedianUs, row.CILoUs, row.CIHiUs)
+				}
+			}
+			if len(ps) >= 4 {
+				if m, err := model.FitCollective(ps, medians); err == nil {
+					res.Models[fmt.Sprintf("%s/%dB", coll, bytes)] = m
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func known(c string) bool {
+	for _, k := range AllCollectives {
+		if c == k {
+			return true
+		}
+	}
+	return false
+}
+
+func addRow(tbl *report.Table, r Row) {
+	tbl.AddRow(r.Collective, r.Ranks, r.Bytes, r.N,
+		fmt.Sprintf("%.4g", r.MedianUs),
+		fmt.Sprintf("[%.4g, %.4g]", r.CILoUs, r.CIHiUs),
+		fmt.Sprintf("%.4g", r.P99Us),
+		fmt.Sprintf("%.3g", r.MaxSkewUs),
+		r.Converged)
+}
+
+// measure runs one configuration with adaptive sampling.
+func measure(cfg Config, coll string, ranks, bytes int, seed uint64) (Row, error) {
+	m, err := cluster.New(cfg.Cluster, ranks, seed)
+	if err != nil {
+		return Row{}, err
+	}
+	row := Row{Collective: coll, Ranks: ranks, Bytes: bytes}
+
+	// Synchronize once per configuration (the skew is part of what a
+	// real harness pays; Rule 10 requires reporting it).
+	sync := m.DelayWindowSync(time.Millisecond, 3)
+	row.MaxSkewUs = float64(sync.MaxSkew) / float64(time.Microsecond)
+
+	run := func() float64 {
+		var cr cluster.CollectiveResult
+		switch coll {
+		case Reduce:
+			cr = m.Reduce(bytes, sync.Skew)
+		case Allreduce:
+			cr = m.Allreduce(bytes, sync.Skew)
+		case Bcast:
+			cr = m.Bcast(bytes, sync.Skew)
+		case Barrier:
+			cr = m.Barrier(sync.Skew)
+		case Gather:
+			cr = m.Gather(bytes, sync.Skew)
+		case Scatter:
+			cr = m.Scatter(bytes, sync.Skew)
+		case Allgather:
+			cr = m.Allgather(bytes, sync.Skew)
+		case Alltoall:
+			cr = m.Alltoall(bytes, sync.Skew)
+		}
+		m.Advance(cr.Max() + 10*time.Microsecond)
+		return float64(cr.Max()) / float64(time.Microsecond)
+	}
+
+	rule := ci.StoppingRule{
+		Confidence: cfg.Confidence,
+		RelErr:     cfg.RelErr,
+		BatchSize:  10,
+		MaxN:       cfg.MaxRuns,
+	}
+	xs := make([]float64, 0, cfg.MinRuns)
+	for i := 0; i < cfg.MinRuns; i++ {
+		xs = append(xs, run())
+	}
+	var iv ci.Interval
+	for {
+		var done bool
+		done, iv = rule.Done(xs)
+		if done {
+			row.Converged = true
+			break
+		}
+		if len(xs) >= cfg.MaxRuns {
+			break
+		}
+		for i := 0; i < 10 && len(xs) < cfg.MaxRuns; i++ {
+			xs = append(xs, run())
+		}
+	}
+	row.N = len(xs)
+	sorted := stats.Sorted(xs)
+	row.MedianUs = stats.Quantile(sorted, 0.5)
+	row.P99Us = stats.Quantile(sorted, 0.99)
+	row.CILoUs = iv.Lo
+	row.CIHiUs = iv.Hi
+	return row, nil
+}
+
+// WriteReport renders the complete suite result: the measurement table
+// sorted canonically plus the fitted scaling models.
+func (r *Result) WriteReport(w io.Writer) error {
+	rows := append([]Row(nil), r.Rows...)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Collective != rows[j].Collective {
+			return rows[i].Collective < rows[j].Collective
+		}
+		if rows[i].Bytes != rows[j].Bytes {
+			return rows[i].Bytes < rows[j].Bytes
+		}
+		return rows[i].Ranks < rows[j].Ranks
+	})
+	tbl := &report.Table{
+		Title: "collective microbenchmark suite on " + r.Config.Cluster.Name,
+		Headers: []string{
+			"collective", "p", "bytes", "n", "median (µs)", "95% CI", "p99 (µs)", "sync skew (µs)", "converged",
+		},
+	}
+	for _, row := range rows {
+		addRow(tbl, row)
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	if len(r.Models) > 0 {
+		fmt.Fprintln(w, "\nfitted scaling models (T in seconds):")
+		keys := make([]string, 0, len(r.Models))
+		for k := range r.Models {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %-16s %s\n", k, r.Models[k])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package suite
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func quickConfig() Config {
+	return Config{
+		Cluster:     cluster.PizDaint(),
+		Collectives: []string{Reduce, Bcast, Barrier},
+		Ranks:       []int{2, 4, 8, 16},
+		Bytes:       []int{8},
+		MinRuns:     10,
+		MaxRuns:     40,
+		RelErr:      0.2,
+		Seed:        1,
+	}
+}
+
+func TestRunSuite(t *testing.T) {
+	res, err := Run(quickConfig(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 collectives × 4 process counts (barrier measured once per size).
+	if len(res.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.MedianUs <= 0 {
+			t.Errorf("%s p=%d: non-positive median", r.Collective, r.Ranks)
+		}
+		if r.CILoUs > r.MedianUs || r.MedianUs > r.CIHiUs {
+			t.Errorf("%s p=%d: median %.4g outside its CI [%.4g, %.4g]",
+				r.Collective, r.Ranks, r.MedianUs, r.CILoUs, r.CIHiUs)
+		}
+		if r.P99Us < r.MedianUs {
+			t.Errorf("%s p=%d: p99 below median", r.Collective, r.Ranks)
+		}
+		if r.N < 10 || r.N > 40 {
+			t.Errorf("%s p=%d: n=%d outside budget", r.Collective, r.Ranks, r.N)
+		}
+	}
+	// Scaling models fitted for each collective.
+	if len(res.Models) != 3 {
+		t.Errorf("models = %d, want 3: %v", len(res.Models), res.Models)
+	}
+	for name, m := range res.Models {
+		if m.Eval(16) <= 0 {
+			t.Errorf("model %s evaluates non-positive", name)
+		}
+	}
+}
+
+func TestSuiteMediansGrowWithP(t *testing.T) {
+	res, err := Run(quickConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byColl := map[string][]Row{}
+	for _, r := range res.Rows {
+		byColl[r.Collective] = append(byColl[r.Collective], r)
+	}
+	for coll, rows := range byColl {
+		if rows[len(rows)-1].MedianUs <= rows[0].MedianUs {
+			t.Errorf("%s: median at p=%d (%.4g) not above p=%d (%.4g)",
+				coll, rows[len(rows)-1].Ranks, rows[len(rows)-1].MedianUs,
+				rows[0].Ranks, rows[0].MedianUs)
+		}
+	}
+}
+
+func TestSuiteAllCollectivesRun(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Collectives = nil // default: all
+	cfg.Ranks = []int{2, 5}
+	cfg.MinRuns = 5
+	cfg.MaxRuns = 8
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, r := range res.Rows {
+		seen[r.Collective] = true
+	}
+	for _, c := range AllCollectives {
+		if !seen[c] {
+			t.Errorf("collective %s never ran", c)
+		}
+	}
+}
+
+func TestSuiteValidation(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Collectives = []string{"mystery"}
+	if _, err := Run(cfg, nil); err == nil {
+		t.Error("unknown collective should error")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	res, err := Run(quickConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"reduce", "bcast", "barrier", "fitted scaling models", "median"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestSuiteDeterministicUnderSeed(t *testing.T) {
+	a, err := Run(quickConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quickConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Fatalf("row %d diverged under the same seed", i)
+		}
+	}
+}
+
+func TestSuiteStreamsProgress(t *testing.T) {
+	var sb strings.Builder
+	cfg := quickConfig()
+	cfg.Collectives = []string{Reduce}
+	cfg.Ranks = []int{2, 4}
+	if _, err := Run(cfg, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "reduce") {
+		t.Error("no progress streamed")
+	}
+}

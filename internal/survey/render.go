@@ -1,0 +1,106 @@
+package survey
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderMatrix writes the per-paper check matrix in the visual style of
+// the paper's Table 1: one row per design class, one column per paper
+// grouped by conference and year, '+' for sufficient documentation, '.'
+// for not applicable, ' ' for insufficient. (The paper uses ✓ and •; we
+// keep the output ASCII-safe.)
+func (d *Dataset) RenderMatrix(w io.Writer) error {
+	// Group papers deterministically: conference, then year, then index.
+	type cell struct {
+		conf string
+		year int
+	}
+	order := make([]cell, 0, len(Conferences)*len(Years))
+	for _, c := range Conferences {
+		for _, y := range Years {
+			order = append(order, cell{c, y})
+		}
+	}
+	grouped := map[cell][]Paper{}
+	for _, p := range d.Papers {
+		k := cell{p.Conference, p.Year}
+		grouped[k] = append(grouped[k], p)
+	}
+
+	// Header rows: conference letters and year digits.
+	labelW := 0
+	for c := DesignClass(0); c < NumDesignClasses; c++ {
+		if n := len(c.String()); n > labelW {
+			labelW = n
+		}
+	}
+	var confRow, yearRow strings.Builder
+	for _, k := range order {
+		for range grouped[k] {
+			confRow.WriteByte(k.conf[len(k.conf)-1]) // A/B/C
+			yearRow.WriteByte(byte('0' + k.year%10))
+		}
+		confRow.WriteByte(' ')
+		yearRow.WriteByte(' ')
+	}
+	if _, err := fmt.Fprintf(w, "%-*s %s\n%-*s %s\n", labelW, "conference",
+		confRow.String(), labelW, "year (2011-2014)", yearRow.String()); err != nil {
+		return err
+	}
+
+	mark := func(p Paper, ok bool) byte {
+		switch {
+		case !p.Applicable:
+			return '.'
+		case ok:
+			return '+'
+		}
+		return ' '
+	}
+	for c := DesignClass(0); c < NumDesignClasses; c++ {
+		var row strings.Builder
+		count, applicable := 0, 0
+		for _, k := range order {
+			for _, p := range grouped[k] {
+				row.WriteByte(mark(p, p.Design[c]))
+				if p.Applicable {
+					applicable++
+					if p.Design[c] {
+						count++
+					}
+				}
+			}
+			row.WriteByte(' ')
+		}
+		if _, err := fmt.Fprintf(w, "%-*s %s(%d/%d)\n",
+			labelW, c.String(), row.String(), count, applicable); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for r := AnalysisRow(0); r < NumAnalysisRows; r++ {
+		var row strings.Builder
+		count, applicable := 0, 0
+		for _, k := range order {
+			for _, p := range grouped[k] {
+				row.WriteByte(mark(p, p.Analysis[r]))
+				if p.Applicable {
+					applicable++
+					if p.Analysis[r] {
+						count++
+					}
+				}
+			}
+			row.WriteByte(' ')
+		}
+		if _, err := fmt.Fprintf(w, "%-*s %s(%d/%d)\n",
+			labelW, r.String(), row.String(), count, applicable); err != nil {
+			return err
+		}
+	}
+	return nil
+}

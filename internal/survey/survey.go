@@ -1,0 +1,360 @@
+// Package survey models the paper's literature study (§2, Table 1): a
+// stratified sample of 120 papers from three anonymized conferences
+// (ConfA/B/C) over 2011–2014, scored on nine experimental-design
+// documentation classes and four data-analysis practices. The paper
+// publishes only aggregate counts; this package reconstructs a synthetic
+// per-paper dataset with *exactly* the published marginals (seeded, so
+// reproducible) and implements the aggregation that regenerates Table 1
+// and the in-text statistics.
+package survey
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+)
+
+// DesignClass indexes the nine experimental-design documentation classes
+// of Table 1 (upper part).
+type DesignClass int
+
+// The nine design classes.
+const (
+	Processor        DesignClass = iota // processor model / accelerator
+	RAM                                 // RAM size / type / bus
+	NIC                                 // NIC model / network infos
+	Compiler                            // compiler version / flags
+	KernelLibs                          // kernel / libraries version
+	Filesystem                          // filesystem / storage
+	SoftwareInput                       // software and input
+	MeasurementSetup                    // measurement setup
+	CodeAvailable                       // code available online
+	NumDesignClasses
+)
+
+// String returns the Table 1 row label.
+func (c DesignClass) String() string {
+	switch c {
+	case Processor:
+		return "Processor Model / Accelerator"
+	case RAM:
+		return "RAM Size / Type / Bus Infos"
+	case NIC:
+		return "NIC Model / Network Infos"
+	case Compiler:
+		return "Compiler Version / Flags"
+	case KernelLibs:
+		return "Kernel / Libraries Version"
+	case Filesystem:
+		return "Filesystem / Storage"
+	case SoftwareInput:
+		return "Software and Input"
+	case MeasurementSetup:
+		return "Measurement Setup"
+	case CodeAvailable:
+		return "Code Available Online"
+	}
+	return fmt.Sprintf("DesignClass(%d)", int(c))
+}
+
+// AnalysisRow indexes the four data-analysis rows (lower part).
+type AnalysisRow int
+
+// The four analysis rows.
+const (
+	Mean AnalysisRow = iota
+	BestWorst
+	RankBased
+	Variation
+	NumAnalysisRows
+)
+
+// String returns the Table 1 row label.
+func (r AnalysisRow) String() string {
+	switch r {
+	case Mean:
+		return "Mean"
+	case BestWorst:
+		return "Best / Worst Performance"
+	case RankBased:
+		return "Rank Based Statistics"
+	case Variation:
+		return "Measure of Variation"
+	}
+	return fmt.Sprintf("AnalysisRow(%d)", int(r))
+}
+
+// Conferences and years of the stratified sample.
+var (
+	Conferences = []string{"ConfA", "ConfB", "ConfC"}
+	Years       = []int{2011, 2012, 2013, 2014}
+)
+
+// PapersPerCell is the per-conference-year sample size.
+const PapersPerCell = 10
+
+// Paper is one sampled publication's scoring.
+type Paper struct {
+	Conference string
+	Year       int
+	Applicable bool // false: no real-world performance numbers (theory, simulation)
+	Design     [NumDesignClasses]bool
+	Analysis   [NumAnalysisRows]bool
+
+	ReportsSpeedup   bool // §2.1.1
+	SpeedupHasBase   bool // includes absolute base-case performance
+	SpecifiesMethod  bool // states the exact averaging method (§3.1.1)
+	UnambiguousUnits bool // §2.1.2
+	ReportsCI        bool // confidence intervals around a mean (§3.1.2)
+}
+
+// DesignScore counts the checked design classes (the per-paper score
+// summarized in Table 1's box plots, 0–9).
+func (p Paper) DesignScore() int {
+	n := 0
+	for _, ok := range p.Design {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Marginals are the published aggregate counts the synthetic dataset
+// must reproduce exactly.
+type Marginals struct {
+	Total         int // 120
+	NotApplicable int // 25
+
+	Design   [NumDesignClasses]int // of applicable papers
+	Analysis [NumAnalysisRows]int  // of applicable papers
+
+	Speedups            int // 39 papers report speedups
+	SpeedupsWithoutBase int // 15 of them lack the absolute base
+	SpecifyMethod       int // 4 of the 51 mean-summarizing papers
+	UnambiguousUnits    int // 2 of 95
+	ReportCIs           int // 2 of 95
+}
+
+// PaperMarginals returns the counts published in the paper (Table 1 and
+// the in-text statistics of §2–3).
+func PaperMarginals() Marginals {
+	return Marginals{
+		Total:         120,
+		NotApplicable: 25,
+		Design: [NumDesignClasses]int{
+			Processor:        79,
+			RAM:              26,
+			NIC:              60,
+			Compiler:         35,
+			KernelLibs:       20,
+			Filesystem:       12,
+			SoftwareInput:    48,
+			MeasurementSetup: 30,
+			CodeAvailable:    7,
+		},
+		Analysis: [NumAnalysisRows]int{
+			Mean:      51,
+			BestWorst: 13,
+			RankBased: 9,
+			Variation: 17,
+		},
+		Speedups:            39,
+		SpeedupsWithoutBase: 15,
+		SpecifyMethod:       4,
+		UnambiguousUnits:    2,
+		ReportCIs:           2,
+	}
+}
+
+// Dataset is the full per-paper sample.
+type Dataset struct {
+	Papers []Paper
+}
+
+// Synthetic builds a seeded per-paper dataset whose aggregates equal the
+// given marginals exactly. Per-paper attributes are assigned by sampling
+// without replacement among the applicable papers, so cross-class
+// correlations are random — the published data does not constrain them.
+func Synthetic(m Marginals, seed uint64) (*Dataset, error) {
+	if m.Total != len(Conferences)*len(Years)*PapersPerCell {
+		return nil, fmt.Errorf("survey: total %d does not match the 3×4×10 design", m.Total)
+	}
+	applicable := m.Total - m.NotApplicable
+	for c, n := range m.Design {
+		if n > applicable {
+			return nil, fmt.Errorf("survey: class %v count %d exceeds applicable %d",
+				DesignClass(c), n, applicable)
+		}
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x7ab1e1))
+	papers := make([]Paper, 0, m.Total)
+	for _, conf := range Conferences {
+		for _, year := range Years {
+			for i := 0; i < PapersPerCell; i++ {
+				papers = append(papers, Paper{Conference: conf, Year: year, Applicable: true})
+			}
+		}
+	}
+	// Mark the not-applicable papers.
+	for _, idx := range samplePapers(rng, m.Total, m.NotApplicable) {
+		papers[idx].Applicable = false
+	}
+	appIdx := make([]int, 0, applicable)
+	for i, p := range papers {
+		if p.Applicable {
+			appIdx = append(appIdx, i)
+		}
+	}
+
+	pick := func(count int) []int {
+		out := samplePapers(rng, len(appIdx), count)
+		for i, j := range out {
+			out[i] = appIdx[j]
+		}
+		return out
+	}
+
+	for c := DesignClass(0); c < NumDesignClasses; c++ {
+		for _, idx := range pick(m.Design[c]) {
+			papers[idx].Design[c] = true
+		}
+	}
+	var meanPapers []int
+	for r := AnalysisRow(0); r < NumAnalysisRows; r++ {
+		sel := pick(m.Analysis[r])
+		if r == Mean {
+			meanPapers = sel
+		}
+		for _, idx := range sel {
+			papers[idx].Analysis[r] = true
+		}
+	}
+	// Speedup reporting: 39 papers, 15 without absolute base.
+	sp := pick(m.Speedups)
+	for _, idx := range sp {
+		papers[idx].ReportsSpeedup = true
+		papers[idx].SpeedupHasBase = true
+	}
+	for _, k := range samplePapers(rng, len(sp), m.SpeedupsWithoutBase) {
+		papers[sp[k]].SpeedupHasBase = false
+	}
+	// Method specification among the mean-summarizing papers.
+	if m.SpecifyMethod > len(meanPapers) {
+		return nil, fmt.Errorf("survey: SpecifyMethod %d exceeds mean papers %d",
+			m.SpecifyMethod, len(meanPapers))
+	}
+	for _, k := range samplePapers(rng, len(meanPapers), m.SpecifyMethod) {
+		papers[meanPapers[k]].SpecifiesMethod = true
+	}
+	for _, idx := range pick(m.UnambiguousUnits) {
+		papers[idx].UnambiguousUnits = true
+	}
+	for _, idx := range pick(m.ReportCIs) {
+		papers[idx].ReportsCI = true
+	}
+	return &Dataset{Papers: papers}, nil
+}
+
+// samplePapers draws `count` distinct indices from [0, n) via a partial
+// Fisher–Yates shuffle.
+func samplePapers(rng *rand.Rand, n, count int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < count && i < n; i++ {
+		j := i + rng.IntN(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:count]
+}
+
+// CellSummary is Table 1's per-conference-year box-plot summary of the
+// per-paper design scores (0–9), over the 10 sampled papers.
+type CellSummary struct {
+	Conference string
+	Year       int
+	Applicable int
+	Min        int
+	Median     float64
+	Max        int
+}
+
+// Table1 holds all regenerated aggregates.
+type Table1 struct {
+	ApplicablePapers int
+	DesignCounts     [NumDesignClasses]int
+	AnalysisCounts   [NumAnalysisRows]int
+	Cells            []CellSummary
+
+	Speedups            int
+	SpeedupsWithoutBase int
+	SpecifyMethod       int
+	UnambiguousUnits    int
+	ReportCIs           int
+}
+
+// Aggregate recomputes every Table 1 number from the per-paper data.
+func (d *Dataset) Aggregate() Table1 {
+	var t Table1
+	type cellKey struct {
+		conf string
+		year int
+	}
+	scores := map[cellKey][]int{}
+	applicableInCell := map[cellKey]int{}
+	for _, p := range d.Papers {
+		key := cellKey{p.Conference, p.Year}
+		if !p.Applicable {
+			continue
+		}
+		t.ApplicablePapers++
+		applicableInCell[key]++
+		scores[key] = append(scores[key], p.DesignScore())
+		for c, ok := range p.Design {
+			if ok {
+				t.DesignCounts[c]++
+			}
+		}
+		for r, ok := range p.Analysis {
+			if ok {
+				t.AnalysisCounts[r]++
+			}
+		}
+		if p.ReportsSpeedup {
+			t.Speedups++
+			if !p.SpeedupHasBase {
+				t.SpeedupsWithoutBase++
+			}
+		}
+		if p.SpecifiesMethod {
+			t.SpecifyMethod++
+		}
+		if p.UnambiguousUnits {
+			t.UnambiguousUnits++
+		}
+		if p.ReportsCI {
+			t.ReportCIs++
+		}
+	}
+	for _, conf := range Conferences {
+		for _, year := range Years {
+			key := cellKey{conf, year}
+			ss := scores[key]
+			cell := CellSummary{Conference: conf, Year: year, Applicable: applicableInCell[key]}
+			if len(ss) > 0 {
+				sort.Ints(ss)
+				cell.Min = ss[0]
+				cell.Max = ss[len(ss)-1]
+				if n := len(ss); n%2 == 1 {
+					cell.Median = float64(ss[n/2])
+				} else {
+					cell.Median = float64(ss[n/2-1]+ss[n/2]) / 2
+				}
+			}
+			t.Cells = append(t.Cells, cell)
+		}
+	}
+	return t
+}

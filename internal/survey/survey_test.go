@@ -1,0 +1,192 @@
+package survey
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSyntheticReproducesAllMarginals(t *testing.T) {
+	m := PaperMarginals()
+	d, err := Synthetic(m, 2015)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Papers) != 120 {
+		t.Fatalf("papers = %d", len(d.Papers))
+	}
+	agg := d.Aggregate()
+	if agg.ApplicablePapers != 95 {
+		t.Errorf("applicable = %d, want 95", agg.ApplicablePapers)
+	}
+	wantDesign := map[DesignClass]int{
+		Processor: 79, RAM: 26, NIC: 60, Compiler: 35, KernelLibs: 20,
+		Filesystem: 12, SoftwareInput: 48, MeasurementSetup: 30, CodeAvailable: 7,
+	}
+	for c, want := range wantDesign {
+		if agg.DesignCounts[c] != want {
+			t.Errorf("%v = %d, want %d", c, agg.DesignCounts[c], want)
+		}
+	}
+	wantAnalysis := map[AnalysisRow]int{Mean: 51, BestWorst: 13, RankBased: 9, Variation: 17}
+	for r, want := range wantAnalysis {
+		if agg.AnalysisCounts[r] != want {
+			t.Errorf("%v = %d, want %d", r, agg.AnalysisCounts[r], want)
+		}
+	}
+	if agg.Speedups != 39 || agg.SpeedupsWithoutBase != 15 {
+		t.Errorf("speedups = %d/%d, want 39/15", agg.Speedups, agg.SpeedupsWithoutBase)
+	}
+	if agg.SpecifyMethod != 4 || agg.UnambiguousUnits != 2 || agg.ReportCIs != 2 {
+		t.Errorf("text stats = %d/%d/%d, want 4/2/2",
+			agg.SpecifyMethod, agg.UnambiguousUnits, agg.ReportCIs)
+	}
+}
+
+func TestSyntheticDeterministicUnderSeed(t *testing.T) {
+	m := PaperMarginals()
+	a, err := Synthetic(m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Papers {
+		if a.Papers[i] != b.Papers[i] {
+			t.Fatalf("papers diverge at %d", i)
+		}
+	}
+	c, err := Synthetic(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Papers {
+		if a.Papers[i] != c.Papers[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical assignments")
+	}
+}
+
+func TestCellSummaries(t *testing.T) {
+	d, err := Synthetic(PaperMarginals(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := d.Aggregate()
+	if len(agg.Cells) != 12 {
+		t.Fatalf("cells = %d, want 12", len(agg.Cells))
+	}
+	totalApplicable := 0
+	for _, c := range agg.Cells {
+		totalApplicable += c.Applicable
+		if c.Applicable > PapersPerCell {
+			t.Errorf("%s %d: %d applicable papers in a 10-paper cell",
+				c.Conference, c.Year, c.Applicable)
+		}
+		if c.Applicable > 0 {
+			if c.Min < 0 || c.Max > int(NumDesignClasses) || float64(c.Min) > c.Median || c.Median > float64(c.Max) {
+				t.Errorf("%s %d: inconsistent box summary %d/%g/%d",
+					c.Conference, c.Year, c.Min, c.Median, c.Max)
+			}
+		}
+	}
+	if totalApplicable != 95 {
+		t.Errorf("cells sum to %d applicable, want 95", totalApplicable)
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	m := PaperMarginals()
+	m.Total = 100
+	if _, err := Synthetic(m, 1); err == nil {
+		t.Error("wrong total should error")
+	}
+	m = PaperMarginals()
+	m.Design[Processor] = 1000
+	if _, err := Synthetic(m, 1); err == nil {
+		t.Error("impossible class count should error")
+	}
+	m = PaperMarginals()
+	m.SpecifyMethod = 99
+	if _, err := Synthetic(m, 1); err == nil {
+		t.Error("SpecifyMethod above mean papers should error")
+	}
+}
+
+func TestDesignScore(t *testing.T) {
+	var p Paper
+	if p.DesignScore() != 0 {
+		t.Error("empty paper score")
+	}
+	p.Design[Processor] = true
+	p.Design[CodeAvailable] = true
+	if p.DesignScore() != 2 {
+		t.Errorf("score = %d", p.DesignScore())
+	}
+}
+
+func TestRowLabels(t *testing.T) {
+	for c := DesignClass(0); c < NumDesignClasses; c++ {
+		if c.String() == "" {
+			t.Errorf("class %d has no label", c)
+		}
+	}
+	for r := AnalysisRow(0); r < NumAnalysisRows; r++ {
+		if r.String() == "" {
+			t.Errorf("row %d has no label", r)
+		}
+	}
+	if DesignClass(99).String() == "" || AnalysisRow(99).String() == "" {
+		t.Error("unknown values should stringify")
+	}
+}
+
+// TestSpeedupFractionMatchesPaper reconfirms the §2.1.1 statistic: 15 of
+// 39 speedup papers (38%) lack the absolute base case.
+func TestSpeedupFractionMatchesPaper(t *testing.T) {
+	d, err := Synthetic(PaperMarginals(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := d.Aggregate()
+	frac := float64(agg.SpeedupsWithoutBase) / float64(agg.Speedups)
+	if frac < 0.37 || frac > 0.40 {
+		t.Errorf("fraction = %.3f, paper reports 38%%", frac)
+	}
+}
+
+func TestRenderMatrix(t *testing.T) {
+	d, err := Synthetic(PaperMarginals(), 2015)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := d.RenderMatrix(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Check the published totals appear as row annotations.
+	for _, want := range []string{"(79/95)", "(7/95)", "(51/95)", "(17/95)", "Processor Model"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix missing %q", want)
+		}
+	}
+	// The processor row's marks must total the published counts.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "(79/95)") {
+			if got := strings.Count(line, "+"); got != 79 {
+				t.Errorf("processor row has %d marks, want 79", got)
+			}
+			// Not-applicable dots across the row: the paper's 25.
+			if got := strings.Count(line, "."); got != 25 {
+				t.Errorf("processor row has %d N/A dots, want 25", got)
+			}
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package workloads implements the benchmark computations behind the
+// paper's experiments: a real blocked LU factorization with partial
+// pivoting (the computational core of HPL, Fig 1), a distributed HPL
+// execution model on the simulated cluster, the parallel Pi computation
+// of the scaling study (Fig 7a/b), and a STREAM-style triad for machine
+// model calibration (§5.1).
+package workloads
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major n×n matrix.
+type Matrix struct {
+	N    int
+	Data []float64 // row-major, len N*N
+}
+
+// NewRandomMatrix builds a random matrix with entries uniform in
+// [-0.5, 0.5), the same construction HPL uses (partial pivoting handles
+// conditioning).
+func NewRandomMatrix(n int, rng *rand.Rand) *Matrix {
+	m := &Matrix{N: n, Data: make([]float64, n*n)}
+	for i := range m.Data {
+		m.Data[i] = rng.Float64() - 0.5
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	return &Matrix{N: m.N, Data: append([]float64(nil), m.Data...)}
+}
+
+// LUFactorization holds an in-place LU decomposition with partial
+// pivoting: PA = LU, with L unit-lower-triangular and U upper-triangular
+// packed into the factored matrix, and Pivots the row-interchange record.
+type LUFactorization struct {
+	LU     *Matrix
+	Pivots []int
+}
+
+// ErrSingular is returned when a zero pivot is encountered.
+var ErrSingular = errors.New("workloads: matrix is numerically singular")
+
+// LUFactor computes the blocked right-looking LU factorization with
+// partial pivoting, using block size nb (clamped to [1, n]). The trailing
+// update — the O(n³) bulk of the work, HPL's DGEMM — is parallelized
+// across the machine's cores.
+func LUFactor(a *Matrix, nb int) (*LUFactorization, error) {
+	n := a.N
+	if n == 0 {
+		return nil, errors.New("workloads: empty matrix")
+	}
+	if nb < 1 {
+		nb = 1
+	}
+	if nb > n {
+		nb = n
+	}
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+
+	for k := 0; k < n; k += nb {
+		b := min(nb, n-k)
+		// Factor the panel columns k..k+b-1 (unblocked, with pivoting
+		// applied across the full row).
+		for j := k; j < k+b; j++ {
+			// Pivot search in column j, rows j..n-1.
+			p := j
+			maxAbs := math.Abs(lu.At(j, j))
+			for i := j + 1; i < n; i++ {
+				if v := math.Abs(lu.At(i, j)); v > maxAbs {
+					maxAbs = v
+					p = i
+				}
+			}
+			if maxAbs == 0 {
+				return nil, ErrSingular
+			}
+			if p != j {
+				swapRows(lu, p, j)
+				piv[p], piv[j] = piv[j], piv[p]
+			}
+			// Eliminate below the pivot within the panel and compute
+			// multipliers.
+			inv := 1 / lu.At(j, j)
+			for i := j + 1; i < n; i++ {
+				lij := lu.At(i, j) * inv
+				lu.Set(i, j, lij)
+				for c := j + 1; c < k+b; c++ {
+					lu.Set(i, c, lu.At(i, c)-lij*lu.At(j, c))
+				}
+			}
+		}
+		if k+b >= n {
+			break
+		}
+		// Triangular solve: U12 = L11⁻¹·A12 (L11 unit lower).
+		for i := k; i < k+b; i++ {
+			for r := k; r < i; r++ {
+				lir := lu.At(i, r)
+				if lir == 0 {
+					continue
+				}
+				for c := k + b; c < n; c++ {
+					lu.Set(i, c, lu.At(i, c)-lir*lu.At(r, c))
+				}
+			}
+		}
+		// Trailing update: A22 -= L21·U12, parallelized over row bands.
+		parallelRows(k+b, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for r := k; r < k+b; r++ {
+					lir := lu.At(i, r)
+					if lir == 0 {
+						continue
+					}
+					row := lu.Data[i*n:]
+					urow := lu.Data[r*n:]
+					for c := k + b; c < n; c++ {
+						row[c] -= lir * urow[c]
+					}
+				}
+			}
+		})
+	}
+	return &LUFactorization{LU: lu, Pivots: piv}, nil
+}
+
+func swapRows(m *Matrix, a, b int) {
+	ra := m.Data[a*m.N : (a+1)*m.N]
+	rb := m.Data[b*m.N : (b+1)*m.N]
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+// parallelRows splits [lo, hi) into GOMAXPROCS contiguous bands and runs
+// fn on each concurrently.
+func parallelRows(lo, hi int, fn func(lo, hi int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(lo, hi)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		a := lo + w*chunk
+		b := min(a+chunk, hi)
+		if a >= b {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(a, b)
+		}()
+	}
+	wg.Wait()
+}
+
+// Solve solves Ax = rhs using the factorization (forward elimination
+// with the recorded pivoting, then back substitution).
+func (f *LUFactorization) Solve(rhs []float64) ([]float64, error) {
+	n := f.LU.N
+	if len(rhs) != n {
+		return nil, fmt.Errorf("workloads: rhs length %d != %d", len(rhs), n)
+	}
+	// Apply the permutation: piv[i] names the original row now at i.
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = rhs[f.Pivots[i]]
+	}
+	// Forward: Ly = Pb.
+	for i := 1; i < n; i++ {
+		s := x[i]
+		row := f.LU.Data[i*n:]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Backward: Ux = y.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		row := f.LU.Data[i*n:]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		d := row[i]
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// Residual returns the scaled HPL-style residual
+// ‖Ax − b‖∞ / (ε · ‖A‖∞ · ‖x‖∞ · n); values below ~16 indicate a
+// numerically correct solve.
+func Residual(a *Matrix, x, b []float64) float64 {
+	n := a.N
+	var rmax, anorm, xnorm float64
+	for i := 0; i < n; i++ {
+		s := -b[i]
+		var rowsum float64
+		row := a.Data[i*n:]
+		for j := 0; j < n; j++ {
+			s += row[j] * x[j]
+			rowsum += math.Abs(row[j])
+		}
+		rmax = math.Max(rmax, math.Abs(s))
+		anorm = math.Max(anorm, rowsum)
+	}
+	for _, v := range x {
+		xnorm = math.Max(xnorm, math.Abs(v))
+	}
+	eps := math.Nextafter(1, 2) - 1
+	return rmax / (eps * anorm * xnorm * float64(n))
+}
+
+// LUFlops returns the floating point operation count HPL credits for an
+// n×n factorization and solve: 2/3·n³ + 3/2·n².
+func LUFlops(n int) float64 {
+	nf := float64(n)
+	return 2.0/3.0*nf*nf*nf + 1.5*nf*nf
+}

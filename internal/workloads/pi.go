@@ -1,0 +1,205 @@
+package workloads
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+)
+
+// ComputePiDigits really computes π to the requested number of decimal
+// digits using the Machin formula π/4 = 4·atan(1/5) − atan(1/239) with
+// big-float arithmetic, splitting the series terms across `workers`
+// goroutines. It is the computational content of the paper's Fig 7
+// scaling example ("calculating digits of Pi ... fully parallel until the
+// execution of a single reduction").
+func ComputePiDigits(digits, workers int) (string, error) {
+	if digits < 1 || digits > 100000 {
+		return "", errors.New("workloads: digits out of range [1, 100000]")
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	prec := uint(float64(digits)*3.33) + 64
+
+	pi := new(big.Float).SetPrec(prec)
+	a := atanInvParallel(5, prec, workers)
+	b := atanInvParallel(239, prec, workers)
+	a.Mul(a, big.NewFloat(4).SetPrec(prec))
+	pi.Sub(a, b)
+	pi.Mul(pi, big.NewFloat(4).SetPrec(prec))
+
+	s := pi.Text('f', digits)
+	return s, nil
+}
+
+// atanInvParallel computes atan(1/x) by the Gregory series
+// Σ (−1)^k / ((2k+1)·x^(2k+1)), with the terms distributed round-robin
+// over workers and summed with a final reduction — the "fully parallel
+// until a single reduction" structure of the paper's example.
+func atanInvParallel(x int64, prec uint, workers int) *big.Float {
+	// Number of terms: each term shrinks by x², so we need about
+	// prec·ln2 / (2·ln x) terms.
+	terms := int(float64(prec)*0.6932/(2*math.Log(float64(x)))) + 2
+
+	partials := make([]*big.Float, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sum := new(big.Float).SetPrec(prec)
+			xb := new(big.Float).SetPrec(prec).SetInt64(x)
+			x2 := new(big.Float).SetPrec(prec).Mul(xb, xb)
+			// Start at term w: 1/x^(2w+1).
+			pow := new(big.Float).SetPrec(prec).SetInt64(1)
+			pow.Quo(pow, xb)
+			for i := 0; i < w; i++ {
+				pow.Quo(pow, x2)
+			}
+			// Stride x^(2·workers).
+			stride := new(big.Float).SetPrec(prec).SetInt64(1)
+			for i := 0; i < workers; i++ {
+				stride.Mul(stride, x2)
+			}
+			term := new(big.Float).SetPrec(prec)
+			den := new(big.Float).SetPrec(prec)
+			for k := w; k < terms; k += workers {
+				den.SetInt64(int64(2*k + 1))
+				term.Quo(pow, den)
+				if k%2 == 0 {
+					sum.Add(sum, term)
+				} else {
+					sum.Sub(sum, term)
+				}
+				pow.Quo(pow, stride)
+			}
+			partials[w] = sum
+		}()
+	}
+	wg.Wait()
+	// Final reduction.
+	total := new(big.Float).SetPrec(prec)
+	for _, p := range partials {
+		total.Add(total, p)
+	}
+	return total
+}
+
+// ScalingMode distinguishes strong scaling (constant problem size) from
+// weak scaling (problem size grown with p) — §4.2 requires papers to
+// state which one they measured and, for weak scaling, the growth
+// function (linear in p here).
+type ScalingMode int
+
+const (
+	// StrongScaling keeps the total work constant as p grows.
+	StrongScaling ScalingMode = iota
+	// WeakScaling grows the parallel work linearly with p, so the
+	// per-process work (and ideally the execution time) stays constant.
+	WeakScaling
+)
+
+// String returns the scaling-mode name.
+func (s ScalingMode) String() string {
+	if s == WeakScaling {
+		return "weak scaling (linear problem growth)"
+	}
+	return "strong scaling (constant problem size)"
+}
+
+// PiScalingConfig parametrizes the simulated Fig 7 strong-scaling study:
+// a perfectly parallel compute phase of (1−Serial)·Base, a serial
+// initialization of Serial·Base, and a final reduction executed on the
+// simulated machine.
+type PiScalingConfig struct {
+	Base        time.Duration // single-process execution time (paper: 20 ms)
+	Serial      float64       // serial fraction b (paper: 0.01)
+	ReduceBytes int           // payload of the final reduction
+	Mode        ScalingMode   // strong (default, Fig 7) or weak
+}
+
+// PiScalingPoint is one measured scaling configuration. Under strong
+// scaling, Speedup is T(1)/T(p); under weak scaling the same quotient is
+// the weak-scaling *efficiency* (1 = perfect, ideally flat time).
+type PiScalingPoint struct {
+	P       int
+	Time    time.Duration
+	Speedup float64
+}
+
+// SimulatePiScaling measures the strong-scaling curve on fresh machines
+// with 1..maxP processes, repeating each configuration `reps` times and
+// keeping the per-configuration median (plus all raw samples for CI
+// computation). It returns one point per process count and the raw
+// samples indexed [pIdx][rep] in seconds.
+func SimulatePiScaling(cfg cluster.Config, pc PiScalingConfig, ps []int, reps int, seed uint64) ([]PiScalingPoint, [][]float64, error) {
+	if pc.Base <= 0 || pc.Serial < 0 || pc.Serial > 1 {
+		return nil, nil, errors.New("workloads: bad Pi scaling config")
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	points := make([]PiScalingPoint, 0, len(ps))
+	raw := make([][]float64, 0, len(ps))
+	var base float64
+	for idx, p := range ps {
+		if p < 1 {
+			return nil, nil, fmt.Errorf("workloads: process count %d", p)
+		}
+		m, err := cluster.New(cfg, p, seed+uint64(idx)*7919)
+		if err != nil {
+			return nil, nil, err
+		}
+		samples := make([]float64, 0, reps)
+		flopsSerial := pc.Serial * pc.Base.Seconds() * cfg.FlopsPerSec
+		flopsParallel := (1 - pc.Serial) * pc.Base.Seconds() * cfg.FlopsPerSec / float64(p)
+		if pc.Mode == WeakScaling {
+			// Problem grows linearly with p: per-process work constant.
+			flopsParallel = (1 - pc.Serial) * pc.Base.Seconds() * cfg.FlopsPerSec
+		}
+		for rep := 0; rep < reps; rep++ {
+			// Serial init on rank 0.
+			t := m.ComputeTime(0, flopsSerial, m.Now())
+			// Parallel phase: every rank computes its slice; the phase
+			// ends when the slowest rank finishes.
+			var slowest time.Duration
+			for r := 0; r < p; r++ {
+				d := m.ComputeTime(r, flopsParallel, m.Now()+t)
+				if d > slowest {
+					slowest = d
+				}
+			}
+			t += slowest
+			// Final reduction.
+			if p > 1 {
+				red := m.Reduce(pc.ReduceBytes, nil)
+				t += red.Root
+			}
+			samples = append(samples, t.Seconds())
+			m.Advance(t + time.Millisecond)
+		}
+		med := stats.Median(samples)
+		points = append(points, PiScalingPoint{P: p, Time: time.Duration(med * float64(time.Second))})
+		raw = append(raw, samples)
+		if p == 1 {
+			// Use the rounded duration so speedup(p=1) is exactly 1.
+			base = points[len(points)-1].Time.Seconds()
+		}
+	}
+	// Speedups relative to the single-process base case (Rule 1: report
+	// the absolute base-case performance alongside).
+	if base > 0 {
+		for i := range points {
+			points[i].Speedup = base / points[i].Time.Seconds()
+		}
+	}
+	return points, raw, nil
+}

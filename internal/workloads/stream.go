@@ -1,0 +1,88 @@
+package workloads
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// StreamResult reports one STREAM-style kernel measurement: the achieved
+// memory bandwidth in bytes/second for each repetition.
+type StreamResult struct {
+	Kernel    string
+	Bytes     int       // bytes moved per repetition
+	Rates     []float64 // B/s per repetition
+	BestRate  float64   // maximum (the STREAM convention)
+	WorstRate float64
+}
+
+// StreamTriad runs the STREAM triad kernel a[i] = b[i] + s·c[i] on real
+// memory with `workers` goroutines, `reps` times, and returns the
+// measured bandwidths. It is the §5.1 microbenchmark used to calibrate
+// the memory-bandwidth feature of a machine model when the vendor's
+// analytic peak is unreachable. n is the per-array element count.
+func StreamTriad(n, workers, reps int) (StreamResult, error) {
+	if n < 1024 {
+		return StreamResult{}, errors.New("workloads: array too small to time")
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := range b {
+		b[i] = 1.0
+		c[i] = 2.0
+	}
+	const scalar = 3.0
+	// 3 arrays × 8 bytes touched per element (2 reads + 1 write).
+	bytes := 24 * n
+
+	res := StreamResult{Kernel: "triad", Bytes: bytes}
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := min(lo+chunk, n)
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				aa, bb, cc := a[lo:hi], b[lo:hi], c[lo:hi]
+				for i := range aa {
+					aa[i] = bb[i] + scalar*cc[i]
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		el := time.Since(start).Seconds()
+		if el <= 0 {
+			el = 1e-9
+		}
+		res.Rates = append(res.Rates, float64(bytes)/el)
+	}
+	res.BestRate = res.Rates[0]
+	res.WorstRate = res.Rates[0]
+	for _, v := range res.Rates[1:] {
+		if v > res.BestRate {
+			res.BestRate = v
+		}
+		if v < res.WorstRate {
+			res.WorstRate = v
+		}
+	}
+	// Keep the result observable so the loop cannot be optimized away.
+	if a[0] != 7.0 {
+		return StreamResult{}, errors.New("workloads: triad produced wrong value")
+	}
+	return res, nil
+}

@@ -1,0 +1,300 @@
+package workloads
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+)
+
+func TestLUFactorSolveResidual(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, n := range []int{1, 2, 5, 33, 100} {
+		for _, nb := range []int{1, 4, 32, 200} {
+			a := NewRandomMatrix(n, rng)
+			f, err := LUFactor(a, nb)
+			if err != nil {
+				t.Fatalf("n=%d nb=%d: %v", n, nb, err)
+			}
+			// Build b = A·ones so the exact solution is known.
+			ones := make([]float64, n)
+			b := make([]float64, n)
+			for i := range ones {
+				ones[i] = 1
+			}
+			for i := 0; i < n; i++ {
+				s := 0.0
+				for j := 0; j < n; j++ {
+					s += a.At(i, j)
+				}
+				b[i] = s
+			}
+			x, err := f.Solve(b)
+			if err != nil {
+				t.Fatalf("n=%d nb=%d solve: %v", n, nb, err)
+			}
+			if r := Residual(a, x, b); r > 16 {
+				t.Errorf("n=%d nb=%d: residual %g too large", n, nb, r)
+			}
+			for i, v := range x {
+				if math.Abs(v-1) > 1e-8 {
+					t.Fatalf("n=%d nb=%d: x[%d] = %g, want 1", n, nb, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestLUBlockedMatchesUnblocked(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	a := NewRandomMatrix(40, rng)
+	f1, err := LUFactor(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8, err := LUFactor(a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f1.LU.Data {
+		if math.Abs(f1.LU.Data[i]-f8.LU.Data[i]) > 1e-9 {
+			t.Fatalf("blocked and unblocked factorizations diverge at %d", i)
+		}
+	}
+	for i := range f1.Pivots {
+		if f1.Pivots[i] != f8.Pivots[i] {
+			t.Fatalf("pivot sequences diverge at %d", i)
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := &Matrix{N: 2, Data: []float64{1, 2, 2, 4}} // rank 1
+	if _, err := LUFactor(a, 1); err != ErrSingular {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+	if _, err := LUFactor(&Matrix{}, 1); err == nil {
+		t.Error("empty matrix should error")
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	a := NewRandomMatrix(4, rng)
+	f, err := LUFactor(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1, 2}); err == nil {
+		t.Error("wrong rhs length should error")
+	}
+}
+
+func TestLUFlops(t *testing.T) {
+	if got := LUFlops(100); math.Abs(got-(2.0/3.0*1e6+1.5e4)) > 1 {
+		t.Errorf("LUFlops(100) = %g", got)
+	}
+}
+
+func TestRunHPLProducesPlausibleRate(t *testing.T) {
+	cfg := HPLConfig{N: 2048, NB: 128, P: 4, Q: 4}
+	m, err := cluster.New(cluster.PizDaint(), cfg.Ranks(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunHPL(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completion <= 0 {
+		t.Fatal("non-positive completion")
+	}
+	// Efficiency must be below 1 (can't beat peak) and above a floor.
+	peak := 16 * 8 * cluster.PizDaint().FlopsPerSec // 16 ranks × 8 cores... ranks are cores here
+	_ = peak
+	rate := res.Flops / res.Completion.Seconds()
+	perRank := rate / 16
+	if perRank >= cluster.PizDaint().FlopsPerSec {
+		t.Errorf("per-rank rate %g exceeds peak %g", perRank, cluster.PizDaint().FlopsPerSec)
+	}
+	if perRank < 0.1*cluster.PizDaint().FlopsPerSec {
+		t.Errorf("per-rank rate %g implausibly low", perRank)
+	}
+}
+
+func TestRunHPLValidation(t *testing.T) {
+	m, _ := cluster.New(cluster.Quiet(4, 4), 16, 1)
+	if _, err := RunHPL(m, HPLConfig{N: 0, NB: 1, P: 4, Q: 4}); err == nil {
+		t.Error("N=0 should error")
+	}
+	if _, err := RunHPL(m, HPLConfig{N: 100, NB: 200, P: 4, Q: 4}); err == nil {
+		t.Error("NB>N should error")
+	}
+	if _, err := RunHPL(m, HPLConfig{N: 256, NB: 32, P: 2, Q: 2}); err == nil {
+		t.Error("rank mismatch should error")
+	}
+}
+
+func TestHPLSeriesVariesAcrossRuns(t *testing.T) {
+	// The Fig 1 phenomenon: repeated identical HPL runs on a noisy
+	// machine produce a spread of completion times, right-skewed.
+	cfg := HPLConfig{N: 1024, NB: 128, P: 4, Q: 4}
+	m, err := cluster.New(cluster.PizDaint(), 16, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, results, err := HPLSeries(m, cfg, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 50 || len(results) != 50 {
+		t.Fatalf("series lengths %d/%d", len(times), len(results))
+	}
+	cov := stats.CoV(times)
+	if cov <= 0.0005 {
+		t.Errorf("CoV = %g, expected visible nondeterminism", cov)
+	}
+	if cov > 0.5 {
+		t.Errorf("CoV = %g, implausibly noisy", cov)
+	}
+	if stats.Min(times) == stats.Max(times) {
+		t.Error("all runs identical; noise model inert")
+	}
+}
+
+func TestComputePiDigits(t *testing.T) {
+	got, err := ComputePiDigits(50, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The final digit may round (π continues …51058…), so compare all
+	// but the last.
+	want := "3.1415926535897932384626433832795028841971693993751"
+	if !strings.HasPrefix(got, want) {
+		t.Errorf("pi = %s, want prefix %s", got, want)
+	}
+}
+
+func TestComputePiDigitsWorkerInvariance(t *testing.T) {
+	a, err := ComputePiDigits(200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ComputePiDigits(200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All but the final guard digits must agree regardless of the
+	// parallel decomposition.
+	if a[:190] != b[:190] {
+		t.Errorf("worker count changed the result:\n%s\n%s", a[:190], b[:190])
+	}
+}
+
+func TestComputePiDigitsValidation(t *testing.T) {
+	if _, err := ComputePiDigits(0, 1); err == nil {
+		t.Error("0 digits should error")
+	}
+	if _, err := ComputePiDigits(1000001, 1); err == nil {
+		t.Error("absurd digits should error")
+	}
+}
+
+func TestSimulatePiScalingShape(t *testing.T) {
+	pc := PiScalingConfig{Base: 20 * time.Millisecond, Serial: 0.01, ReduceBytes: 8}
+	ps := []int{1, 2, 4, 8, 16, 32}
+	points, raw, err := SimulatePiScaling(cluster.PizDaint(), pc, ps, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(ps) || len(raw) != len(ps) {
+		t.Fatalf("lengths %d/%d", len(points), len(raw))
+	}
+	// Times must decrease with p (up to 32 the overheads don't win yet).
+	for i := 1; i < len(points); i++ {
+		if points[i].Time >= points[i-1].Time {
+			t.Errorf("time at p=%d (%v) not below p=%d (%v)",
+				points[i].P, points[i].Time, points[i-1].P, points[i-1].Time)
+		}
+	}
+	// Speedup below ideal and below Amdahl's cap.
+	for _, pt := range points {
+		if pt.Speedup > float64(pt.P)*1.02 {
+			t.Errorf("p=%d: speedup %g super-linear", pt.P, pt.Speedup)
+		}
+	}
+	// The base case's speedup is 1 by construction.
+	if math.Abs(points[0].Speedup-1) > 1e-9 {
+		t.Errorf("base speedup = %g", points[0].Speedup)
+	}
+}
+
+func TestSimulatePiScalingValidation(t *testing.T) {
+	pc := PiScalingConfig{Base: 0}
+	if _, _, err := SimulatePiScaling(cluster.Quiet(4, 4), pc, []int{1}, 1, 1); err == nil {
+		t.Error("zero base should error")
+	}
+	pc = PiScalingConfig{Base: time.Millisecond}
+	if _, _, err := SimulatePiScaling(cluster.Quiet(4, 4), pc, []int{0}, 1, 1); err == nil {
+		t.Error("p=0 should error")
+	}
+}
+
+func TestStreamTriad(t *testing.T) {
+	res, err := StreamTriad(1<<20, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rates) != 3 {
+		t.Fatalf("reps = %d", len(res.Rates))
+	}
+	// Sanity: measured bandwidth between 100 MB/s and 10 TB/s.
+	if res.BestRate < 1e8 || res.BestRate > 1e13 {
+		t.Errorf("best rate %g B/s implausible", res.BestRate)
+	}
+	if res.WorstRate > res.BestRate {
+		t.Error("worst > best")
+	}
+	if res.Bytes != 24*(1<<20) {
+		t.Errorf("bytes = %d", res.Bytes)
+	}
+	if _, err := StreamTriad(10, 1, 1); err == nil {
+		t.Error("tiny array should error")
+	}
+}
+
+func TestSimulatePiWeakScaling(t *testing.T) {
+	pc := PiScalingConfig{
+		Base:        5 * time.Millisecond,
+		Serial:      0.01,
+		ReduceBytes: 8,
+		Mode:        WeakScaling,
+	}
+	ps := []int{1, 2, 4, 8, 16}
+	points, _, err := SimulatePiScaling(cluster.PizDaint(), pc, ps, 5, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weak scaling: time stays nearly flat (within overheads + noise).
+	base := points[0].Time
+	for _, pt := range points {
+		if pt.Time < base*95/100 {
+			t.Errorf("p=%d: weak-scaling time %v below base %v", pt.P, pt.Time, base)
+		}
+		if pt.Time > base*130/100 {
+			t.Errorf("p=%d: weak-scaling time %v far above base %v (overheads too large)",
+				pt.P, pt.Time, base)
+		}
+		// Efficiency (stored in Speedup) near 1.
+		if pt.Speedup < 0.75 || pt.Speedup > 1.02 {
+			t.Errorf("p=%d: weak-scaling efficiency %.3f", pt.P, pt.Speedup)
+		}
+	}
+	if StrongScaling.String() == "" || WeakScaling.String() == "" {
+		t.Error("mode names")
+	}
+}

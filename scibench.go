@@ -1,0 +1,509 @@
+// Package scibench is a statistically sound benchmarking library for
+// parallel computing, reproducing Hoefler & Belli, "Scientific
+// Benchmarking of Parallel Computing Systems: Twelve ways to tell the
+// masses when reporting performance results" (SC'15).
+//
+// It is the supported public surface over the implementation packages:
+//
+//   - measurement campaigns with warmup, adaptive CI-driven stopping and
+//     explicit outlier policy (Run, Plan, Result);
+//   - the correct summaries for costs, rates and ratios (Rules 3–4);
+//   - confidence intervals of the mean (Student-t) and of the median and
+//     arbitrary quantiles (nonparametric, Le Boudec);
+//   - normality diagnostics (Shapiro–Wilk, Q-Q) and sound comparisons
+//     (Welch t-test, one-way ANOVA, Kruskal–Wallis, effect size);
+//   - quantile regression for tail-sensitive comparisons (Fig 4);
+//   - bounds models (ideal, Amdahl, parallel-overhead, machine model);
+//   - the designed-experiment pipeline (Experiment → Results → Audit)
+//     with a twelve-rule compliance audit;
+//   - a simulated parallel machine (clusters, clocks, collectives,
+//     noise) substituting for MPI testbeds, for fully reproducible
+//     experiments.
+//
+// The quickstart in examples/quickstart/main.go measures a function and
+// prints a fully analyzed, audit-clean report in ~20 lines.
+package scibench
+
+import (
+	"io"
+	"math/rand/v2"
+
+	"repro/internal/bench"
+	"repro/internal/bootstrap"
+	"repro/internal/bounds"
+	"repro/internal/ci"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/doe"
+	"repro/internal/htest"
+	"repro/internal/model"
+	"repro/internal/qreg"
+	"repro/internal/report"
+	"repro/internal/rules"
+	"repro/internal/stats"
+	"repro/internal/suite"
+	"repro/internal/timer"
+)
+
+// Measurement campaign configuration and results (package bench).
+type (
+	// Plan configures a measurement campaign: warmup, fixed or adaptive
+	// sample counts, confidence level, and outlier policy.
+	Plan = bench.Plan
+	// Result is a fully analyzed campaign: summary statistics, CIs of
+	// mean and median, normality diagnostics, and provenance.
+	Result = bench.Result
+	// OutlierPolicy selects Tukey-fence removal (the removed count is
+	// always reported, per §3.1.3).
+	OutlierPolicy = bench.OutlierPolicy
+	// CrossProcess is the Rule 10 summarization of per-process samples
+	// with an ANOVA pooling gate.
+	CrossProcess = bench.CrossProcess
+)
+
+// Run executes a measurement campaign against the measure closure.
+func Run(plan Plan, measure func() float64) (Result, error) {
+	return bench.Run(plan, measure)
+}
+
+// Analyze runs the full statistical analysis over an existing sample.
+func Analyze(xs []float64, confidence float64) (Result, error) {
+	return bench.Analyze(xs, confidence)
+}
+
+// SummarizeAcrossProcesses applies the Rule 10 procedure: ANOVA across
+// the per-process samples decides whether pooling is sound.
+func SummarizeAcrossProcesses(perProc [][]float64, alpha float64) (CrossProcess, error) {
+	return bench.SummarizeAcrossProcesses(perProc, alpha)
+}
+
+// Descriptive statistics (package stats).
+type (
+	// Summary is the descriptive-statistics bundle the paper asks
+	// experimenters to report.
+	Summary = stats.Summary
+	// MetricKind classifies a metric as cost, rate, or ratio (Rules 3–4).
+	MetricKind = stats.Kind
+)
+
+// Metric kinds.
+const (
+	Cost  = stats.Cost
+	Rate  = stats.Rate
+	Ratio = stats.Ratio
+)
+
+// Mean returns the arithmetic mean (correct for costs, Rule 3).
+func Mean(xs []float64) float64 { return stats.Mean(xs) }
+
+// HarmonicMean returns the harmonic mean (correct for rates, Rule 3).
+func HarmonicMean(xs []float64) (float64, error) { return stats.HarmonicMean(xs) }
+
+// GeometricMean returns the geometric mean (last resort for ratios,
+// Rule 4).
+func GeometricMean(xs []float64) (float64, error) { return stats.GeometricMean(xs) }
+
+// SummarizeMean dispatches to the correct mean for the metric kind.
+func SummarizeMean(kind MetricKind, xs []float64) (float64, error) {
+	return stats.SummarizeMean(kind, xs)
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return stats.Median(xs) }
+
+// Quantile returns the p-quantile of xs (type-7 interpolation).
+func Quantile(xs []float64, p float64) float64 { return stats.QuantileOf(xs, p) }
+
+// TrimmedMean returns the mean after removing the trim fraction from
+// each tail — a robust alternative to outlier removal.
+func TrimmedMean(xs []float64, trim float64) (float64, error) {
+	return stats.TrimmedMean(xs, trim)
+}
+
+// MAD returns the (normal-consistent) median absolute deviation, the
+// robust spread companion to the median.
+func MAD(xs []float64) float64 { return stats.MAD(xs) }
+
+// Summarize computes the full descriptive summary.
+func Summarize(xs []float64) Summary { return stats.Summarize(xs) }
+
+// Confidence intervals (package ci).
+type (
+	// Interval is a two-sided confidence interval around a point
+	// estimate.
+	Interval = ci.Interval
+	// StoppingRule is the §4.2.2 sequential CI-width stopping criterion.
+	StoppingRule = ci.StoppingRule
+)
+
+// MeanCI returns the Student-t confidence interval for the mean.
+func MeanCI(xs []float64, confidence float64) (Interval, error) {
+	return ci.MeanCI(xs, confidence)
+}
+
+// MedianCI returns the nonparametric rank-based CI for the median.
+func MedianCI(xs []float64, confidence float64) (Interval, error) {
+	return ci.MedianCI(xs, confidence)
+}
+
+// QuantileCI returns the nonparametric rank-based CI for any quantile.
+func QuantileCI(xs []float64, p, confidence float64) (Interval, error) {
+	return ci.QuantileCI(xs, p, confidence)
+}
+
+// RequiredSamples computes the sample size needed for a target relative
+// error at a confidence level, from a normal pilot sample (§4.2.2).
+func RequiredSamples(pilot []float64, confidence, relErr float64) (int, error) {
+	return ci.RequiredSamplesNormal(pilot, confidence, relErr)
+}
+
+// Hypothesis tests (package htest).
+type (
+	// TestResult carries a test statistic and its p-value.
+	TestResult = htest.TestResult
+	// ANOVAResult extends TestResult with the variance decomposition.
+	ANOVAResult = htest.ANOVAResult
+)
+
+// ShapiroWilk tests composite normality (Rule 6; 3 <= n <= 5000).
+func ShapiroWilk(xs []float64) (TestResult, error) { return htest.ShapiroWilk(xs) }
+
+// TTest compares two means (welch=true recommended).
+func TTest(xs, ys []float64, welch bool) (TestResult, error) {
+	return htest.TTest(xs, ys, welch)
+}
+
+// OneWayANOVA tests equality of k group means (§3.2.1).
+func OneWayANOVA(groups ...[]float64) (ANOVAResult, error) {
+	return htest.OneWayANOVA(groups...)
+}
+
+// KruskalWallis tests equality of k group medians (§3.2.2).
+func KruskalWallis(groups ...[]float64) (TestResult, error) {
+	return htest.KruskalWallis(groups...)
+}
+
+// EffectSize returns the standardized mean difference (§3.2.2).
+func EffectSize(xs, ys []float64) (float64, error) { return htest.EffectSize(xs, ys) }
+
+// PairedTTest tests the mean of paired differences (blocked designs).
+func PairedTTest(xs, ys []float64) (TestResult, error) { return htest.PairedTTest(xs, ys) }
+
+// MeanDifferenceCI returns the Welch CI for mean(ys) − mean(xs).
+func MeanDifferenceCI(xs, ys []float64, confidence float64) (lo, hi float64, err error) {
+	return htest.MeanDifferenceCI(xs, ys, confidence)
+}
+
+// AndersonDarling tests composite normality with the A² statistic — one
+// of the alternatives Rule 6's discussion compares Shapiro–Wilk against.
+func AndersonDarling(xs []float64) (TestResult, error) { return htest.AndersonDarling(xs) }
+
+// Lilliefors tests composite normality with the KS statistic and
+// estimated parameters.
+func Lilliefors(xs []float64) (TestResult, error) { return htest.Lilliefors(xs) }
+
+// KolmogorovSmirnov tests xs against a fully specified CDF.
+func KolmogorovSmirnov(xs []float64, cdf func(float64) float64) (TestResult, error) {
+	return htest.KolmogorovSmirnov(xs, cdf)
+}
+
+// IIDDiagnosis bundles independence diagnostics (autocorrelations and
+// the runs test) behind the iid requirement of §3.1.3.
+type IIDDiagnosis = htest.IIDDiagnosis
+
+// DiagnoseIID checks a measurement series for serial dependence.
+func DiagnoseIID(xs []float64, maxLag int) (IIDDiagnosis, error) {
+	return htest.DiagnoseIID(xs, maxLag)
+}
+
+// Bootstrap resampling (package bootstrap) — the "more advanced
+// techniques" pointer of the paper's related work, for statistics with
+// no analytic interval.
+
+// BootstrapMethod selects the bootstrap interval construction.
+type BootstrapMethod = bootstrap.Method
+
+// Bootstrap interval constructions.
+const (
+	// BootstrapPercentile uses raw bootstrap-distribution quantiles.
+	BootstrapPercentile = bootstrap.Percentile
+	// BootstrapBCa applies bias correction and acceleration.
+	BootstrapBCa = bootstrap.BCa
+)
+
+// BootstrapCI computes a resampling CI for an arbitrary statistic.
+func BootstrapCI(xs []float64, stat func([]float64) float64, method BootstrapMethod,
+	resamples int, confidence float64, rng *rand.Rand) (Interval, error) {
+	return bootstrap.CI(xs, stat, method, resamples, confidence, rng)
+}
+
+// BootstrapDifferenceCI bootstraps stat(ys) − stat(xs).
+func BootstrapDifferenceCI(xs, ys []float64, stat func([]float64) float64,
+	resamples int, confidence float64, rng *rand.Rand) (Interval, error) {
+	return bootstrap.DifferenceCI(xs, ys, stat, resamples, confidence, rng)
+}
+
+// Factorial design (package doe, §4's recommendation).
+type (
+	// DesignFactor is one factor with its levels.
+	DesignFactor = doe.Factor
+	// FactorialDesign is a set of runs over factor-level combinations.
+	FactorialDesign = doe.Design
+	// DesignObservations holds replicated measurements per run.
+	DesignObservations = doe.Observations
+	// FactorEffect is one estimated main effect or interaction.
+	FactorEffect = doe.Effect
+)
+
+// FullFactorial enumerates every factor-level combination.
+func FullFactorial(factors []DesignFactor) (*FactorialDesign, error) {
+	return doe.FullFactorial(factors)
+}
+
+// TwoLevelDesign builds a 2^k design over the named factors.
+func TwoLevelDesign(names ...string) (*FactorialDesign, error) {
+	return doe.TwoLevel(names...)
+}
+
+// CollectDesign executes a design with `reps` replicates per run.
+func CollectDesign(d *FactorialDesign, reps int, measure func(levels []int) float64) (*DesignObservations, error) {
+	return doe.Collect(d, reps, measure)
+}
+
+// FactorEffects estimates main effects (and optionally two-factor
+// interactions) of a replicated two-level design.
+func FactorEffects(obs *DesignObservations, interactions bool) ([]FactorEffect, error) {
+	return doe.Effects(obs, interactions)
+}
+
+// Software counters (package counters — the PAPI analogue).
+type (
+	// CounterDelta is the counter change across one measured region.
+	CounterDelta = counters.Delta
+)
+
+// MeasureCounters runs fn once and returns its counter delta (allocation
+// volume, GC activity, elapsed time).
+func MeasureCounters(fn func()) CounterDelta { return counters.Measure(fn) }
+
+// CounterSeries collects per-invocation deltas over n runs.
+func CounterSeries(n int, fn func()) []CounterDelta { return counters.Series(n, fn) }
+
+// Quantile regression (package qreg).
+type (
+	// QuantileFit is one fitted quantile-regression model.
+	QuantileFit = qreg.Fit
+	// QuantilePoint is one quantile's two-group comparison (Fig 4).
+	QuantilePoint = qreg.TwoGroupPoint
+)
+
+// QuantileRegress fits the exact Koenker–Bassett LP for tau.
+func QuantileRegress(x [][]float64, y []float64, tau float64) (QuantileFit, error) {
+	return qreg.Regress(x, y, tau)
+}
+
+// CompareQuantiles computes per-quantile differences between two systems
+// with confidence bands (the Fig 4 analysis).
+func CompareQuantiles(base, alt []float64, taus []float64, confidence float64) ([]QuantilePoint, error) {
+	return qreg.TwoGroupQuantiles(base, alt, taus, confidence)
+}
+
+// Bounds models (package bounds).
+type (
+	// BoundsModel is a scaling lower-bound-on-time model (Rule 11).
+	BoundsModel = bounds.Model
+	// Ideal is the linear-speedup bound.
+	Ideal = bounds.Ideal
+	// Amdahl is the serial-fraction bound.
+	Amdahl = bounds.Amdahl
+	// ParallelOverhead adds a p-dependent overhead term.
+	ParallelOverhead = bounds.ParallelOverhead
+	// MachineModel is the k-dimensional capability vector Γ of §5.1.
+	MachineModel = bounds.MachineModel
+	// Requirements is an application's measured rate vector τ.
+	Requirements = bounds.Requirements
+	// Roofline is the k = 2 machine model.
+	Roofline = bounds.Roofline
+)
+
+// NewMachineModel builds a validated machine model.
+func NewMachineModel(features []string, peaks []float64) (*MachineModel, error) {
+	return bounds.NewMachineModel(features, peaks)
+}
+
+// Semi-analytic model fitting (package model, §5.1).
+type (
+	// ModelFit is a fitted linear model with goodness-of-fit.
+	ModelFit = model.Fit
+	// CollectiveModel is the LogP-style T(p) = A + B·log₂p + C·p model.
+	CollectiveModel = model.CollectiveModel
+	// SegmentedModel is the piecewise log-linear model of Fig 7's
+	// reduction overhead.
+	SegmentedModel = model.Segmented
+)
+
+// LeastSquares fits y ≈ X·β by ordinary least squares.
+func LeastSquares(x [][]float64, y []float64, names []string) (ModelFit, error) {
+	return model.LeastSquares(x, y, names)
+}
+
+// FitCollective fits the LogP-style collective model to (p, seconds)
+// measurements.
+func FitCollective(ps []int, seconds []float64) (CollectiveModel, error) {
+	return model.FitCollective(ps, seconds)
+}
+
+// FitSegmented fits a piecewise log-linear model split at the given
+// process-count breakpoints.
+func FitSegmented(ps []int, seconds []float64, breaks []int) (SegmentedModel, error) {
+	return model.FitSegmented(ps, seconds, breaks)
+}
+
+// Experiment pipeline (package core).
+type (
+	// Experiment is a designed measurement campaign (Rule 9 metadata +
+	// plan + configurations).
+	Experiment = core.Experiment
+	// Metadata documents an experiment's environment and factors.
+	Metadata = core.Metadata
+	// Configuration is one factor-level combination.
+	Configuration = core.Configuration
+	// Results is an analyzed experiment.
+	Results = core.Results
+	// Comparison is the Rule 7 comparison battery.
+	Comparison = core.Comparison
+)
+
+// Rules audit (package rules).
+type (
+	// RulesReport describes a study for auditing.
+	RulesReport = rules.Report
+	// Finding is one audit observation.
+	Finding = rules.Finding
+	// Compliance is the 12-rule scorecard.
+	Compliance = rules.Compliance
+	// ExperimentEnv documents the nine environment classes of Table 1.
+	ExperimentEnv = rules.Environment
+	// ExperimentFactor is one varied factor with its levels.
+	ExperimentFactor = rules.Factor
+	// ParallelTimingDoc documents Rule 10 methodology.
+	ParallelTimingDoc = rules.ParallelTiming
+	// RulesPlot describes one figure for the Rule 12 audit.
+	RulesPlot = rules.Plot
+	// RulesComparison records one A-beats-B claim for the Rule 7 audit.
+	RulesComparison = rules.Comparison
+	// RulesSpeedup documents a speedup claim for the Rule 1 audit.
+	RulesSpeedup = rules.Speedup
+	// RulesSummaryUse records one summarized metric for Rules 3–4.
+	RulesSummaryUse = rules.SummaryUse
+)
+
+// AuditRules checks a report against the twelve rules.
+func AuditRules(r RulesReport) ([]Finding, Compliance) {
+	fs := rules.Audit(r)
+	return fs, rules.Summarize(fs)
+}
+
+// RuleText returns rule n's text verbatim (1–12).
+func RuleText(n int) string {
+	if n < 1 || n > 12 {
+		return ""
+	}
+	return rules.RuleTexts[n]
+}
+
+// Simulated parallel machine (package cluster).
+type (
+	// Cluster is a simulated parallel machine.
+	Cluster = cluster.Machine
+	// ClusterConfig describes a simulated system.
+	ClusterConfig = cluster.Config
+	// Collective is a simulated collective operation's result.
+	Collective = cluster.CollectiveResult
+)
+
+// NewCluster instantiates a simulated machine with `ranks` processes.
+func NewCluster(cfg ClusterConfig, ranks int, seed uint64) (*Cluster, error) {
+	return cluster.New(cfg, ranks, seed)
+}
+
+// Preset system models of the paper's §4.1.2 testbeds.
+var (
+	// PizDaint approximates the Cray XC30 partition.
+	PizDaint = cluster.PizDaint
+	// PizDora approximates the Cray XC40.
+	PizDora = cluster.PizDora
+	// Pilatus approximates the InfiniBand FDR cluster.
+	Pilatus = cluster.Pilatus
+	// QuietCluster returns a noise-free test system.
+	QuietCluster = cluster.Quiet
+)
+
+// Collective microbenchmark suite (package suite).
+type (
+	// SuiteConfig parametrizes a collective microbenchmark sweep.
+	SuiteConfig = suite.Config
+	// SuiteResult is a completed sweep with fitted scaling models.
+	SuiteResult = suite.Result
+)
+
+// RunSuite executes the SKaMPI-style collective suite; progress rows
+// stream to w (nil for silent).
+func RunSuite(cfg SuiteConfig, w io.Writer) (*SuiteResult, error) {
+	return suite.Run(cfg, w)
+}
+
+// Timer calibration (package timer).
+type (
+	// TimerCalibration is a clock's measured resolution and overhead.
+	TimerCalibration = timer.Calibration
+)
+
+// CalibrateTimer measures the wall clock's resolution and overhead and
+// returns the §4.2.1 quality thresholds via Calibration.Check.
+func CalibrateTimer(samples int) TimerCalibration {
+	return timer.Calibrate(timer.NewWallClock(), samples)
+}
+
+// Rendering and export (package report).
+
+// WriteCSV exports named sample columns (Rule 9's data release).
+func WriteCSV(w io.Writer, names []string, cols ...[]float64) error {
+	return report.WriteCSV(w, names, cols...)
+}
+
+// DensityPlot renders an annotated ASCII density (Fig 1 style).
+func DensityPlot(w io.Writer, xs []float64, width, height int) error {
+	return report.DensityPlot(w, xs, width, height)
+}
+
+// BoxPlot renders per-group ASCII box plots (Fig 6/7c style).
+func BoxPlot(w io.Writer, groups map[string][]float64, width int) error {
+	return report.BoxPlot(w, groups, width)
+}
+
+// ViolinPlot renders per-group ASCII violins (Fig 7c style).
+func ViolinPlot(w io.Writer, groups map[string][]float64, width int) error {
+	return report.ViolinPlot(w, groups, width)
+}
+
+// QQPlot renders a normal quantile-quantile scatter (Fig 2 style).
+func QQPlot(w io.Writer, xs []float64, width, height int) error {
+	return report.QQPlot(w, xs, width, height)
+}
+
+// Series is one named line in an XY chart.
+type Series = report.Series
+
+// XYPlot renders multiple series on a shared ASCII grid (Fig 5/7a/b
+// style).
+func XYPlot(w io.Writer, title string, series []Series, width, height int) error {
+	return report.XYPlot(w, title, series, width, height)
+}
+
+// WriteRulesReport renders audit findings grouped by rule with the
+// verbatim rule text for every non-passing rule.
+func WriteRulesReport(w io.Writer, findings []Finding) error {
+	return rules.WriteReport(w, findings)
+}

@@ -1,0 +1,288 @@
+package scibench_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	scibench "repro"
+)
+
+// TestFacadeEndToEnd drives the whole public pipeline: measure two
+// simulated systems, analyze, compare, audit.
+func TestFacadeEndToEnd(t *testing.T) {
+	rngA := rand.New(rand.NewPCG(1, 1))
+	rngB := rand.New(rand.NewPCG(2, 2))
+	exp := &scibench.Experiment{
+		Meta: scibench.Metadata{
+			Name: "latency",
+			Unit: "µs",
+			Kind: scibench.Cost,
+			Env: scibench.ExperimentEnv{
+				Processor: "sim", Memory: "sim", Network: "sim",
+				Compiler: "gc", RuntimeLibs: "go", Filesystem: "n/a",
+				InputAndCode: "64B pingpong", MeasurementSetup: "single event",
+				CodeURL: "https://example.org",
+			},
+			Factors: []scibench.ExperimentFactor{
+				{Name: "system", Levels: []string{"a", "b"}},
+			},
+		},
+		Plan: scibench.Plan{MinSamples: 300},
+		Configs: []scibench.Configuration{
+			{Label: "a", Measure: func() float64 { return 1.7 + 0.2*math.Exp(0.3*rngA.NormFloat64()) }},
+			{Label: "b", Measure: func() float64 { return 1.6 + 0.4*math.Exp(0.5*rngB.NormFloat64()) }},
+		},
+	}
+	res, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := res.Compare("a", "b", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.MedianTest.P < 0 || cmp.MedianTest.P > 1 {
+		t.Errorf("p out of range: %v", cmp.MedianTest)
+	}
+	findings, compliance := res.Audit(scibench.RulesReport{
+		Plots: []scibench.RulesPlot{{Name: "densities", ShowsVariation: true}},
+		Comparisons: []scibench.RulesComparison{
+			{Claim: "a vs b medians", Method: "Kruskal-Wallis"},
+		},
+		BoundsModels: []string{"latency floor"},
+	})
+	if len(findings) == 0 {
+		t.Fatal("no findings")
+	}
+	if compliance.Passed < 11 {
+		t.Errorf("compliance = %d/12", compliance.Passed)
+		for _, f := range findings {
+			t.Log(f)
+		}
+	}
+}
+
+// TestFacadeStatistics sanity-checks the re-exported statistics.
+func TestFacadeStatistics(t *testing.T) {
+	xs := []float64{10, 100, 40}
+	if scibench.Mean(xs) != 50 {
+		t.Error("Mean")
+	}
+	h, err := scibench.HarmonicMean([]float64{10, 1, 2.5})
+	if err != nil || math.Abs(h-2) > 1e-12 {
+		t.Errorf("HarmonicMean = %g, %v", h, err)
+	}
+	if scibench.Median(xs) != 40 {
+		t.Error("Median")
+	}
+	if scibench.Quantile(xs, 1) != 100 {
+		t.Error("Quantile")
+	}
+	s := scibench.Summarize(xs)
+	if s.N != 3 {
+		t.Error("Summarize")
+	}
+	m, err := scibench.SummarizeMean(scibench.Cost, xs)
+	if err != nil || m != 50 {
+		t.Errorf("SummarizeMean = %g, %v", m, err)
+	}
+}
+
+func TestFacadeCIsAndTests(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 5 + rng.NormFloat64()
+		ys[i] = 6 + rng.NormFloat64()
+	}
+	if _, err := scibench.MeanCI(xs, 0.95); err != nil {
+		t.Error(err)
+	}
+	if _, err := scibench.MedianCI(xs, 0.95); err != nil {
+		t.Error(err)
+	}
+	if _, err := scibench.QuantileCI(xs, 0.9, 0.95); err != nil {
+		t.Error(err)
+	}
+	if n, err := scibench.RequiredSamples(xs, 0.95, 0.05); err != nil || n < 1 {
+		t.Errorf("RequiredSamples = %d, %v", n, err)
+	}
+	if sw, err := scibench.ShapiroWilk(xs); err != nil || sw.Stat <= 0 {
+		t.Errorf("ShapiroWilk: %v %v", sw, err)
+	}
+	if ad, err := scibench.AndersonDarling(xs); err != nil || ad.P < 0 {
+		t.Errorf("AndersonDarling: %v %v", ad, err)
+	}
+	if li, err := scibench.Lilliefors(xs); err != nil || li.P < 0 {
+		t.Errorf("Lilliefors: %v %v", li, err)
+	}
+	tt, err := scibench.TTest(xs, ys, true)
+	if err != nil || !tt.Significant(0.01) {
+		t.Errorf("TTest should detect the shift: %v %v", tt, err)
+	}
+	kw, err := scibench.KruskalWallis(xs, ys)
+	if err != nil || !kw.Significant(0.01) {
+		t.Errorf("KruskalWallis should detect the shift: %v %v", kw, err)
+	}
+	if _, err := scibench.OneWayANOVA(xs, ys); err != nil {
+		t.Error(err)
+	}
+	if es, err := scibench.EffectSize(xs, ys); err != nil || es >= 0 {
+		t.Errorf("EffectSize = %g, %v", es, err)
+	}
+	if d, err := scibench.DiagnoseIID(xs, 5); err != nil || !d.LooksIID {
+		t.Errorf("DiagnoseIID: %+v %v", d, err)
+	}
+}
+
+func TestFacadeBootstrapAndDesign(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = math.Exp(0.3 * rng.NormFloat64())
+	}
+	iv, err := scibench.BootstrapCI(xs, scibench.Median, scibench.BootstrapBCa, 400, 0.95, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(scibench.Median(xs)) {
+		t.Error("bootstrap CI misses the point estimate")
+	}
+	if _, err := scibench.BootstrapDifferenceCI(xs, xs, scibench.Median, 400, 0.95, rng); err != nil {
+		t.Error(err)
+	}
+
+	d, err := scibench.TwoLevelDesign("nb", "placement")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := scibench.CollectDesign(d, 10, func(levels []int) float64 {
+		return float64(levels[0])*3 + rng.NormFloat64()*0.1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	effects, err := scibench.FactorEffects(obs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(effects) != 3 {
+		t.Errorf("effects = %d", len(effects))
+	}
+	if math.Abs(effects[0].Effect-3) > 0.2 {
+		t.Errorf("nb effect = %g, want ≈3", effects[0].Effect)
+	}
+}
+
+func TestFacadeClusterAndBounds(t *testing.T) {
+	m, err := scibench.NewCluster(scibench.QuietCluster(4, 2), 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reduce(8, nil).Max() <= 0 {
+		t.Error("reduce produced no time")
+	}
+	mm, err := scibench.NewMachineModel([]string{"flop/s"}, []float64{1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, u, err := mm.Bottleneck(scibench.Requirements{Rates: []float64{5e11}})
+	if err != nil || f != "flop/s" || math.Abs(u-0.5) > 1e-12 {
+		t.Errorf("bottleneck: %s %g %v", f, u, err)
+	}
+	ideal := scibench.Ideal{Base: 1e9}
+	if ideal.MinTime(4) >= ideal.MinTime(2) {
+		t.Error("ideal bound not decreasing")
+	}
+}
+
+func TestFacadeCountersAndTimer(t *testing.T) {
+	d := scibench.MeasureCounters(func() {
+		_ = make([]byte, 1<<16)
+	})
+	if d.Elapsed <= 0 {
+		t.Error("no elapsed time")
+	}
+	ds := scibench.CounterSeries(3, func() {})
+	if len(ds) != 3 {
+		t.Error("series length")
+	}
+	cal := scibench.CalibrateTimer(16)
+	if cal.Resolution <= 0 {
+		t.Error("calibration failed")
+	}
+}
+
+func TestFacadeRulesAndRendering(t *testing.T) {
+	if scibench.RuleText(1) == "" || scibench.RuleText(12) == "" {
+		t.Error("rule texts missing")
+	}
+	if scibench.RuleText(0) != "" || scibench.RuleText(13) != "" {
+		t.Error("out-of-range rules should be empty")
+	}
+	fs, c := scibench.AuditRules(scibench.RulesReport{Title: "empty study"})
+	if len(fs) == 0 || c.Passed > 12 {
+		t.Error("audit of empty report")
+	}
+
+	var sb strings.Builder
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 2, 3, 4}
+	if err := scibench.DensityPlot(&sb, xs, 40, 6); err != nil {
+		t.Error(err)
+	}
+	if err := scibench.BoxPlot(&sb, map[string][]float64{"g": xs}, 40); err != nil {
+		t.Error(err)
+	}
+	if err := scibench.ViolinPlot(&sb, map[string][]float64{"g": xs}, 40); err != nil {
+		t.Error(err)
+	}
+	if err := scibench.XYPlot(&sb, "t", []scibench.Series{{Name: "s", X: xs, Y: xs}}, 40, 6); err != nil {
+		t.Error(err)
+	}
+	if err := scibench.WriteCSV(&sb, []string{"x"}, xs); err != nil {
+		t.Error(err)
+	}
+	if sb.Len() == 0 {
+		t.Error("nothing rendered")
+	}
+}
+
+// ExampleRun demonstrates the core measurement loop.
+func ExampleRun() {
+	rng := rand.New(rand.NewPCG(1, 1))
+	res, _ := scibench.Run(scibench.Plan{MinSamples: 100}, func() float64 {
+		return 10 + rng.NormFloat64()*0.5
+	})
+	label, _ := res.PreferredCenter()
+	fmt.Println("samples:", res.Summary.N, "— report the", label)
+	// Output:
+	// samples: 100 — report the mean
+}
+
+// ExampleSummarizeMean shows Rule 3's dispatch.
+func ExampleSummarizeMean() {
+	rates := []float64{10, 1, 2.5} // Gflop/s of three 100-Gflop runs
+	h, _ := scibench.SummarizeMean(scibench.Rate, rates)
+	fmt.Printf("harmonic mean: %.1f Gflop/s\n", h)
+	// Output:
+	// harmonic mean: 2.0 Gflop/s
+}
+
+// ExampleCompareQuantiles shows the Fig 4 analysis on synthetic data.
+func ExampleCompareQuantiles() {
+	rng := rand.New(rand.NewPCG(7, 7))
+	base := make([]float64, 5000)
+	alt := make([]float64, 5000)
+	for i := range base {
+		base[i] = 1.7 + 0.1*math.Exp(0.5*rng.NormFloat64())
+		alt[i] = 1.85 + 0.01*rng.Float64()
+	}
+	pts, _ := scibench.CompareQuantiles(base, alt, []float64{0.5}, 0.95)
+	fmt.Printf("median difference positive: %v\n", pts[0].Difference > 0)
+	// Output:
+	// median difference positive: true
+}
