@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test vet race check bench figures
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: static analysis plus the race-enabled suite.
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+figures:
+	$(GO) run ./cmd/figures all -quick

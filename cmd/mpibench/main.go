@@ -9,7 +9,7 @@
 //
 //	mpibench [-system daint|dora|pilatus] [-collectives reduce,bcast,...]
 //	         [-ranks 2,4,8,16,32] [-bytes 8,1024] [-relerr 0.05]
-//	         [-seed 1] [-v]
+//	         [-seed 1] [-faults straggler,burst] [-v]
 package main
 
 import (
@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/suite"
 )
 
@@ -32,7 +33,9 @@ func main() {
 		bytesFlag   = flag.String("bytes", "8,1024", "comma-separated payload sizes")
 		relErr      = flag.Float64("relerr", 0.05, "target relative CI width")
 		seed        = flag.Uint64("seed", 1, "RNG seed")
-		verbose     = flag.Bool("v", false, "stream per-configuration progress")
+		faultsFlag  = flag.String("faults", "", "fault preset(s) to inject: "+
+			strings.Join(faults.PresetNames(), "|")+" (comma-separated to combine)")
+		verbose = flag.Bool("v", false, "stream per-configuration progress")
 	)
 	flag.Parse()
 
@@ -48,6 +51,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mpibench: unknown system %q\n", *system)
 		os.Exit(2)
 	}
+	sched, err := faults.Preset(*faultsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpibench: -faults: %v\n", err)
+		os.Exit(2)
+	}
+	clusterCfg.Faults = sched
+	if sched != nil {
+		// Rule 9: injected faults are part of the experimental setup.
+		fmt.Fprintf(os.Stderr, "mpibench: injecting faults: %s\n", sched)
+	}
 
 	cfg := suite.Config{
 		Cluster: clusterCfg,
@@ -57,7 +70,6 @@ func main() {
 	if *collectives != "" {
 		cfg.Collectives = strings.Split(*collectives, ",")
 	}
-	var err error
 	if cfg.Ranks, err = parseInts(*ranks); err != nil {
 		fmt.Fprintf(os.Stderr, "mpibench: -ranks: %v\n", err)
 		os.Exit(2)

@@ -16,9 +16,14 @@
 //	    Audit a study description (JSON rules.Report) against the twelve
 //	    rules and print the findings and scorecard.
 //
-//	scibench generate [-n 1000] [-seed 1]
+//	scibench generate [-n 1000] [-seed 1] [-faults straggler,burst]
 //	    Emit a demo CSV (two simulated systems' latencies) to stdout for
-//	    the analyze/compare subcommands.
+//	    the analyze/compare subcommands; -faults injects a named fault
+//	    preset into the first system.
+//
+//	scibench changepoint -col NAME [-alpha 0.01] < data.csv
+//	    Run Pettitt's nonparametric change-point test over the ordered
+//	    column — the contamination check for mid-campaign regime shifts.
 //
 //	scibench rules
 //	    Print the twelve rules verbatim.
@@ -31,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	scibench "repro"
@@ -55,6 +61,8 @@ func main() {
 		err = cmdAudit()
 	case "generate":
 		err = cmdGenerate(os.Args[2:])
+	case "changepoint":
+		err = cmdChangePoint(os.Args[2:])
 	default:
 		usage()
 	}
@@ -65,7 +73,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scibench analyze|compare|audit|generate|timer|rules [flags]")
+	fmt.Fprintln(os.Stderr, "usage: scibench analyze|compare|audit|generate|changepoint|timer|rules [flags]")
 	os.Exit(2)
 }
 
@@ -84,8 +92,14 @@ func cmdGenerate(args []string) error {
 	fs := flag.NewFlagSet("generate", flag.ExitOnError)
 	n := fs.Int("n", 1000, "samples per system")
 	seed := fs.Uint64("seed", 1, "RNG seed")
+	faultsFlag := fs.String("faults", "", "fault preset(s) injected into the first system: "+
+		strings.Join(scibench.FaultPresetNames(), "|"))
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	sched, err := scibench.FaultPreset(*faultsFlag)
+	if err != nil {
+		return fmt.Errorf("-faults: %w", err)
 	}
 	gen := func(cfg scibench.ClusterConfig, seed uint64) ([]float64, error) {
 		ranks := cfg.CoresPerNode + 1
@@ -100,7 +114,12 @@ func cmdGenerate(args []string) error {
 		}
 		return out, nil
 	}
-	dora, err := gen(scibench.PizDora(), *seed)
+	doraCfg := scibench.PizDora()
+	doraCfg.Faults = sched
+	if sched != nil {
+		fmt.Fprintf(os.Stderr, "scibench: injecting into dora_us: %s\n", sched)
+	}
+	dora, err := gen(doraCfg, *seed)
 	if err != nil {
 		return err
 	}
@@ -109,6 +128,37 @@ func cmdGenerate(args []string) error {
 		return err
 	}
 	return scibench.WriteCSV(os.Stdout, []string{"dora_us", "pilatus_us"}, dora, pilatus)
+}
+
+func cmdChangePoint(args []string) error {
+	fs := flag.NewFlagSet("changepoint", flag.ExitOnError)
+	col := fs.String("col", "", "CSV column to test (required)")
+	alpha := fs.Float64("alpha", 0.01, "significance level")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *col == "" {
+		return fmt.Errorf("-col is required")
+	}
+	cols, err := readColumns(os.Stdin, *col)
+	if err != nil {
+		return err
+	}
+	xs := cols[*col]
+	cp, err := scibench.DetectChangePoint(xs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Pettitt change-point test over %d ordered observations\n", len(xs))
+	fmt.Printf("K = %.0f, p ≈ %.3g\n", cp.K, cp.P)
+	if cp.Significant(*alpha) {
+		fmt.Printf("REGIME SHIFT at index %d (significant at %.0f%%):\n", cp.Index, 100**alpha)
+		fmt.Printf("  median before: %.6g\n  median after:  %.6g\n", cp.MedianBefore, cp.MedianAfter)
+		fmt.Println("the sample mixes two regimes; do not summarize it as one distribution")
+	} else {
+		fmt.Printf("no significant change point at %.0f%%; the stream looks stationary\n", 100**alpha)
+	}
+	return nil
 }
 
 func readColumns(r io.Reader, names ...string) (map[string][]float64, error) {
@@ -151,6 +201,10 @@ func cmdAnalyze(args []string) error {
 	fmt.Printf("median %v\n", res.MedianCI)
 	fmt.Printf("Shapiro–Wilk W = %.4f, p = %.3g → plausibly normal: %v\n",
 		res.ShapiroW, res.ShapiroP, res.PlausiblyNormal)
+	if res.ShiftDetected {
+		fmt.Printf("WARNING: regime shift detected at index %d (Pettitt p ≈ %.3g) — "+
+			"the stream is contaminated; see `scibench changepoint`\n", res.ShiftIndex, res.ShiftP)
+	}
 	label, iv := res.PreferredCenter()
 	fmt.Printf("report the %s: %v\n\n", label, iv)
 	if err := scibench.DensityPlot(os.Stdout, xs, 72, 10); err != nil {

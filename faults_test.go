@@ -1,0 +1,111 @@
+package scibench_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	scibench "repro"
+)
+
+// faultyCampaign is the issue's acceptance scenario: a seeded straggler
+// + interference-burst schedule under a resilient plan.
+func faultyCampaign(t *testing.T) (scibench.Result, scibench.ClusterFaultStats) {
+	t.Helper()
+	cfg := scibench.PizDora()
+	cfg.Faults = &scibench.FaultSchedule{
+		// Node 0 slows 3x from 600µs on — mid-campaign at ~3µs of
+		// simulated time per sample.
+		Stragglers: []scibench.Straggler{{Node: 0, Factor: 3, Start: 600 * time.Microsecond}},
+		// A 10x interference spike for 80µs every 400µs — wide enough
+		// that a slot's retry budget can run out inside one window.
+		Bursts: []scibench.InterferenceBurst{{
+			Start:    50 * time.Microsecond,
+			Duration: 80 * time.Microsecond,
+			Factor:   10,
+			Period:   400 * time.Microsecond,
+		}},
+	}
+	ranks := cfg.CoresPerNode + 1
+	m, err := scibench.NewCluster(cfg, ranks, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scibench.RunErr(scibench.Plan{
+		MinSamples: 400,
+		Resilience: &scibench.Resilience{
+			// Clean latency is ~1.7µs and the straggler regime ~5µs; the
+			// ceiling catches only the 10x burst spikes (>= 17µs).
+			ValueCeiling:    8, // µs
+			MaxRetries:      1,
+			MaxLossFraction: 1, // collect the full campaign regardless
+		},
+	}, func() (float64, error) {
+		return float64(m.PingPong(0, ranks-1, 64, 1)[0]) / float64(time.Microsecond), nil
+	})
+	if err != nil {
+		t.Fatalf("resilient campaign must complete: %v", err)
+	}
+	return res, m.FaultStats()
+}
+
+func TestFaultyCampaignAcceptance(t *testing.T) {
+	res, _ := faultyCampaign(t)
+	if res.Summary.N != 400 {
+		t.Errorf("n = %d, want the full 400 despite faults", res.Summary.N)
+	}
+	if res.Retries == 0 {
+		t.Error("burst spikes above the ceiling must be retried")
+	}
+	if res.SamplesLost == 0 {
+		t.Error("slots caught inside a burst window must be lost")
+	}
+	if !res.ShiftDetected {
+		t.Errorf("straggler onset not detected: p = %g", res.ShiftP)
+	}
+	if !res.FaultSuspected {
+		t.Error("campaign must be fault-suspected")
+	}
+
+	// The detector's split must land near the straggler onset (sample
+	// ~200 of 400), not at the edges.
+	if res.ShiftIndex < 100 || res.ShiftIndex > 300 {
+		t.Errorf("shift index %d far from the 600µs onset", res.ShiftIndex)
+	}
+
+	// The audit turns the accounting into findings: disclosed loss
+	// passes Rule 2, the detected shift warns on Rule 6.
+	findings, _ := scibench.AuditRules(scibench.RulesReport{
+		SamplesAttempted:    res.Attempts,
+		SamplesLost:         res.SamplesLost,
+		LossDisclosed:       true,
+		StationarityChecked: true,
+		RegimeShiftDetected: res.ShiftDetected,
+	})
+	var rule2Pass, rule6Warn bool
+	for _, f := range findings {
+		if f.Rule == 2 && f.Severity == 0 && f.Message != "" {
+			rule2Pass = true
+		}
+		if f.Rule == 6 && f.Severity == 1 {
+			rule6Warn = true
+		}
+	}
+	if !rule2Pass {
+		t.Error("disclosed loss must produce a Rule 2 pass finding")
+	}
+	if !rule6Warn {
+		t.Error("detected shift must produce a Rule 6 warning")
+	}
+}
+
+func TestFaultyCampaignReproducible(t *testing.T) {
+	a, sa := faultyCampaign(t)
+	b, sb := faultyCampaign(t)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed and schedule must reproduce the Result bit-for-bit")
+	}
+	if sa != sb {
+		t.Errorf("fault stats differ: %+v vs %+v", sa, sb)
+	}
+}

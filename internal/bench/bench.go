@@ -3,7 +3,10 @@
 // sample counts driven by confidence-interval width (§4.2.2, Rule 5),
 // single-event measurement for exact rank statistics (§4.2.1), explicit
 // outlier policy with mandatory reporting (§3.1.3), normality diagnosis
-// (Rule 6), and ANOVA-gated summarization across processes (Rule 10).
+// (Rule 6), ANOVA-gated summarization across processes (Rule 10), and —
+// because real systems misbehave — a resilient collection mode that
+// survives sample failures, accounts every loss, and detects mid-stream
+// regime shifts (see Resilience).
 package bench
 
 import (
@@ -28,22 +31,34 @@ type OutlierPolicy struct {
 }
 
 // Plan configures one measurement campaign.
+//
+// Zero values select documented defaults; nonsensical values (negative
+// counts, out-of-range probabilities) are rejected with an error
+// wrapping ErrBadPlan rather than silently clamped.
 type Plan struct {
 	// Warmup iterations are measured but excluded from analysis
-	// (working-set establishment, §4.1.2).
+	// (working-set establishment, §4.1.2). Zero means no warmup;
+	// negative values are rejected.
 	Warmup int
-	// MinSamples is collected unconditionally (>= 6 enforced for
-	// nonparametric CIs; default 10).
+	// MinSamples is collected unconditionally. Zero selects the default
+	// of 10; values 1–5 are raised to 6, the nonparametric-CI minimum
+	// (§4.2.2 requires n > 5); negative values are rejected.
 	MinSamples int
-	// MaxSamples bounds the adaptive phase (default 1000).
+	// MaxSamples bounds the adaptive phase. Zero selects the default of
+	// 1000 (and is raised to MinSamples when that is larger); negative
+	// values are rejected.
 	MaxSamples int
 	// Confidence is the CI level used for the stopping rule and the
-	// reported intervals (default 0.95).
+	// reported intervals. Zero selects the default 0.95; anything else
+	// outside (0, 1) is rejected.
 	Confidence float64
 	// RelErr, when positive, enables adaptive stopping: measure until the
-	// median CI's relative half-width is at most RelErr.
+	// median CI's relative half-width is at most RelErr. Zero disables
+	// the adaptive phase; negative values or values >= 1 (a "relative
+	// error" of 100% or more never converges meaningfully) are rejected.
 	RelErr float64
-	// BatchSize is the adaptive recheck cadence (default 10).
+	// BatchSize is the adaptive recheck cadence. Zero selects the
+	// default of 10; negative values are rejected.
 	BatchSize int
 	// Outliers is the outlier policy (default: keep everything).
 	Outliers OutlierPolicy
@@ -51,37 +66,72 @@ type Plan struct {
 	// observation (their mean). §4.2.1 allows this when timer overhead
 	// or resolution is insufficient for single events, at the cost of
 	// losing per-event confidence intervals and exact rank statistics —
-	// Result.ResolutionLost flags that loss. Default 1 (recommended).
+	// Result.ResolutionLost flags that loss. Zero selects the
+	// recommended 1; negative values are rejected.
 	EventsPerSample int
 	// Timer, when non-nil, validates every recorded observation against
 	// the calibration's §4.2.1 quality thresholds; violations are
 	// counted in Result.TimerWarnings. Observations are in seconds.
 	Timer *timer.Calibration
+	// Resilience, when non-nil, arms the fault-tolerant collection loop:
+	// per-sample watchdog, fault-suspect value ceiling, bounded retry
+	// with backoff, panic recovery, and graceful degradation into a
+	// partial Result with explicit loss accounting (Rule 4 in spirit:
+	// report all data, including the failures).
+	Resilience *Resilience
 }
 
-func (p Plan) withDefaults() Plan {
-	if p.MinSamples < 6 {
-		p.MinSamples = 10
+// ErrBadPlan reports a Plan field with a nonsensical value.
+var ErrBadPlan = errors.New("bench: invalid plan")
+
+func (p Plan) withDefaults() (Plan, error) {
+	switch {
+	case p.Warmup < 0:
+		return p, fmt.Errorf("%w: negative Warmup %d", ErrBadPlan, p.Warmup)
+	case p.MinSamples < 0:
+		return p, fmt.Errorf("%w: negative MinSamples %d", ErrBadPlan, p.MinSamples)
+	case p.MaxSamples < 0:
+		return p, fmt.Errorf("%w: negative MaxSamples %d", ErrBadPlan, p.MaxSamples)
+	case p.BatchSize < 0:
+		return p, fmt.Errorf("%w: negative BatchSize %d", ErrBadPlan, p.BatchSize)
+	case p.Confidence != 0 && (p.Confidence <= 0 || p.Confidence >= 1):
+		return p, fmt.Errorf("%w: Confidence %g outside (0, 1)", ErrBadPlan, p.Confidence)
+	case p.RelErr < 0 || p.RelErr >= 1:
+		return p, fmt.Errorf("%w: RelErr %g outside [0, 1)", ErrBadPlan, p.RelErr)
+	case p.EventsPerSample < 0:
+		return p, fmt.Errorf("%w: negative EventsPerSample %d", ErrBadPlan, p.EventsPerSample)
 	}
-	if p.MaxSamples <= 0 {
+	if p.MinSamples == 0 {
+		p.MinSamples = 10
+	} else if p.MinSamples < 6 {
+		p.MinSamples = 6 // nonparametric CIs need n > 5
+	}
+	if p.MaxSamples == 0 {
 		p.MaxSamples = 1000
 	}
 	if p.MaxSamples < p.MinSamples {
 		p.MaxSamples = p.MinSamples
 	}
-	if p.Confidence <= 0 || p.Confidence >= 1 {
+	if p.Confidence == 0 {
 		p.Confidence = 0.95
 	}
-	if p.BatchSize < 1 {
+	if p.BatchSize == 0 {
 		p.BatchSize = 10
 	}
 	if p.Outliers.Remove && p.Outliers.TukeyK <= 0 {
 		p.Outliers.TukeyK = 1.5
 	}
-	if p.EventsPerSample < 1 {
+	if p.EventsPerSample == 0 {
 		p.EventsPerSample = 1
 	}
-	return p
+	if p.Resilience != nil {
+		r, err := p.Resilience.withDefaults()
+		if err != nil {
+			return p, err
+		}
+		p.Resilience = &r
+	}
+	return p, nil
 }
 
 // StopReason explains why sample collection ended.
@@ -94,7 +144,20 @@ const (
 	StopConverged StopReason = "confidence interval converged"
 	// StopMaxSamples: the budget ran out before convergence.
 	StopMaxSamples StopReason = "sample budget exhausted before convergence"
+	// StopDegraded: the resilient loop abandoned collection because too
+	// many sample attempts failed (see Resilience.MaxLossFraction); the
+	// Result is partial and carries the loss accounting.
+	StopDegraded StopReason = "campaign degraded by sample loss"
 )
+
+// shiftAlpha is the significance level at which the Pettitt change-point
+// detector flags a mid-campaign regime shift. 1% keeps the false-alarm
+// rate low on heavy-tailed (but stationary) latency streams.
+const shiftAlpha = 0.01
+
+// minShiftSamples is the smallest retained sample the change-point
+// detector runs on.
+const minShiftSamples = 12
 
 // Result is a fully analyzed measurement campaign. All fields refer to
 // the post-warmup, post-outlier-policy sample except Raw, which keeps
@@ -117,57 +180,171 @@ type Result struct {
 	// TimerWarnings counts observations below the timer calibration's
 	// minimum reliable interval (0 when no calibration was supplied).
 	TimerWarnings int
+
+	// Resilient-collection accounting (all zero for clean campaigns).
+	// Attempts counts observation attempts including retries; Retries
+	// counts attempts beyond the first per observation slot;
+	// SamplesLost counts slots abandoned after the retry budget;
+	// Panics counts recovered measure panics.
+	Attempts    int
+	Retries     int
+	SamplesLost int
+	Panics      int
+
+	// ShiftDetected reports a mid-campaign regime shift: Pettitt's
+	// nonparametric change-point test over the ordered retained sample
+	// is significant at the 1% level. ShiftIndex is the last index of
+	// the first regime; ShiftP the approximate p-value (NaN when the
+	// detector could not run).
+	ShiftDetected bool
+	ShiftIndex    int
+	ShiftP        float64
+
+	// FaultSuspected is true when anything above indicates the campaign
+	// was contaminated: lost or retried samples, recovered panics, or a
+	// detected regime shift. A FaultSuspected result must not be
+	// reported as a clean measurement (Rule 4: report all data,
+	// including the failures).
+	FaultSuspected bool
 }
 
-// ErrNoMeasure is returned when Run is invoked without a measure func.
-var ErrNoMeasure = errors.New("bench: nil measure function")
+// Errors returned by the campaign runners.
+var (
+	// ErrNoMeasure is returned when Run is invoked without a measure func.
+	ErrNoMeasure = errors.New("bench: nil measure function")
+	// ErrTooFewSamples is returned (wrapped, with context) when a sample
+	// is too small to analyze; callers can branch on it with errors.Is.
+	ErrTooFewSamples = errors.New("bench: too few samples")
+)
 
 // Run executes a measurement campaign: warmup, collection (fixed or
-// adaptive), outlier policy, and statistical analysis.
+// adaptive), outlier policy, and statistical analysis. With
+// Plan.Resilience set, sample failures (panics, watchdog timeouts,
+// ceiling-violating observations) are retried and accounted instead of
+// aborting; without it, a measure panic still surfaces as an ordinary
+// error rather than crashing the campaign.
 func Run(plan Plan, measure func() float64) (Result, error) {
 	if measure == nil {
 		return Result{}, ErrNoMeasure
 	}
-	p := plan.withDefaults()
+	return run(plan, func() (float64, error) { return measure(), nil })
+}
+
+// RunErr is Run for error-aware measure functions: a returned error
+// fails that sample attempt, which Plan.Resilience retries and, past its
+// budget, records in Result.SamplesLost. Without resilience the first
+// error aborts the campaign.
+func RunErr(plan Plan, measure func() (float64, error)) (Result, error) {
+	if measure == nil {
+		return Result{}, ErrNoMeasure
+	}
+	return run(plan, measure)
+}
+
+func run(plan Plan, measure func() (float64, error)) (Result, error) {
+	p, err := plan.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	rs := p.Resilience
 	var res Result
 	res.ResolutionLost = p.EventsPerSample > 1
 
-	// sample records one observation: the mean of k consecutive events
-	// (k = 1 keeps single-event resolution, the paper's recommendation).
 	minReliable := 0.0
 	if p.Timer != nil {
 		minReliable = p.Timer.MinReliableInterval().Seconds()
 	}
-	sample := func() float64 {
+
+	// observation measures one recorded value: the mean of k consecutive
+	// guarded events (k = 1 keeps single-event resolution, the paper's
+	// recommendation). The first failing event fails the observation.
+	observation := func() (float64, error) {
 		sum := 0.0
 		for i := 0; i < p.EventsPerSample; i++ {
-			sum += measure()
+			v, err := rs.guard(measure)
+			if err != nil {
+				return 0, err
+			}
+			sum += v
 		}
 		v := sum / float64(p.EventsPerSample)
 		if minReliable > 0 && v < minReliable {
 			res.TimerWarnings++
 		}
-		return v
+		return v, nil
+	}
+
+	// observe adds retry-with-backoff and the fault-suspect value
+	// ceiling on top of observation. Without resilience it is a single
+	// attempt whose error aborts the campaign (lost = false, err != nil).
+	observe := func() (v float64, ok bool, err error) {
+		if rs == nil {
+			res.Attempts++
+			v, err = observation()
+			return v, err == nil, err
+		}
+		for attempt := 0; attempt <= rs.MaxRetries; attempt++ {
+			if attempt > 0 {
+				res.Retries++
+				rs.backoff(attempt)
+			}
+			res.Attempts++
+			v, err := observation()
+			if err != nil {
+				if errors.Is(err, ErrMeasurePanic) {
+					res.Panics++
+				}
+				continue
+			}
+			if rs.ValueCeiling > 0 && v >= rs.ValueCeiling {
+				continue // fault-suspect observation: discard and retry
+			}
+			return v, true, nil
+		}
+		res.SamplesLost++
+		return 0, false, nil
+	}
+
+	// degraded reports whether the loss budget is exhausted: after a
+	// minimal probe, more than MaxLossFraction of attempts failed.
+	degraded := func(collected int) bool {
+		if rs == nil {
+			return false
+		}
+		tried := collected + res.SamplesLost
+		return tried >= 10 && float64(res.SamplesLost) > rs.MaxLossFraction*float64(tried)
 	}
 
 	for i := 0; i < p.Warmup; i++ {
-		_ = measure()
+		if _, err := rs.guard(measure); err != nil && rs == nil {
+			return res, fmt.Errorf("bench: warmup failed: %w", err)
+		}
 		res.WarmupDiscarded++
 	}
 
 	xs := make([]float64, 0, p.MinSamples)
-	for i := 0; i < p.MinSamples; i++ {
-		xs = append(xs, sample())
-	}
 	res.Stop = StopFixed
+	for len(xs) < p.MinSamples {
+		v, ok, err := observe()
+		if err != nil {
+			return res, fmt.Errorf("bench: sample %d failed: %w", len(xs), err)
+		}
+		if ok {
+			xs = append(xs, v)
+		} else if degraded(len(xs)) {
+			res.Stop = StopDegraded
+			break
+		}
+	}
 
-	if p.RelErr > 0 {
+	if p.RelErr > 0 && res.Stop != StopDegraded {
 		rule := ci.StoppingRule{
 			Confidence: p.Confidence,
 			RelErr:     p.RelErr,
 			BatchSize:  p.BatchSize,
 		}
 		res.Stop = StopMaxSamples
+	adaptive:
 		for {
 			if done, _ := rule.Done(xs); done {
 				res.Stop = StopConverged
@@ -177,7 +354,16 @@ func Run(plan Plan, measure func() float64) (Result, error) {
 				break
 			}
 			for i := 0; i < p.BatchSize && len(xs) < p.MaxSamples; i++ {
-				xs = append(xs, sample())
+				v, ok, err := observe()
+				if err != nil {
+					return res, fmt.Errorf("bench: sample %d failed: %w", len(xs), err)
+				}
+				if ok {
+					xs = append(xs, v)
+				} else if degraded(len(xs)) {
+					res.Stop = StopDegraded
+					break adaptive
+				}
 			}
 		}
 	}
@@ -193,6 +379,8 @@ func Run(plan Plan, measure func() float64) (Result, error) {
 
 // Analyze computes the full statistical report for an existing sample
 // (e.g. data loaded from a CSV file) at the given confidence level.
+// Out-of-range confidence levels fall back to 0.95. Samples with fewer
+// than two observations return an error wrapping ErrTooFewSamples.
 func Analyze(xs []float64, confidence float64) (Result, error) {
 	if confidence <= 0 || confidence >= 1 {
 		confidence = 0.95
@@ -201,8 +389,9 @@ func Analyze(xs []float64, confidence float64) (Result, error) {
 }
 
 func analyze(res Result, xs []float64, confidence float64) (Result, error) {
+	res.ShiftP = math.NaN()
 	if len(xs) < 2 {
-		return res, fmt.Errorf("bench: only %d observations retained", len(xs))
+		return res, fmt.Errorf("%w: only %d observations retained", ErrTooFewSamples, len(xs))
 	}
 	res.Summary = stats.Summarize(xs)
 	res.Deterministic = res.Summary.Min == res.Summary.Max
@@ -213,6 +402,20 @@ func analyze(res Result, xs []float64, confidence float64) (Result, error) {
 	if iv, err := ci.MedianCI(xs, confidence); err == nil {
 		res.MedianCI = iv
 	}
+
+	// Contamination check: the ordered stream must be one regime
+	// (§3.1.3's iid requirement; a mid-campaign shift silently mixes
+	// distributions and invalidates every summary below).
+	if len(xs) >= minShiftSamples && !res.Deterministic {
+		if cp, err := htest.Pettitt(xs); err == nil {
+			res.ShiftP = cp.P
+			res.ShiftIndex = cp.Index
+			res.ShiftDetected = cp.Significant(shiftAlpha)
+		}
+	}
+	res.FaultSuspected = res.SamplesLost > 0 || res.Retries > 0 ||
+		res.Panics > 0 || res.ShiftDetected
+
 	if res.Deterministic {
 		res.PlausiblyNormal = false
 		return res, nil
@@ -247,9 +450,15 @@ func (r Result) PreferredCenter() (label string, iv ci.Interval) {
 	return "median", r.MedianCI
 }
 
-// String gives a one-line human summary.
+// String gives a one-line human summary, including the fault accounting
+// whenever the campaign was not clean.
 func (r Result) String() string {
 	label, iv := r.PreferredCenter()
-	return fmt.Sprintf("n=%d %s=%s (stop: %s, outliers removed: %d)",
+	s := fmt.Sprintf("n=%d %s=%s (stop: %s, outliers removed: %d)",
 		r.Summary.N, label, iv, r.Stop, r.OutliersRemoved)
+	if r.FaultSuspected {
+		s += fmt.Sprintf(" [FAULT SUSPECTED: lost=%d retries=%d panics=%d shift=%v]",
+			r.SamplesLost, r.Retries, r.Panics, r.ShiftDetected)
+	}
+	return s
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -283,17 +284,60 @@ func TestAdaptiveLevelsValidation(t *testing.T) {
 }
 
 func TestPlanDefaults(t *testing.T) {
-	p := Plan{}.withDefaults()
+	p, err := Plan{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p.MinSamples != 10 || p.MaxSamples != 1000 || p.Confidence != 0.95 || p.BatchSize != 10 {
 		t.Errorf("defaults = %+v", p)
 	}
-	p2 := Plan{Outliers: OutlierPolicy{Remove: true}}.withDefaults()
+	p2, err := Plan{Outliers: OutlierPolicy{Remove: true}}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p2.Outliers.TukeyK != 1.5 {
 		t.Errorf("TukeyK default = %g", p2.Outliers.TukeyK)
 	}
-	p3 := Plan{MinSamples: 50, MaxSamples: 20}.withDefaults()
+	p3, err := Plan{MinSamples: 50, MaxSamples: 20}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p3.MaxSamples != 50 {
 		t.Error("MaxSamples must be raised to MinSamples")
+	}
+	p4, err := Plan{MinSamples: 3}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4.MinSamples != 6 {
+		t.Errorf("MinSamples %d, want raised to 6", p4.MinSamples)
+	}
+}
+
+func TestPlanRejectsNonsense(t *testing.T) {
+	bad := []Plan{
+		{Warmup: -1},
+		{MinSamples: -5},
+		{MaxSamples: -1},
+		{BatchSize: -2},
+		{Confidence: 1.5},
+		{Confidence: -0.5},
+		{RelErr: -0.1},
+		{RelErr: 1}, // a 100% relative error target is meaningless
+		{EventsPerSample: -3},
+		{Resilience: &Resilience{MaxRetries: -1}},
+		{Resilience: &Resilience{MaxLossFraction: 1.5}},
+		{Resilience: &Resilience{SampleTimeout: -time.Second}},
+		{Resilience: &Resilience{ValueCeiling: -1}},
+		{Resilience: &Resilience{RetryBackoff: -time.Millisecond}},
+	}
+	for i, p := range bad {
+		if _, err := p.withDefaults(); !errors.Is(err, ErrBadPlan) {
+			t.Errorf("plan %d: err = %v, want ErrBadPlan", i, err)
+		}
+		if _, err := Run(p, func() float64 { return 1 }); !errors.Is(err, ErrBadPlan) {
+			t.Errorf("Run with plan %d: err = %v, want ErrBadPlan", i, err)
+		}
 	}
 }
 

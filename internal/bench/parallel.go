@@ -29,11 +29,15 @@ type CrossProcess struct {
 	MedianOfMeans float64
 }
 
+// ErrTooFewProcesses is returned when a cross-process summary is
+// requested for fewer than two processes.
+var ErrTooFewProcesses = errors.New("bench: need at least two processes")
+
 // SummarizeAcrossProcesses applies the Rule 10 procedure to perProc
 // (one sample per process) at significance level alpha.
 func SummarizeAcrossProcesses(perProc [][]float64, alpha float64) (CrossProcess, error) {
 	if len(perProc) < 2 {
-		return CrossProcess{}, errors.New("bench: need at least two processes")
+		return CrossProcess{}, fmt.Errorf("%w: got %d", ErrTooFewProcesses, len(perProc))
 	}
 	if alpha <= 0 || alpha >= 1 {
 		alpha = 0.05
@@ -43,7 +47,8 @@ func SummarizeAcrossProcesses(perProc [][]float64, alpha float64) (CrossProcess,
 	means := make([]float64, 0, len(perProc))
 	for i, g := range perProc {
 		if len(g) < 2 {
-			return CrossProcess{}, fmt.Errorf("bench: process %d has %d observations", i, len(g))
+			return CrossProcess{}, fmt.Errorf("%w: process %d has %d observations",
+				ErrTooFewSamples, i, len(g))
 		}
 		out.PerProcess = append(out.PerProcess, stats.Summarize(g))
 		means = append(means, stats.Mean(g))

@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunErrRetriesAndAccounts(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 10))
+	calls := 0
+	res, err := RunErr(Plan{
+		MinSamples: 30,
+		Resilience: &Resilience{MaxRetries: 3},
+	}, func() (float64, error) {
+		calls++
+		if calls%5 == 0 { // every 5th attempt fails
+			return 0, errors.New("injected")
+		}
+		return 10 + rng.NormFloat64(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.N != 30 {
+		t.Errorf("n = %d, want 30 despite failures", res.Summary.N)
+	}
+	if res.Retries == 0 {
+		t.Error("failures must be counted as retries")
+	}
+	if res.Attempts <= 30 {
+		t.Errorf("attempts = %d, must exceed the 30 recorded samples", res.Attempts)
+	}
+	if !res.FaultSuspected {
+		t.Error("retried campaign must be marked fault-suspected")
+	}
+	if res.SamplesLost != 0 {
+		t.Errorf("lost = %d; every slot should succeed within 3 retries", res.SamplesLost)
+	}
+}
+
+func TestRunErrLosesExhaustedSlots(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 11))
+	calls := 0
+	res, err := RunErr(Plan{
+		MinSamples: 20,
+		Resilience: &Resilience{MaxRetries: 1, MaxLossFraction: 1},
+	}, func() (float64, error) {
+		calls++
+		// Attempts 7..10 fail back to back: slots lose both their first
+		// try and their single retry.
+		if calls >= 7 && calls <= 10 {
+			return 0, errors.New("burst failure")
+		}
+		return 5 + rng.NormFloat64(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SamplesLost == 0 {
+		t.Error("exhausted slots must be recorded as lost")
+	}
+	if res.Summary.N != 20 {
+		t.Errorf("n = %d; loss must not shrink the requested sample", res.Summary.N)
+	}
+}
+
+func TestRunErrWithoutResilienceAborts(t *testing.T) {
+	sentinel := errors.New("hardware on fire")
+	_, err := RunErr(Plan{MinSamples: 10}, func() (float64, error) {
+		return 0, sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	// Plain Run (no resilience): the panic surfaces as an error, not a
+	// crashed test binary.
+	calls := 0
+	_, err := Run(Plan{MinSamples: 5}, func() float64 {
+		calls++
+		panic("measure exploded")
+	})
+	if !errors.Is(err, ErrMeasurePanic) {
+		t.Errorf("err = %v, want ErrMeasurePanic", err)
+	}
+
+	// With resilience: panics are retried and accounted.
+	rng := rand.New(rand.NewPCG(12, 12))
+	calls = 0
+	res, err := RunErr(Plan{
+		MinSamples: 15,
+		Resilience: &Resilience{MaxRetries: 2},
+	}, func() (float64, error) {
+		calls++
+		if calls == 4 {
+			panic("one-off explosion")
+		}
+		return 3 + rng.NormFloat64(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Panics != 1 {
+		t.Errorf("panics = %d, want 1", res.Panics)
+	}
+	if !res.FaultSuspected {
+		t.Error("recovered panic must mark the campaign fault-suspected")
+	}
+}
+
+func TestSampleTimeoutWatchdog(t *testing.T) {
+	// The measure closure must be overlap-safe: a timed-out attempt's
+	// goroutine keeps running while the next attempt starts (see the
+	// SampleTimeout doc), so the shared counter is atomic.
+	var slow atomic.Int64
+	res, err := RunErr(Plan{
+		MinSamples: 8,
+		Resilience: &Resilience{
+			SampleTimeout: 5 * time.Millisecond,
+			MaxRetries:    1,
+			// One slow attempt per slot is tolerable: never degrade.
+			MaxLossFraction: 1,
+		},
+	}, func() (float64, error) {
+		n := slow.Add(1)
+		if n%3 == 0 {
+			time.Sleep(50 * time.Millisecond) // hangs past the deadline
+		}
+		return 1.5 + float64(n%7)/10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.N != 8 {
+		t.Errorf("n = %d, want 8", res.Summary.N)
+	}
+	if res.Retries == 0 && res.SamplesLost == 0 {
+		t.Error("watchdog timeouts left no trace in the accounting")
+	}
+}
+
+func TestValueCeilingDiscardsSuspects(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 13))
+	calls := 0
+	res, err := RunErr(Plan{
+		MinSamples: 25,
+		Resilience: &Resilience{ValueCeiling: 100, MaxRetries: 2, MaxLossFraction: 1},
+	}, func() (float64, error) {
+		calls++
+		if calls%6 == 0 {
+			return 1e6, nil // crash-timeout sentinel value
+		}
+		return 2 + rng.NormFloat64()/10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Max >= 100 {
+		t.Errorf("max %g: ceiling-violating value survived", res.Summary.Max)
+	}
+	if res.Retries == 0 {
+		t.Error("ceiling discards must be retried and counted")
+	}
+}
+
+func TestDegradedStopOnMassiveLoss(t *testing.T) {
+	res, err := RunErr(Plan{
+		MinSamples: 100,
+		Resilience: &Resilience{MaxRetries: 0, MaxLossFraction: 0.3},
+	}, func() (float64, error) {
+		return 0, errors.New("everything fails")
+	})
+	if err == nil {
+		t.Fatal("fully failed campaign cannot be analyzed")
+	}
+	if !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("err = %v, want ErrTooFewSamples", err)
+	}
+	if res.Stop != StopDegraded {
+		t.Errorf("stop = %s, want degraded", res.Stop)
+	}
+	if res.SamplesLost == 0 || res.Attempts == 0 {
+		t.Errorf("partial result must carry the accounting: %+v", res)
+	}
+}
+
+func TestDegradedStopPartialAnalysis(t *testing.T) {
+	rng := rand.New(rand.NewPCG(14, 14))
+	calls := 0
+	res, err := RunErr(Plan{
+		MinSamples: 200,
+		Resilience: &Resilience{MaxRetries: 0, MaxLossFraction: 0.4},
+	}, func() (float64, error) {
+		calls++
+		if calls > 40 { // system dies after 40 good samples
+			return 0, errors.New("node crashed")
+		}
+		return 7 + rng.NormFloat64(), nil
+	})
+	if err != nil {
+		t.Fatalf("40 good samples are analyzable: %v", err)
+	}
+	if res.Stop != StopDegraded {
+		t.Errorf("stop = %s, want degraded", res.Stop)
+	}
+	if res.Summary.N == 0 || res.Summary.N >= 200 {
+		t.Errorf("n = %d, want a partial sample", res.Summary.N)
+	}
+	if !res.FaultSuspected {
+		t.Error("degraded campaign must be fault-suspected")
+	}
+}
+
+func TestShiftDetectionInRun(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 15))
+	calls := 0
+	res, err := Run(Plan{MinSamples: 120}, func() float64 {
+		calls++
+		v := 10 + rng.NormFloat64()/5
+		if calls > 60 {
+			v *= 3 // contamination onset mid-campaign
+		}
+		return v
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ShiftDetected {
+		t.Errorf("3x regime shift not detected: p = %g", res.ShiftP)
+	}
+	if res.ShiftIndex < 45 || res.ShiftIndex > 75 {
+		t.Errorf("shift located at %d, want near 59", res.ShiftIndex)
+	}
+	if !res.FaultSuspected {
+		t.Error("detected shift must mark the campaign fault-suspected")
+	}
+
+	// A clean campaign stays clean.
+	clean, err := Run(Plan{MinSamples: 120}, func() float64 {
+		return 10 + rng.NormFloat64()/5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.FaultSuspected {
+		t.Errorf("clean campaign flagged: shift p = %g lost = %d",
+			clean.ShiftP, clean.SamplesLost)
+	}
+}
+
+func TestAnalyzeSentinel(t *testing.T) {
+	if _, err := Analyze([]float64{1}, 0.95); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("err = %v, want ErrTooFewSamples", err)
+	}
+	if _, err := SummarizeAcrossProcesses([][]float64{{1, 2}}, 0.05); !errors.Is(err, ErrTooFewProcesses) {
+		t.Error("want ErrTooFewProcesses for a single process")
+	}
+	if _, err := SummarizeAcrossProcesses([][]float64{{1, 2}, {3}}, 0.05); !errors.Is(err, ErrTooFewSamples) {
+		t.Error("want ErrTooFewSamples for a tiny per-process sample")
+	}
+}
+
+func TestResilientRunDeterministic(t *testing.T) {
+	run := func() (Result, error) {
+		rng := rand.New(rand.NewPCG(16, 16))
+		calls := 0
+		return RunErr(Plan{
+			MinSamples: 40,
+			Resilience: &Resilience{MaxRetries: 2, ValueCeiling: 50},
+		}, func() (float64, error) {
+			calls++
+			if calls%9 == 0 {
+				return 0, errors.New("flake")
+			}
+			if calls%13 == 0 {
+				return 1e3, nil // above the ceiling
+			}
+			return 4 + rng.NormFloat64(), nil
+		})
+	}
+	a, errA := run()
+	b, errB := run()
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if a.String() != b.String() || a.Attempts != b.Attempts ||
+		a.Retries != b.Retries || a.SamplesLost != b.SamplesLost {
+		t.Error("same seed must reproduce the identical resilient Result")
+	}
+	for i := range a.Raw {
+		if a.Raw[i] != b.Raw[i] {
+			t.Fatalf("raw[%d] differs: %g vs %g", i, a.Raw[i], b.Raw[i])
+		}
+	}
+}

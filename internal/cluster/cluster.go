@@ -16,6 +16,7 @@ import (
 	"math/rand/v2"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/noise"
 )
 
@@ -84,6 +85,14 @@ type Config struct {
 	// Collective cost model.
 	ReduceOpCost time.Duration // combining two partial values
 	SendOverhead time.Duration // CPU cost to issue one message
+
+	// Faults, when non-nil, injects the schedule's adversarial events —
+	// stragglers, interference bursts, message loss with retransmit,
+	// rank crashes, clock steps — into every message, compute phase, and
+	// clock reading. The schedule is pure data and all randomness still
+	// flows from the machine's seeded stream, so faulty experiments
+	// reproduce bit-for-bit.
+	Faults *faults.Schedule
 }
 
 // proc is one simulated process (MPI rank analogue).
@@ -100,12 +109,35 @@ type proc struct {
 // ranks. Machines are not safe for concurrent use: experiments drive
 // them sequentially, exactly like a benchmark driving one job.
 type Machine struct {
-	cfg   Config
-	rng   *rand.Rand
-	procs []*proc
-	topo  TopologyConfig
-	now   time.Duration // global (true) simulated time
+	cfg    Config
+	rng    *rand.Rand
+	procs  []*proc
+	topo   TopologyConfig
+	now    time.Duration // global (true) simulated time
+	fstats FaultStats
 }
+
+// FaultStats counts the fault events the machine absorbed — the
+// accounting Rule 4's "report all data, including failures" needs.
+type FaultStats struct {
+	// Retransmits is the total number of retransmissions performed by
+	// the loss protocol.
+	Retransmits int
+	// LostMessages counts messages that needed at least one
+	// retransmission.
+	LostMessages int
+	// CrashTimeouts counts transfers abandoned because one endpoint had
+	// crashed; each cost the surviving peer the schedule's CrashWait.
+	CrashTimeouts int
+}
+
+// FaultStats returns the fault events absorbed since construction (or
+// the last ResetFaultStats).
+func (m *Machine) FaultStats() FaultStats { return m.fstats }
+
+// ResetFaultStats clears the fault accounting, e.g. between campaigns
+// sharing one machine.
+func (m *Machine) ResetFaultStats() { m.fstats = FaultStats{} }
 
 // New builds a machine with the given number of ranks placed per the
 // config; all randomness derives from seed.
@@ -119,6 +151,9 @@ func New(cfg Config, ranks int, seed uint64) (*Machine, error) {
 	if ranks > cfg.Nodes*cfg.CoresPerNode {
 		return nil, fmt.Errorf("cluster: %d ranks exceed %d nodes × %d cores",
 			ranks, cfg.Nodes, cfg.CoresPerNode)
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
 	}
 	m := &Machine{
 		cfg: cfg,
@@ -198,11 +233,13 @@ func (m *Machine) HalfLognormal(sigma float64) float64 {
 func (m *Machine) NodeOf(rank int) int { return m.procs[rank].node }
 
 // LocalTime converts a global simulated instant to rank r's local clock
-// reading, applying offset, drift and granularity — the asynchronous
-// clock model behind §4.2.1's "parallel time" discussion.
+// reading, applying offset, drift, scheduled clock steps, and
+// granularity — the asynchronous clock model behind §4.2.1's "parallel
+// time" discussion.
 func (m *Machine) LocalTime(rank int, global time.Duration) time.Duration {
 	p := m.procs[rank]
 	t := p.clockOffset + time.Duration(float64(global)*(1+p.clockDrift))
+	t += m.cfg.Faults.ClockShift(rank, global)
 	if g := m.cfg.ClockGranularity; g > 0 {
 		t = t / g * g
 	}
@@ -210,18 +247,52 @@ func (m *Machine) LocalTime(rank int, global time.Duration) time.Duration {
 }
 
 // GlobalFromLocal inverts LocalTime (ignoring granularity): the global
-// instant at which rank r's clock reads local.
+// instant at which rank r's clock first reads local. With scheduled
+// clock steps the inversion is a fixed point — the shift in effect
+// depends on the global instant being solved for — so a step landing
+// inside a delay-window wait moves the rank's start by the step size,
+// exactly the silent §4.2.1 skew that synchronizing before an NTP
+// adjustment produces.
 func (m *Machine) GlobalFromLocal(rank int, local time.Duration) time.Duration {
 	p := m.procs[rank]
-	return time.Duration(float64(local-p.clockOffset) / (1 + p.clockDrift))
+	g := time.Duration(float64(local-p.clockOffset) / (1 + p.clockDrift))
+	f := m.cfg.Faults
+	if f == nil {
+		return g
+	}
+	// Each iteration either reproduces the previous shift (converged) or
+	// crosses at least one step boundary, so steps+1 passes suffice;
+	// a negative step can make the clock read `local` twice, in which
+	// case the bounded loop settles on one consistent crossing.
+	for i := 0; i <= len(f.ClockSteps); i++ {
+		next := time.Duration(float64(local-p.clockOffset-f.ClockShift(rank, g)) /
+			(1 + p.clockDrift))
+		if next == g {
+			break
+		}
+		g = next
+	}
+	return g
 }
 
 // msgLatency draws one one-way message latency between two ranks at
-// global time `at`, including the bandwidth term for the payload.
+// global time `at`, including the bandwidth term for the payload and any
+// scheduled faults: a crashed endpoint turns the transfer into a
+// CrashWait timeout, bursts multiply the inter-node path, stragglers
+// stretch everything their node touches, and the loss protocol adds
+// retransmission waits.
 func (m *Machine) msgLatency(from, to, bytes int, at time.Duration) time.Duration {
+	f := m.cfg.Faults
+	if f != nil && (f.CrashedAt(from, at) || f.CrashedAt(to, at)) {
+		// The surviving peer blocks until the runtime declares the
+		// transfer dead. No latency is drawn: nothing was delivered.
+		m.fstats.CrashTimeouts++
+		return f.CrashWait()
+	}
 	pf, pt := m.procs[from], m.procs[to]
 	var lat float64
-	if pf.node == pt.node {
+	interNode := pf.node != pt.node
+	if !interNode {
 		lat = float64(m.cfg.IntraNodeLat)
 		if lat <= 0 {
 			lat = float64(m.cfg.LatFloor) / 4
@@ -242,11 +313,27 @@ func (m *Machine) msgLatency(from, to, bytes int, at time.Duration) time.Duratio
 			}
 			lat += float64(m.cfg.TailScale) / math.Pow(u, 1/alpha)
 		}
+		if f != nil {
+			lat *= f.BurstFactorAt(at)
+		}
 	}
 	if m.cfg.BandwidthBps > 0 && bytes > 0 {
 		lat += float64(bytes) / m.cfg.BandwidthBps * float64(time.Second)
 	}
+	if f != nil {
+		// The slower endpoint gates the transfer end to end.
+		if slow := math.Max(f.SlowdownAt(pf.node, at), f.SlowdownAt(pt.node, at)); slow > 1 {
+			lat *= slow
+		}
+	}
 	d := time.Duration(lat)
+	if f != nil && interNode {
+		if wait, retries := f.RetransmitDelay(m.rng.Float64); retries > 0 {
+			m.fstats.Retransmits += retries
+			m.fstats.LostMessages++
+			d += wait
+		}
+	}
 	// Receiver-side daemon interference can delay delivery processing.
 	if pt.daemon != nil {
 		d = pt.daemon.Perturb(m.rng, at+d, d)
@@ -271,6 +358,11 @@ func (m *Machine) ComputeTime(rank int, flops float64, at time.Duration) time.Du
 	}
 	if p.daemon != nil {
 		d = p.daemon.Perturb(m.rng, at, d)
+	}
+	if f := m.cfg.Faults; f != nil {
+		if slow := f.SlowdownAt(p.node, at); slow > 1 {
+			d = time.Duration(float64(d) * slow)
+		}
 	}
 	return d
 }

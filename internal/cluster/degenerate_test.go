@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// Error-path and degenerate-topology coverage: zero-byte payloads,
+// single-node machines, and single-rank (trivial) collectives.
+
+func TestZeroByteMessages(t *testing.T) {
+	m, err := New(PizDora(), 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := m.PingPong(0, 15, 0, 50)
+	for i, d := range lat {
+		if d <= 0 {
+			t.Fatalf("round %d: zero-byte latency %v must stay positive", i, d)
+		}
+	}
+	// Zero-byte collectives complete with positive critical paths.
+	for name, res := range map[string]CollectiveResult{
+		"reduce":    m.Reduce(0, nil),
+		"bcast":     m.Bcast(0, nil),
+		"gather":    m.Gather(0, nil),
+		"scatter":   m.Scatter(0, nil),
+		"allgather": m.Allgather(0, nil),
+		"alltoall":  m.Alltoall(0, nil),
+	} {
+		if res.Max() <= 0 {
+			t.Errorf("%s: zero-byte collective max %v", name, res.Max())
+		}
+	}
+	// A zero-byte payload must be cheaper than a large one (no
+	// bandwidth term).
+	small := m.Reduce(0, nil).Max()
+	large := m.Reduce(1<<20, nil).Max()
+	if large <= small {
+		t.Errorf("1MiB reduce %v not above zero-byte reduce %v", large, small)
+	}
+}
+
+func TestSingleNodeTopology(t *testing.T) {
+	// All ranks share one node: every transfer is intra-node and the
+	// network model's inter-node terms never fire.
+	m, err := New(Quiet(1, 8), 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := m.PingPong(0, 7, 64, 20)
+	for _, d := range lat {
+		if d <= 0 {
+			t.Fatal("intra-node latency must be positive")
+		}
+		// Quiet intra-node latency is 100ns one-way + overhead; anything
+		// near the 1µs inter-node floor means the wrong path was taken.
+		if d > 2*time.Microsecond {
+			t.Fatalf("single-node latency %v looks like an inter-node draw", d)
+		}
+	}
+	for _, res := range []CollectiveResult{
+		m.Reduce(8, nil), m.Bcast(8, nil), m.Barrier(nil), m.Alltoall(8, nil),
+	} {
+		if res.Max() <= 0 {
+			t.Fatal("single-node collective must have positive cost")
+		}
+	}
+	if m.NodeOf(0) != m.NodeOf(7) {
+		t.Error("all ranks must share node 0")
+	}
+}
+
+func TestSingleRankCollectivesTrivial(t *testing.T) {
+	m, err := New(Quiet(1, 1), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, res := range map[string]CollectiveResult{
+		"reduce":    m.Reduce(8, nil),
+		"allreduce": m.Allreduce(8, nil),
+		"bcast":     m.Bcast(8, nil),
+		"barrier":   m.Barrier(nil),
+		"gather":    m.Gather(8, nil),
+		"scatter":   m.Scatter(8, nil),
+		"allgather": m.Allgather(8, nil),
+		"alltoall":  m.Alltoall(8, nil),
+	} {
+		if len(res.PerRank) != 1 || res.PerRank[0] != 0 || res.Root != 0 {
+			t.Errorf("%s on one rank must be free: %+v", name, res)
+		}
+	}
+	// Sync on a single rank is trivially perfect.
+	if sync := m.BarrierSync(); sync.MaxSkew != 0 {
+		t.Errorf("single-rank barrier skew %v", sync.MaxSkew)
+	}
+}

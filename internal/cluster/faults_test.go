@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/stats"
+)
+
+// medianLatency runs a ping-pong and returns the median one-way latency
+// in seconds.
+func medianLatency(t *testing.T, cfg Config, ranks, rounds int, seed uint64) float64 {
+	t.Helper()
+	m, err := New(cfg, ranks, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := m.PingPong(0, ranks-1, 64, rounds)
+	xs := make([]float64, len(raw))
+	for i, d := range raw {
+		xs[i] = d.Seconds()
+	}
+	return stats.Median(xs)
+}
+
+func TestStragglerSlowsMessages(t *testing.T) {
+	cfg := PizDora()
+	clean := medianLatency(t, cfg, 48, 200, 9)
+
+	cfg.Faults = &faults.Schedule{
+		Stragglers: []faults.Straggler{{Node: 0, Factor: 4}},
+	}
+	slow := medianLatency(t, cfg, 48, 200, 9)
+	if slow < 2*clean {
+		t.Errorf("straggler median %g not clearly above clean %g", slow, clean)
+	}
+}
+
+func TestStragglerSlowsCompute(t *testing.T) {
+	cfg := Quiet(4, 2)
+	cfg.Faults = &faults.Schedule{
+		Stragglers: []faults.Straggler{{Node: 1, Factor: 3}},
+	}
+	m, err := New(cfg, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Packed placement: ranks 0,1 on node 0; ranks 2,3 on node 1.
+	fast := m.ComputeTime(0, 1e7, 0)
+	slow := m.ComputeTime(2, 1e7, 0)
+	if slow < time.Duration(2.9*float64(fast)) {
+		t.Errorf("straggler compute %v not ~3x the clean %v", slow, fast)
+	}
+}
+
+func TestBurstWindowSpikes(t *testing.T) {
+	cfg := Quiet(2, 1)
+	cfg.Faults = &faults.Schedule{
+		Bursts: []faults.Burst{{
+			Start:    0,
+			Duration: 10 * time.Millisecond,
+			Factor:   10,
+		}},
+	}
+	m, err := New(cfg, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside := m.PingPong(0, 1, 0, 1)[0]
+	m.Advance(time.Second) // leave the window
+	outside := m.PingPong(0, 1, 0, 1)[0]
+	if inside < 5*outside {
+		t.Errorf("burst latency %v not clearly above post-burst %v", inside, outside)
+	}
+}
+
+func TestMessageLossRetransmits(t *testing.T) {
+	cfg := Quiet(2, 1)
+	cfg.Faults = &faults.Schedule{
+		Loss: &faults.Loss{Prob: 0.3, Timeout: 50 * time.Microsecond, Backoff: 2, MaxRetries: 4},
+	}
+	m, err := New(cfg, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m.PingPong(0, 1, 8, 500)
+	fs := m.FaultStats()
+	if fs.LostMessages == 0 || fs.Retransmits < fs.LostMessages {
+		t.Errorf("p=0.3 over 1000 messages: stats = %+v", fs)
+	}
+	m.ResetFaultStats()
+	if m.FaultStats() != (FaultStats{}) {
+		t.Error("ResetFaultStats did not clear")
+	}
+}
+
+func TestCrashedRankTimesOut(t *testing.T) {
+	cfg := Quiet(4, 1)
+	cfg.Faults = &faults.Schedule{
+		Crashes:      []faults.Crash{{Rank: 1, At: 0}},
+		CrashTimeout: 5 * time.Millisecond,
+	}
+	m, err := New(cfg, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every exchange with rank 1 costs the full crash timeout.
+	lat := m.PingPong(0, 1, 8, 1)[0]
+	if lat < 5*time.Millisecond/2 {
+		t.Errorf("crashed peer latency %v, want >= half of 5ms timeout", lat)
+	}
+	if m.FaultStats().CrashTimeouts == 0 {
+		t.Error("crash timeout not accounted")
+	}
+}
+
+func TestCollectivesWithCrashedRankComplete(t *testing.T) {
+	// Satellite: collectives with a crashed/absent participant must
+	// terminate (with visibly corrupted times), not hang.
+	cfg := Quiet(8, 1)
+	cfg.Faults = &faults.Schedule{
+		Crashes:      []faults.Crash{{Rank: 3, At: 0}},
+		CrashTimeout: 2 * time.Millisecond,
+	}
+	m, err := New(cfg, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := New(Quiet(8, 1), 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type coll struct {
+		name string
+		run  func(m *Machine) CollectiveResult
+	}
+	colls := []coll{
+		{"reduce", func(m *Machine) CollectiveResult { return m.Reduce(8, nil) }},
+		{"allreduce", func(m *Machine) CollectiveResult { return m.Allreduce(8, nil) }},
+		{"bcast", func(m *Machine) CollectiveResult { return m.Bcast(8, nil) }},
+		{"barrier", func(m *Machine) CollectiveResult { return m.Barrier(nil) }},
+		{"gather", func(m *Machine) CollectiveResult { return m.Gather(8, nil) }},
+		{"scatter", func(m *Machine) CollectiveResult { return m.Scatter(8, nil) }},
+		{"allgather", func(m *Machine) CollectiveResult { return m.Allgather(8, nil) }},
+		{"alltoall", func(m *Machine) CollectiveResult { return m.Alltoall(8, nil) }},
+	}
+	for _, c := range colls {
+		faulty := c.run(m)
+		baseline := c.run(clean)
+		if len(faulty.PerRank) != 8 {
+			t.Errorf("%s: %d per-rank times", c.name, len(faulty.PerRank))
+		}
+		if faulty.Max() < 2*time.Millisecond {
+			t.Errorf("%s: max %v does not reflect the crash timeout", c.name, faulty.Max())
+		}
+		if faulty.Max() < 10*baseline.Max() {
+			t.Errorf("%s: crashed run %v not clearly above clean %v",
+				c.name, faulty.Max(), baseline.Max())
+		}
+	}
+}
+
+func TestClockStepBreaksDelayWindowSync(t *testing.T) {
+	cfg := Quiet(4, 1)
+	cfg.ClockOffsetMax = 100 * time.Microsecond
+	base, err := New(cfg, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanSync := base.DelayWindowSync(time.Millisecond, 3)
+
+	// The same system, but rank 2's clock steps +300µs after the offset
+	// estimation completed (pings finish within tens of µs on the quiet
+	// system) and before the 1ms start deadline: the stepped clock
+	// reaches the agreed start time early, so the rank jumps the gun by
+	// roughly the step.
+	step := 300 * time.Microsecond
+	cfg.Faults = &faults.Schedule{
+		ClockSteps: []faults.ClockStep{{Rank: 2, At: 400 * time.Microsecond, Step: step}},
+	}
+	faulty, err := New(cfg, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepSync := faulty.DelayWindowSync(time.Millisecond, 3)
+	if stepSync.MaxSkew < cleanSync.MaxSkew+step/2 {
+		t.Errorf("clock step skew %v vs clean %v: step not reflected",
+			stepSync.MaxSkew, cleanSync.MaxSkew)
+	}
+}
+
+func TestFaultyMachineDeterministicUnderSeed(t *testing.T) {
+	run := func() ([]time.Duration, FaultStats) {
+		cfg := Pilatus()
+		cfg.Faults, _ = faults.Preset("storm")
+		m, err := New(cfg, 32, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.PingPong(0, 31, 64, 300), m.FaultStats()
+	}
+	a, sa := run()
+	b, sb := run()
+	if !reflect.DeepEqual(a, b) || sa != sb {
+		t.Error("same seed and schedule must reproduce bit-for-bit")
+	}
+}
+
+func TestNewRejectsInvalidSchedule(t *testing.T) {
+	cfg := Quiet(2, 1)
+	cfg.Faults = &faults.Schedule{
+		Stragglers: []faults.Straggler{{Node: 0, Factor: 0.1}},
+	}
+	if _, err := New(cfg, 2, 1); err == nil {
+		t.Error("invalid fault schedule must be rejected at construction")
+	}
+}

@@ -1,0 +1,315 @@
+// Package faults injects the adversarial conditions the paper warns
+// about (§4.2, Figs. 2–4) into the simulated cluster: straggler nodes,
+// windowed interference bursts, message loss with retransmission, rank
+// crashes, and NTP-style clock steps that violate the delay-window
+// synchronization assumptions of §4.2.1. A Schedule is pure data —
+// deterministic given the machine's seeded random stream — so every
+// fault-corrupted experiment still reproduces bit-for-bit.
+//
+// The schedule answers point-in-(simulated)-time queries; the cluster
+// package consults it on every message, compute phase, and clock
+// reading. The measurement layer (internal/bench) is where faults turn
+// into lost samples, retries, and contamination flags.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Straggler pins a persistent slowdown onto one node: every message the
+// node sends or receives and every compute phase it runs is stretched by
+// Factor while the straggler is active. This models a failing fan, a
+// thermally throttled socket, or a node sharing its link with a noisy
+// neighbour — the persistent heterogeneity of Fig 6.
+type Straggler struct {
+	Node   int           // node index (see cluster placement)
+	Factor float64       // slowdown multiplier (> 1)
+	Start  time.Duration // activation, in global simulated time
+	End    time.Duration // deactivation (0 = active forever after Start)
+}
+
+// ActiveAt reports whether the straggler affects time at.
+func (s Straggler) ActiveAt(at time.Duration) bool {
+	if at < s.Start {
+		return false
+	}
+	return s.End <= 0 || at < s.End
+}
+
+// Burst is a transient interference window multiplying inter-node
+// message latency by Factor — congestion from a co-scheduled job, the
+// heavy-tailed network interference of Figs. 2–4 made episodic.
+type Burst struct {
+	Start    time.Duration // first window start, in global simulated time
+	Duration time.Duration // window length
+	Factor   float64       // latency multiplier inside the window (> 1)
+	Period   time.Duration // repeat cadence (0 = one-shot)
+}
+
+// ActiveAt reports whether time at falls inside an interference window.
+func (b Burst) ActiveAt(at time.Duration) bool {
+	if b.Duration <= 0 || at < b.Start {
+		return false
+	}
+	since := at - b.Start
+	if b.Period > 0 {
+		since %= b.Period
+	}
+	return since < b.Duration
+}
+
+// Loss models message loss with a timeout-and-retransmit protocol: each
+// network message is lost with probability Prob; every loss costs the
+// sender the current retransmit timeout, which grows by factor Backoff
+// (exponential backoff), all in simulated time. After MaxRetries
+// retransmissions the reliability layer delivers on the final attempt —
+// transports do not lose messages forever, they just get very slow,
+// which is exactly the heavy tail a naive harness averages away.
+type Loss struct {
+	Prob       float64       // per-message loss probability, in [0, 1)
+	Timeout    time.Duration // initial retransmit timeout (default 100µs)
+	Backoff    float64       // timeout growth per retry (default 2)
+	MaxRetries int           // retransmissions before the final attempt (default 5)
+}
+
+func (l Loss) timeout() time.Duration {
+	if l.Timeout <= 0 {
+		return 100 * time.Microsecond
+	}
+	return l.Timeout
+}
+
+func (l Loss) backoff() float64 {
+	if l.Backoff <= 1 {
+		return 2
+	}
+	return l.Backoff
+}
+
+func (l Loss) maxRetries() int {
+	if l.MaxRetries <= 0 {
+		return 5
+	}
+	return l.MaxRetries
+}
+
+// Crash removes a rank from the computation: from time At on, messages
+// to or from the rank are never answered, and any peer waiting on it
+// blocks for the schedule's CrashTimeout before giving up.
+type Crash struct {
+	Rank int
+	At   time.Duration // global simulated time of the failure
+}
+
+// ClockStep is an NTP-style step: at global time At, rank Rank's local
+// clock jumps by Step (positive or negative). Delay-window
+// synchronization performed before the step is silently wrong after it —
+// the §4.2.1 assumption violation this package exists to exercise.
+type ClockStep struct {
+	Rank int
+	At   time.Duration
+	Step time.Duration
+}
+
+// Schedule is a complete deterministic fault plan for one simulated
+// machine. The zero value injects nothing.
+type Schedule struct {
+	Stragglers []Straggler
+	Bursts     []Burst
+	Loss       *Loss
+	Crashes    []Crash
+	ClockSteps []ClockStep
+
+	// CrashTimeout is how long a sender blocks on a crashed peer before
+	// the simulated runtime declares the message undeliverable
+	// (default 10ms — enormous next to µs-scale message latencies, so
+	// crashed-rank samples are unmistakable outliers).
+	CrashTimeout time.Duration
+}
+
+// Errors returned by Validate.
+var ErrBadSchedule = errors.New("faults: invalid schedule")
+
+// Validate checks the schedule for nonsensical parameters. Factors must
+// exceed 1 (a "slowdown" below 1 would be a speedup), probabilities must
+// lie in [0, 1), and ranks/nodes must be non-negative.
+func (s *Schedule) Validate() error {
+	if s == nil {
+		return nil
+	}
+	for i, st := range s.Stragglers {
+		if st.Factor <= 1 {
+			return fmt.Errorf("%w: straggler %d factor %g must be > 1", ErrBadSchedule, i, st.Factor)
+		}
+		if st.Node < 0 {
+			return fmt.Errorf("%w: straggler %d node %d must be >= 0", ErrBadSchedule, i, st.Node)
+		}
+		if st.End > 0 && st.End <= st.Start {
+			return fmt.Errorf("%w: straggler %d window [%v, %v) is empty", ErrBadSchedule, i, st.Start, st.End)
+		}
+	}
+	for i, b := range s.Bursts {
+		if b.Factor <= 1 {
+			return fmt.Errorf("%w: burst %d factor %g must be > 1", ErrBadSchedule, i, b.Factor)
+		}
+		if b.Duration <= 0 {
+			return fmt.Errorf("%w: burst %d duration %v must be positive", ErrBadSchedule, i, b.Duration)
+		}
+		if b.Period > 0 && b.Period < b.Duration {
+			return fmt.Errorf("%w: burst %d period %v shorter than duration %v", ErrBadSchedule, i, b.Period, b.Duration)
+		}
+	}
+	if l := s.Loss; l != nil {
+		if l.Prob < 0 || l.Prob >= 1 {
+			return fmt.Errorf("%w: loss probability %g outside [0, 1)", ErrBadSchedule, l.Prob)
+		}
+		if l.Timeout < 0 || l.MaxRetries < 0 {
+			return fmt.Errorf("%w: negative loss timeout or retry count", ErrBadSchedule)
+		}
+	}
+	for i, c := range s.Crashes {
+		if c.Rank < 0 {
+			return fmt.Errorf("%w: crash %d rank %d must be >= 0", ErrBadSchedule, i, c.Rank)
+		}
+	}
+	for i, cs := range s.ClockSteps {
+		if cs.Rank < 0 {
+			return fmt.Errorf("%w: clock step %d rank %d must be >= 0", ErrBadSchedule, i, cs.Rank)
+		}
+		if cs.Step == 0 {
+			return fmt.Errorf("%w: clock step %d has zero step", ErrBadSchedule, i)
+		}
+	}
+	return nil
+}
+
+// Empty reports whether the schedule injects nothing.
+func (s *Schedule) Empty() bool {
+	return s == nil || (len(s.Stragglers) == 0 && len(s.Bursts) == 0 &&
+		s.Loss == nil && len(s.Crashes) == 0 && len(s.ClockSteps) == 0)
+}
+
+// SlowdownAt returns the combined straggler slowdown factor for a node
+// at simulated time at (1 when unaffected). Overlapping stragglers on
+// the same node compound multiplicatively.
+func (s *Schedule) SlowdownAt(node int, at time.Duration) float64 {
+	if s == nil {
+		return 1
+	}
+	f := 1.0
+	for _, st := range s.Stragglers {
+		if st.Node == node && st.ActiveAt(at) {
+			f *= st.Factor
+		}
+	}
+	return f
+}
+
+// BurstFactorAt returns the combined interference multiplier on
+// inter-node latency at simulated time at (1 outside all windows).
+func (s *Schedule) BurstFactorAt(at time.Duration) float64 {
+	if s == nil {
+		return 1
+	}
+	f := 1.0
+	for _, b := range s.Bursts {
+		if b.ActiveAt(at) {
+			f *= b.Factor
+		}
+	}
+	return f
+}
+
+// CrashedAt reports whether the rank has failed by simulated time at.
+func (s *Schedule) CrashedAt(rank int, at time.Duration) bool {
+	if s == nil {
+		return false
+	}
+	for _, c := range s.Crashes {
+		if c.Rank == rank && at >= c.At {
+			return true
+		}
+	}
+	return false
+}
+
+// CrashWait returns the timeout a peer pays waiting on a crashed rank.
+func (s *Schedule) CrashWait() time.Duration {
+	if s == nil || s.CrashTimeout <= 0 {
+		return 10 * time.Millisecond
+	}
+	return s.CrashTimeout
+}
+
+// ClockShift returns the cumulative clock-step displacement of a rank's
+// clock at simulated time at.
+func (s *Schedule) ClockShift(rank int, at time.Duration) time.Duration {
+	if s == nil {
+		return 0
+	}
+	var shift time.Duration
+	for _, cs := range s.ClockSteps {
+		if cs.Rank == rank && at >= cs.At {
+			shift += cs.Step
+		}
+	}
+	return shift
+}
+
+// RetransmitDelay rolls the loss protocol for one message using draw, a
+// uniform [0,1) source (the machine's seeded stream), and returns the
+// total retransmission wait added to the message's delivery plus the
+// number of retransmissions performed. A nil receiver or absent Loss
+// model returns (0, 0) without consuming draws.
+func (s *Schedule) RetransmitDelay(draw func() float64) (time.Duration, int) {
+	if s == nil || s.Loss == nil || s.Loss.Prob <= 0 {
+		return 0, 0
+	}
+	l := s.Loss
+	var wait time.Duration
+	timeout := l.timeout()
+	retries := 0
+	for retries < l.maxRetries() && draw() < l.Prob {
+		wait += timeout
+		timeout = time.Duration(float64(timeout) * l.backoff())
+		retries++
+	}
+	return wait, retries
+}
+
+// String summarizes the schedule for reports (Rule 9: document the
+// complete experimental setup, including injected faults).
+func (s *Schedule) String() string {
+	if s.Empty() {
+		return "no faults"
+	}
+	var parts []string
+	for _, st := range s.Stragglers {
+		w := "forever"
+		if st.End > 0 {
+			w = fmt.Sprintf("until %v", st.End)
+		}
+		parts = append(parts, fmt.Sprintf("straggler node %d ×%.3g from %v %s", st.Node, st.Factor, st.Start, w))
+	}
+	for _, b := range s.Bursts {
+		cadence := "once"
+		if b.Period > 0 {
+			cadence = fmt.Sprintf("every %v", b.Period)
+		}
+		parts = append(parts, fmt.Sprintf("burst ×%.3g for %v from %v %s", b.Factor, b.Duration, b.Start, cadence))
+	}
+	if l := s.Loss; l != nil && l.Prob > 0 {
+		parts = append(parts, fmt.Sprintf("loss p=%.3g timeout %v backoff ×%.3g ≤%d retries",
+			l.Prob, l.timeout(), l.backoff(), l.maxRetries()))
+	}
+	for _, c := range s.Crashes {
+		parts = append(parts, fmt.Sprintf("rank %d crashes at %v", c.Rank, c.At))
+	}
+	for _, cs := range s.ClockSteps {
+		parts = append(parts, fmt.Sprintf("rank %d clock steps %+v at %v", cs.Rank, cs.Step, cs.At))
+	}
+	return strings.Join(parts, "; ")
+}

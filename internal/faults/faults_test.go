@@ -1,0 +1,206 @@
+package faults
+
+import (
+	"errors"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStragglerWindows(t *testing.T) {
+	s := &Schedule{Stragglers: []Straggler{
+		{Node: 1, Factor: 3, Start: time.Millisecond, End: 2 * time.Millisecond},
+		{Node: 1, Factor: 2, Start: 0}, // forever
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SlowdownAt(1, 0); got != 2 {
+		t.Errorf("before window: %g, want 2", got)
+	}
+	if got := s.SlowdownAt(1, 1500*time.Microsecond); got != 6 {
+		t.Errorf("overlap must compound: %g, want 6", got)
+	}
+	if got := s.SlowdownAt(1, 3*time.Millisecond); got != 2 {
+		t.Errorf("after window: %g, want 2", got)
+	}
+	if got := s.SlowdownAt(0, time.Millisecond); got != 1 {
+		t.Errorf("unaffected node: %g, want 1", got)
+	}
+}
+
+func TestBurstPeriodicity(t *testing.T) {
+	b := Burst{Start: time.Millisecond, Duration: 100 * time.Microsecond,
+		Factor: 5, Period: time.Millisecond}
+	cases := []struct {
+		at   time.Duration
+		want bool
+	}{
+		{0, false},
+		{time.Millisecond, true},
+		{time.Millisecond + 99*time.Microsecond, true},
+		{time.Millisecond + 100*time.Microsecond, false},
+		{2 * time.Millisecond, true}, // next period
+		{2*time.Millisecond + 500*time.Microsecond, false},
+	}
+	for _, c := range cases {
+		if got := b.ActiveAt(c.at); got != c.want {
+			t.Errorf("ActiveAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+	oneShot := Burst{Start: time.Millisecond, Duration: 100 * time.Microsecond, Factor: 5}
+	if oneShot.ActiveAt(2 * time.Millisecond) {
+		t.Error("one-shot burst must not repeat")
+	}
+	s := &Schedule{Bursts: []Burst{b}}
+	if got := s.BurstFactorAt(time.Millisecond); got != 5 {
+		t.Errorf("burst factor = %g, want 5", got)
+	}
+}
+
+func TestCrashAndClockShift(t *testing.T) {
+	s := &Schedule{
+		Crashes:    []Crash{{Rank: 2, At: time.Millisecond}},
+		ClockSteps: []ClockStep{{Rank: 1, At: time.Millisecond, Step: 200 * time.Microsecond}},
+	}
+	if s.CrashedAt(2, 0) {
+		t.Error("crashed before failure time")
+	}
+	if !s.CrashedAt(2, time.Millisecond) {
+		t.Error("not crashed at failure time")
+	}
+	if s.CrashedAt(1, time.Hour) {
+		t.Error("wrong rank crashed")
+	}
+	if got := s.ClockShift(1, 0); got != 0 {
+		t.Errorf("shift before step: %v", got)
+	}
+	if got := s.ClockShift(1, 2*time.Millisecond); got != 200*time.Microsecond {
+		t.Errorf("shift after step: %v", got)
+	}
+	if got := s.CrashWait(); got != 10*time.Millisecond {
+		t.Errorf("default crash wait = %v", got)
+	}
+}
+
+func TestRetransmitDelayDeterministic(t *testing.T) {
+	s := &Schedule{Loss: &Loss{Prob: 0.5, Timeout: 10 * time.Microsecond, Backoff: 2, MaxRetries: 3}}
+	roll := func(seed uint64) (time.Duration, int) {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		return s.RetransmitDelay(rng.Float64)
+	}
+	w1, r1 := roll(42)
+	w2, r2 := roll(42)
+	if w1 != w2 || r1 != r2 {
+		t.Errorf("same seed must reproduce: (%v,%d) vs (%v,%d)", w1, r1, w2, r2)
+	}
+	// Exponential backoff: k retries wait 10+20+...+10·2^(k−1) µs.
+	rng := rand.New(rand.NewPCG(1, 1))
+	sawRetry := false
+	for i := 0; i < 200; i++ {
+		w, r := s.RetransmitDelay(rng.Float64)
+		if r > 0 {
+			sawRetry = true
+			want := time.Duration(0)
+			timeout := 10 * time.Microsecond
+			for k := 0; k < r; k++ {
+				want += timeout
+				timeout *= 2
+			}
+			if w != want {
+				t.Fatalf("retries=%d wait=%v, want %v", r, w, want)
+			}
+		}
+		if r > 3 {
+			t.Fatalf("retries %d exceed MaxRetries", r)
+		}
+	}
+	if !sawRetry {
+		t.Error("p=0.5 never lost a message in 200 rolls")
+	}
+	// No loss model: no draws consumed, zero delay.
+	var empty *Schedule
+	if w, r := empty.RetransmitDelay(func() float64 { t.Fatal("must not draw"); return 0 }); w != 0 || r != 0 {
+		t.Error("nil schedule must be free")
+	}
+}
+
+func TestValidateRejectsNonsense(t *testing.T) {
+	bad := []*Schedule{
+		{Stragglers: []Straggler{{Node: 0, Factor: 0.5}}},
+		{Stragglers: []Straggler{{Node: -1, Factor: 2}}},
+		{Stragglers: []Straggler{{Node: 0, Factor: 2, Start: 2 * time.Millisecond, End: time.Millisecond}}},
+		{Bursts: []Burst{{Factor: 1, Duration: time.Millisecond}}},
+		{Bursts: []Burst{{Factor: 2, Duration: 0}}},
+		{Bursts: []Burst{{Factor: 2, Duration: time.Millisecond, Period: time.Microsecond}}},
+		{Loss: &Loss{Prob: 1.5}},
+		{Loss: &Loss{Prob: -0.1}},
+		{Crashes: []Crash{{Rank: -3}}},
+		{ClockSteps: []ClockStep{{Rank: 0, Step: 0}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); !errors.Is(err, ErrBadSchedule) {
+			t.Errorf("schedule %d: err = %v, want ErrBadSchedule", i, err)
+		}
+	}
+	var nilSched *Schedule
+	if err := nilSched.Validate(); err != nil {
+		t.Errorf("nil schedule must validate: %v", err)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		s, err := Preset(name)
+		if err != nil {
+			t.Fatalf("preset %q: %v", name, err)
+		}
+		if s.Empty() {
+			t.Errorf("preset %q is empty", name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+		if s.String() == "no faults" {
+			t.Errorf("preset %q has no description", name)
+		}
+	}
+	if s, err := Preset(""); err != nil || s != nil {
+		t.Error("empty preset must be nil, nil")
+	}
+	if s, err := Preset("none"); err != nil || s != nil {
+		t.Error("preset none must be nil, nil")
+	}
+	if _, err := Preset("tsunami"); err == nil {
+		t.Error("unknown preset must error")
+	}
+	merged, err := Preset("straggler, loss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Stragglers) != 1 || merged.Loss == nil {
+		t.Errorf("merged preset incomplete: %+v", merged)
+	}
+	// Presets are fresh copies: mutating one must not leak into the next.
+	a, _ := Preset("straggler")
+	a.Stragglers[0].Factor = 99
+	b, _ := Preset("straggler")
+	if b.Stragglers[0].Factor == 99 {
+		t.Error("preset mutation leaked")
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	var nilSched *Schedule
+	if nilSched.String() != "no faults" {
+		t.Error("nil schedule description")
+	}
+	s, _ := Preset("storm")
+	desc := s.String()
+	for _, want := range []string{"straggler", "burst", "loss"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("storm description %q missing %q", desc, want)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// The presets are sized for the simulated systems' µs-scale message
+// latencies (internal/cluster presets): bursts and straggler onsets land
+// mid-campaign for typical 100–1000-sample latency benchmarks, so they
+// corrupt a prefix-clean sample — the hardest case for naive harnesses
+// and the one the change-point detector must catch.
+
+// presetBuilders maps preset names to constructors. Constructed fresh on
+// every call so callers can mutate their schedule freely.
+var presetBuilders = map[string]func() *Schedule{
+	"straggler": func() *Schedule {
+		return &Schedule{
+			// Node 0 hosts rank 0 under packed placement; slowing it
+			// stretches every message the benchmark sends. Onset is
+			// mid-campaign so the sample stream shifts regime.
+			Stragglers: []Straggler{{Node: 0, Factor: 3, Start: 2 * time.Millisecond}},
+		}
+	},
+	"burst": func() *Schedule {
+		return &Schedule{
+			Bursts: []Burst{{
+				Start:    500 * time.Microsecond,
+				Duration: 300 * time.Microsecond,
+				Factor:   8,
+				Period:   2 * time.Millisecond,
+			}},
+		}
+	},
+	"loss": func() *Schedule {
+		return &Schedule{
+			Loss: &Loss{Prob: 0.02, Timeout: 50 * time.Microsecond, Backoff: 2, MaxRetries: 5},
+		}
+	},
+	"crash": func() *Schedule {
+		return &Schedule{
+			Crashes:      []Crash{{Rank: 1, At: 5 * time.Millisecond}},
+			CrashTimeout: 10 * time.Millisecond,
+		}
+	},
+	"clockstep": func() *Schedule {
+		return &Schedule{
+			ClockSteps: []ClockStep{{Rank: 1, At: 3 * time.Millisecond, Step: 250 * time.Microsecond}},
+		}
+	},
+	"storm": func() *Schedule {
+		return &Schedule{
+			Stragglers: []Straggler{{Node: 0, Factor: 2.5, Start: 2 * time.Millisecond}},
+			Bursts: []Burst{{
+				Start:    500 * time.Microsecond,
+				Duration: 200 * time.Microsecond,
+				Factor:   6,
+				Period:   1500 * time.Microsecond,
+			}},
+			Loss: &Loss{Prob: 0.01, Timeout: 50 * time.Microsecond, Backoff: 2, MaxRetries: 4},
+		}
+	},
+}
+
+// PresetNames lists the available fault presets in sorted order.
+func PresetNames() []string {
+	names := make([]string, 0, len(presetBuilders))
+	for n := range presetBuilders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset returns a fresh copy of a named fault schedule. The empty name
+// returns nil (no faults). Comma-separated names merge schedules, e.g.
+// "straggler,loss".
+func Preset(name string) (*Schedule, error) {
+	name = strings.TrimSpace(name)
+	if name == "" || name == "none" {
+		return nil, nil
+	}
+	merged := &Schedule{}
+	for _, part := range strings.Split(name, ",") {
+		part = strings.TrimSpace(part)
+		build, ok := presetBuilders[part]
+		if !ok {
+			return nil, fmt.Errorf("faults: unknown preset %q (have %s)",
+				part, strings.Join(PresetNames(), ", "))
+		}
+		s := build()
+		merged.Stragglers = append(merged.Stragglers, s.Stragglers...)
+		merged.Bursts = append(merged.Bursts, s.Bursts...)
+		merged.Crashes = append(merged.Crashes, s.Crashes...)
+		merged.ClockSteps = append(merged.ClockSteps, s.ClockSteps...)
+		if s.Loss != nil {
+			merged.Loss = s.Loss
+		}
+		if s.CrashTimeout > merged.CrashTimeout {
+			merged.CrashTimeout = s.CrashTimeout
+		}
+	}
+	return merged, nil
+}

@@ -1,0 +1,110 @@
+package htest
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestPettittDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 10 + rng.NormFloat64()
+		if i >= 120 {
+			xs[i] += 3 // regime shift at index 120
+		}
+	}
+	cp, err := Pettitt(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cp.Significant(0.01) {
+		t.Errorf("3σ shift not detected: p = %g", cp.P)
+	}
+	if cp.Index < 110 || cp.Index > 130 {
+		t.Errorf("change located at %d, want near 119", cp.Index)
+	}
+	if cp.MedianAfter-cp.MedianBefore < 2 {
+		t.Errorf("regime medians %g → %g do not show the shift",
+			cp.MedianBefore, cp.MedianAfter)
+	}
+}
+
+func TestPettittCleanSeriesNotFlagged(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 5 + 0.3*rng.NormFloat64()
+	}
+	cp, err := Pettitt(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Significant(0.01) {
+		t.Errorf("homogeneous series flagged: p = %g", cp.P)
+	}
+}
+
+func TestPettittConstantAndTies(t *testing.T) {
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = 7
+	}
+	cp, err := Pettitt(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.K != 0 || cp.P != 1 {
+		t.Errorf("constant series: K=%g p=%g, want 0 and 1", cp.K, cp.P)
+	}
+	// Heavy ties with a real shift still detected.
+	ys := make([]float64, 100)
+	for i := range ys {
+		ys[i] = 1
+		if i >= 50 {
+			ys[i] = 2
+		}
+	}
+	cp2, err := Pettitt(ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cp2.Significant(0.001) || cp2.Index != 49 {
+		t.Errorf("step function: p=%g index=%d", cp2.P, cp2.Index)
+	}
+}
+
+func TestPettittSampleSize(t *testing.T) {
+	if _, err := Pettitt([]float64{1, 2, 3}); !errors.Is(err, ErrSampleSize) {
+		t.Errorf("err = %v, want ErrSampleSize", err)
+	}
+}
+
+func TestPettittOrderMatters(t *testing.T) {
+	// The same values shuffled must lose the shift signal: the test is
+	// about the ordered stream, not the distribution.
+	rng := rand.New(rand.NewPCG(3, 3))
+	xs := make([]float64, 150)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		if i >= 75 {
+			xs[i] += 2.5
+		}
+	}
+	ordered, err := Pettitt(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := append([]float64(nil), xs...)
+	rng.Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	perm, err := Pettitt(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm.K >= ordered.K {
+		t.Errorf("shuffled K %g >= ordered K %g; statistic ignores order", perm.K, ordered.K)
+	}
+}

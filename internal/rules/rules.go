@@ -209,6 +209,23 @@ type Report struct {
 
 	// Rule 12.
 	Plots []Plot
+
+	// Measurement integrity (fault-aware campaigns; see bench.Resilience).
+	// SamplesAttempted and SamplesLost describe the collection loop's
+	// accounting: losing samples silently is a Rule 2 violation (the
+	// retained data is an unexplained subset of the measurements), while
+	// disclosed loss passes. Zero values mean "no loss occurred or none
+	// was tracked" and add no findings, keeping fault-unaware reports
+	// unchanged.
+	SamplesAttempted int
+	SamplesLost      int
+	LossDisclosed    bool
+	// StationarityChecked records that a change-point test ran over the
+	// ordered sample stream; RegimeShiftDetected records its outcome. A
+	// detected shift means the sample mixes two regimes — summarizing it
+	// as one distribution violates Rule 6's diagnostic-checking mandate.
+	StationarityChecked bool
+	RegimeShiftDetected bool
 }
 
 // Audit checks every rule and returns all findings sorted by rule.
@@ -242,6 +259,18 @@ func Audit(r Report) []Finding {
 		add(2, Pass, "subset use justified: "+r.SubsetJustification)
 	default:
 		add(2, Violation, "subset of benchmarks/resources used without justification")
+	}
+	// Rule 2, measurement-integrity extension: samples lost to faults
+	// make the retained data a subset of the attempted measurements,
+	// which must be disclosed like any other subset.
+	if r.SamplesLost > 0 {
+		if r.LossDisclosed {
+			add(2, Pass, fmt.Sprintf("sample loss disclosed: %d of %d attempts lost to faults",
+				r.SamplesLost, r.SamplesAttempted))
+		} else {
+			add(2, Violation, fmt.Sprintf("%d of %d sample attempts lost to faults without disclosure",
+				r.SamplesLost, r.SamplesAttempted))
+		}
 	}
 
 	// Rules 3 and 4: summary methods per metric kind.
@@ -309,6 +338,16 @@ func Audit(r Report) []Finding {
 		add(6, Warning, "no normality diagnostics documented")
 	default:
 		add(6, Pass, "normality diagnostically checked")
+	}
+	// Rule 6, stationarity extension: diagnostic checking covers more
+	// than normality — a mid-campaign regime shift (contamination) means
+	// no single distribution describes the sample at all.
+	if r.StationarityChecked {
+		if r.RegimeShiftDetected {
+			add(6, Warning, "change-point test flags a mid-campaign regime shift: the sample mixes distributions")
+		} else {
+			add(6, Pass, "stationarity checked: no change point in the sample stream")
+		}
 	}
 
 	// Rule 7: sound comparisons.

@@ -332,3 +332,47 @@ func TestWriteReport(t *testing.T) {
 		t.Error("each rule appears exactly once as a header")
 	}
 }
+
+func TestMeasurementIntegrityChecks(t *testing.T) {
+	// Undisclosed sample loss: a Rule 2 violation.
+	r := goodReport()
+	r.SamplesAttempted = 120
+	r.SamplesLost = 20
+	fs := Audit(r)
+	if worstSeverity(fs, 2) != Violation {
+		t.Error("undisclosed sample loss must violate Rule 2")
+	}
+
+	// Disclosed loss passes.
+	r.LossDisclosed = true
+	fs = Audit(r)
+	if worstSeverity(fs, 2) != Pass {
+		t.Error("disclosed sample loss must pass Rule 2")
+	}
+
+	// Detected regime shift warns on Rule 6 even with normality checked.
+	r.StationarityChecked = true
+	r.RegimeShiftDetected = true
+	fs = Audit(r)
+	if worstSeverity(fs, 6) != Warning {
+		t.Error("detected regime shift must warn on Rule 6")
+	}
+
+	// Clean stationarity check passes.
+	r.RegimeShiftDetected = false
+	fs = Audit(r)
+	if worstSeverity(fs, 6) != Pass {
+		t.Error("clean stationarity check must pass Rule 6")
+	}
+
+	// Back-compat: a report without integrity fields gets no new findings.
+	base, faultFree := Audit(goodReport()), 0
+	for _, f := range base {
+		if f.Rule == 2 || f.Rule == 6 {
+			faultFree++
+		}
+	}
+	if faultFree != 2 { // subset pass + normality pass, nothing else
+		t.Errorf("fault-unaware report gained findings: %d on rules 2/6", faultFree)
+	}
+}

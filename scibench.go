@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/counters"
 	"repro/internal/doe"
+	"repro/internal/faults"
 	"repro/internal/htest"
 	"repro/internal/model"
 	"repro/internal/qreg"
@@ -65,6 +66,13 @@ type (
 // Run executes a measurement campaign against the measure closure.
 func Run(plan Plan, measure func() float64) (Result, error) {
 	return bench.Run(plan, measure)
+}
+
+// RunErr executes a campaign against an error-aware measure closure: a
+// returned error fails that sample attempt, which Plan.Resilience
+// retries and accounts rather than aborting.
+func RunErr(plan Plan, measure func() (float64, error)) (Result, error) {
+	return bench.RunErr(plan, measure)
 }
 
 // Analyze runs the full statistical analysis over an existing sample.
@@ -412,6 +420,70 @@ func RuleText(n int) string {
 	}
 	return rules.RuleTexts[n]
 }
+
+// Fault injection and resilient measurement (packages faults, bench,
+// htest): deterministic, seeded fault schedules for the simulated
+// machine, a collection loop that survives and accounts failures, and a
+// change-point detector for mid-campaign contamination.
+type (
+	// FaultSchedule is a deterministic set of injected faults for a
+	// simulated cluster (set ClusterConfig.Faults).
+	FaultSchedule = faults.Schedule
+	// Straggler is a persistently slowed node.
+	Straggler = faults.Straggler
+	// InterferenceBurst is a windowed (optionally periodic) latency
+	// multiplier on the interconnect.
+	InterferenceBurst = faults.Burst
+	// MessageLoss is probabilistic message loss with timeout-based
+	// retransmission and exponential backoff.
+	MessageLoss = faults.Loss
+	// RankCrash removes a rank from the machine at a point in time.
+	RankCrash = faults.Crash
+	// ClockStepFault is an NTP-style step of one rank's clock, violating
+	// the §4.2.1 synchronization assumptions.
+	ClockStepFault = faults.ClockStep
+	// ClusterFaultStats counts fault events a simulated machine absorbed.
+	ClusterFaultStats = cluster.FaultStats
+	// Resilience arms the fault-tolerant collection loop in a Plan:
+	// per-sample watchdog, value ceiling, bounded retries, and explicit
+	// loss accounting in the Result.
+	Resilience = bench.Resilience
+	// ChangePoint is the result of Pettitt's nonparametric change-point
+	// test over an ordered measurement stream.
+	ChangePoint = htest.ChangePoint
+)
+
+// Sentinel errors of the measurement API, for errors.Is branching.
+var (
+	// ErrBadPlan reports a Plan or Resilience field with a nonsensical
+	// value.
+	ErrBadPlan = bench.ErrBadPlan
+	// ErrTooFewSamples reports a sample too small to analyze.
+	ErrTooFewSamples = bench.ErrTooFewSamples
+	// ErrTooFewProcesses reports a cross-process summary over fewer than
+	// two processes.
+	ErrTooFewProcesses = bench.ErrTooFewProcesses
+	// ErrMeasurePanic wraps a panic recovered from a measure closure.
+	ErrMeasurePanic = bench.ErrMeasurePanic
+	// ErrSampleTimeout reports a sample attempt that exceeded the
+	// resilience watchdog deadline.
+	ErrSampleTimeout = bench.ErrSampleTimeout
+	// ErrBadFaultSchedule reports an invalid fault schedule.
+	ErrBadFaultSchedule = faults.ErrBadSchedule
+)
+
+// FaultPreset returns a named ready-made fault schedule ("straggler",
+// "burst", "loss", "crash", "clockstep", "storm", or a comma-separated
+// combination); "" and "none" return nil.
+func FaultPreset(name string) (*FaultSchedule, error) { return faults.Preset(name) }
+
+// FaultPresetNames lists the available preset names.
+func FaultPresetNames() []string { return faults.PresetNames() }
+
+// DetectChangePoint runs Pettitt's change-point test over the ordered
+// series — the contamination check behind Result.ShiftDetected, usable
+// standalone on any sample stream (n >= 8).
+func DetectChangePoint(xs []float64) (ChangePoint, error) { return htest.Pettitt(xs) }
 
 // Simulated parallel machine (package cluster).
 type (
