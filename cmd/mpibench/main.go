@@ -9,17 +9,26 @@
 //
 //	mpibench [-system daint|dora|pilatus] [-collectives reduce,bcast,...]
 //	         [-ranks 2,4,8,16,32] [-bytes 8,1024] [-relerr 0.05]
-//	         [-seed 1] [-faults straggler,burst] [-v]
+//	         [-seed 1] [-faults straggler,burst] [-ceiling 0]
+//	         [-budget 0] [-v]
+//
+// The sweep is interruptible: Ctrl-C (or an elapsed -budget) checkpoints
+// cleanly, prints the partial report with the interruption labeled, and
+// exits with status 3.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
+	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/suite"
@@ -35,9 +44,19 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "RNG seed")
 		faultsFlag  = flag.String("faults", "", "fault preset(s) to inject: "+
 			strings.Join(faults.PresetNames(), "|")+" (comma-separated to combine)")
+		ceiling = flag.Float64("ceiling", 0, "resilient collection: discard+retry observations at or above this value (µs); 0 disables")
+		budget  = flag.Duration("budget", 0, "wall-clock campaign budget (e.g. 10m); 0 means unlimited")
 		verbose = flag.Bool("v", false, "stream per-configuration progress")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *budget)
+		defer cancel()
+	}
 
 	var clusterCfg cluster.Config
 	switch *system {
@@ -67,6 +86,9 @@ func main() {
 		RelErr:  *relErr,
 		Seed:    *seed,
 	}
+	if *ceiling > 0 {
+		cfg.Resilience = &bench.Resilience{ValueCeiling: *ceiling}
+	}
 	if *collectives != "" {
 		cfg.Collectives = strings.Split(*collectives, ",")
 	}
@@ -83,7 +105,7 @@ func main() {
 	if *verbose {
 		progress = os.Stderr
 	}
-	res, err := suite.Run(cfg, progress)
+	res, err := suite.Run(ctx, cfg, progress)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mpibench: %v\n", err)
 		os.Exit(1)
@@ -91,6 +113,10 @@ func main() {
 	if err := res.WriteReport(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "mpibench: %v\n", err)
 		os.Exit(1)
+	}
+	if res.Interrupted {
+		fmt.Fprintln(os.Stderr, "mpibench: sweep interrupted; report above is partial")
+		os.Exit(3)
 	}
 }
 

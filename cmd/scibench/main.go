@@ -25,6 +25,22 @@
 //	    Run Pettitt's nonparametric change-point test over the ordered
 //	    column — the contamination check for mid-campaign regime shifts.
 //
+//	scibench campaign -dir DIR [-system daint] [-samples 200] [-relerr 0.02]
+//	          [-seed 1] [-faults ...] [-throttle 0] [-budget 0]
+//	    Run a durable, journaled measurement campaign: every observation
+//	    is checksummed and fsynced before the next one runs. Ctrl-C,
+//	    SIGTERM, or an elapsed -budget checkpoints cleanly (exit 3) and
+//	    the campaign resumes later — bit-for-bit, the setup being pinned
+//	    in the campaign manifest (Rule 9).
+//
+//	scibench resume [flags] DIR
+//	    Continue an interrupted campaign exactly where it stopped: verify
+//	    the journal (dropping a torn tail from a crash mid-append),
+//	    refuse on any configuration drift with Rule 9 findings, check the
+//	    suspend/resume boundary for environment drift (Rule 6), and run
+//	    to completion. Flags override the recorded setup — which refuses
+//	    the resume unless they match.
+//
 //	scibench rules
 //	    Print the twelve rules verbatim.
 package main
@@ -63,6 +79,10 @@ func main() {
 		err = cmdGenerate(os.Args[2:])
 	case "changepoint":
 		err = cmdChangePoint(os.Args[2:])
+	case "campaign":
+		err = cmdCampaign(os.Args[2:])
+	case "resume":
+		err = cmdResume(os.Args[2:])
 	default:
 		usage()
 	}
@@ -73,7 +93,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scibench analyze|compare|audit|generate|changepoint|timer|rules [flags]")
+	fmt.Fprintln(os.Stderr, "usage: scibench analyze|compare|audit|generate|changepoint|campaign|resume|timer|rules [flags]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	scibench "repro"
+)
+
+// binPath is the scibench binary built once in TestMain; the campaign
+// integration tests drive it as a real process so signal delivery and
+// exit codes are tested end to end.
+var binPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "scibench-bin")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	binPath = filepath.Join(dir, "scibench")
+	if out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building scibench: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// campaignArgs is the one fixed configuration every stage of the
+// integration test shares; any drift between stages would (correctly)
+// be refused.
+func campaignArgs(dir string) []string {
+	return []string{"-system", "daint", "-samples", "60", "-relerr", "0.0001",
+		"-seed", "11", "-throttle", "25ms", "-dir", dir}
+}
+
+// resultLine extracts the final "result: ..." analysis line.
+func resultLine(t *testing.T, out string) string {
+	t.Helper()
+	line := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "result:") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatalf("no result line in output:\n%s", out)
+	}
+	return line
+}
+
+func exitCode(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("process did not exit normally: %v", err)
+	}
+	return ee.ExitCode()
+}
+
+// TestCampaignInterruptResume drives the full durability story against
+// the real binary: SIGINT a running campaign, verify the checkpoint,
+// refuse a drifted resume, corrupt the journal tail as a crash
+// mid-append would, resume anyway, and check the final analysis is
+// identical to an uninterrupted campaign with the same seed.
+func TestCampaignInterruptResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives real processes with wall-clock pacing")
+	}
+	camp := filepath.Join(t.TempDir(), "camp")
+
+	// Stage 1: start a throttled campaign and SIGINT it mid-collection.
+	var out strings.Builder
+	cmd := exec.Command(binPath, append([]string{"campaign"}, campaignArgs(camp)...)...)
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	journal := filepath.Join(camp, "journal.jsonl")
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if fi, err := os.Stat(journal); err == nil && fi.Size() > 300 {
+			break // several records are durable; interrupt mid-flight
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("journal never grew; output:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	if c := exitCode(t, err); c != 3 {
+		t.Fatalf("interrupted campaign exited %d, want 3; output:\n%s", c, out.String())
+	}
+	if !strings.Contains(out.String(), "interrupted") {
+		t.Errorf("no interruption notice in output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "scibench resume") {
+		t.Errorf("no resume hint in output:\n%s", out.String())
+	}
+
+	// The checkpoint must be a loadable campaign with verified records.
+	man, st, err := scibench.LoadCampaign(camp)
+	if err != nil {
+		t.Fatalf("interrupted campaign not loadable: %v", err)
+	}
+	if man.Seed != 11 {
+		t.Errorf("manifest seed = %d, want 11", man.Seed)
+	}
+	if len(st.Records) == 0 {
+		t.Fatal("no records recovered from the interrupted journal")
+	}
+	if st.Torn {
+		t.Error("journal torn after a clean SIGINT checkpoint")
+	}
+
+	// Stage 2: a resume whose flags drift from the recorded setup is
+	// refused with Rule 9 findings and a nonzero exit.
+	drifted, err := exec.Command(binPath, "resume", "-seed", "12", camp).CombinedOutput()
+	if c := exitCode(t, err); c != 1 {
+		t.Fatalf("drifted resume exited %d, want 1; output:\n%s", c, drifted)
+	}
+	if !strings.Contains(string(drifted), "REFUSED") {
+		t.Errorf("drifted resume not refused:\n%s", drifted)
+	}
+	if !strings.Contains(string(drifted), "seed") {
+		t.Errorf("refusal does not name the drifted field:\n%s", drifted)
+	}
+
+	// Stage 3: simulate a crash mid-append on top of the checkpoint —
+	// a torn, newline-less half record at the tail.
+	f, err := os.OpenFile(journal, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"crc":1,"rec":{"seq":`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Stage 4: the real resume drops the torn tail and completes.
+	resumed, err := exec.Command(binPath, "resume", camp).CombinedOutput()
+	if c := exitCode(t, err); c != 0 {
+		t.Fatalf("resume exited %d, want 0; output:\n%s", c, resumed)
+	}
+	if !strings.Contains(string(resumed), "torn tail") {
+		t.Errorf("resume did not report the torn tail:\n%s", resumed)
+	}
+	if !strings.Contains(string(resumed), "recovered") {
+		t.Errorf("resume did not report recovery:\n%s", resumed)
+	}
+
+	// Stage 5: an uninterrupted campaign with the same seed must land on
+	// the exact same analysis (bit-identical retained samples).
+	clean := filepath.Join(t.TempDir(), "clean")
+	cleanOut, err := exec.Command(binPath, append([]string{"campaign"}, campaignArgs(clean)...)...).CombinedOutput()
+	if c := exitCode(t, err); c != 0 {
+		t.Fatalf("clean campaign exited %d; output:\n%s", c, cleanOut)
+	}
+	got := resultLine(t, string(resumed))
+	want := resultLine(t, string(cleanOut))
+	if got != want {
+		t.Errorf("resumed analysis differs from uninterrupted run:\n  resumed: %s\n  clean:   %s", got, want)
+	}
+}
+
+// TestCampaignRefusesExistingDir covers the Create guard end to end.
+func TestCampaignRefusesExistingDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives real processes")
+	}
+	camp := filepath.Join(t.TempDir(), "camp")
+	args := []string{"campaign", "-dir", camp, "-samples", "12", "-relerr", "0.5", "-seed", "3"}
+	if out, err := exec.Command(binPath, args...).CombinedOutput(); err != nil {
+		t.Fatalf("first campaign failed: %v\n%s", err, out)
+	}
+	out, err := exec.Command(binPath, args...).CombinedOutput()
+	if exitCode(t, err) == 0 {
+		t.Fatalf("second campaign in the same directory must fail:\n%s", out)
+	}
+	if !strings.Contains(string(out), "already holds a campaign") {
+		t.Errorf("unexpected refusal message:\n%s", out)
+	}
+}

@@ -15,10 +15,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	scibench "repro"
@@ -28,6 +31,12 @@ func main() {
 	samples := flag.Int("samples", 400, "recorded samples")
 	seed := flag.Uint64("seed", 7, "RNG seed (same seed → bit-identical campaign)")
 	flag.Parse()
+
+	// Ctrl-C checkpoints the campaign cleanly (StopInterrupted + partial
+	// analysis) instead of killing it; see examples/resume for making the
+	// checkpoint durable and resumable.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	// The fault schedule is deterministic and part of the experimental
 	// setup (Rule 9) — print it like any other factor.
@@ -50,7 +59,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := scibench.RunErr(scibench.Plan{
+		res, err := scibench.RunErrCtx(ctx, scibench.Plan{
 			MinSamples: *samples,
 			Resilience: &scibench.Resilience{
 				ValueCeiling:    8, // µs: clean ~1.7, straggler ~5, bursts >17
@@ -62,6 +71,10 @@ func main() {
 		})
 		if err != nil {
 			log.Fatal(err)
+		}
+		if res.Stop == scibench.StopInterrupted {
+			fmt.Printf("(interrupted after %d samples; the partial analysis below is honest but incomplete)\n",
+				res.Summary.N)
 		}
 		return res, m.FaultStats()
 	}

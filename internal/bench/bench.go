@@ -10,9 +10,11 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/ci"
 	"repro/internal/htest"
@@ -79,6 +81,17 @@ type Plan struct {
 	// partial Result with explicit loss accounting (Rule 4 in spirit:
 	// report all data, including the failures).
 	Resilience *Resilience
+	// Record, when non-nil, observes every collection event as it
+	// happens — the hook a durable write-ahead journal attaches to
+	// (internal/campaign). A Record error aborts the campaign wrapped in
+	// ErrRecorder. Excluded from serialized plan descriptions.
+	Record Recorder `json:"-"`
+	// Resume, when non-nil, preloads the collection state replayed from
+	// a journal so an interrupted campaign continues exactly where it
+	// stopped. The caller is responsible for fast-forwarding a
+	// deterministic measure source by Resume.Calls() invocations first
+	// (internal/campaign does both). Excluded from serialized plans.
+	Resume *ResumeState `json:"-"`
 }
 
 // ErrBadPlan reports a Plan field with a nonsensical value.
@@ -148,6 +161,11 @@ const (
 	// many sample attempts failed (see Resilience.MaxLossFraction); the
 	// Result is partial and carries the loss accounting.
 	StopDegraded StopReason = "campaign degraded by sample loss"
+	// StopInterrupted: the campaign's context was cancelled (Ctrl-C, a
+	// wall-clock budget, a shutdown) and collection checkpointed cleanly
+	// instead of losing work. The Result is partial; a journaled
+	// campaign (internal/campaign) can resume exactly where it stopped.
+	StopInterrupted StopReason = "campaign interrupted"
 )
 
 // shiftAlpha is the significance level at which the Pettitt change-point
@@ -224,10 +242,19 @@ var (
 // aborting; without it, a measure panic still surfaces as an ordinary
 // error rather than crashing the campaign.
 func Run(plan Plan, measure func() float64) (Result, error) {
+	return RunCtx(context.Background(), plan, measure)
+}
+
+// RunCtx is Run under a context: cancellation (Ctrl-C, a wall-clock
+// budget) is checked between observation slots and checkpoints the
+// campaign cleanly with StopInterrupted instead of losing the collected
+// samples. A partial result with at least two observations is analyzed
+// and returned with a nil error.
+func RunCtx(ctx context.Context, plan Plan, measure func() float64) (Result, error) {
 	if measure == nil {
 		return Result{}, ErrNoMeasure
 	}
-	return run(plan, func() (float64, error) { return measure(), nil })
+	return run(ctx, plan, func() (float64, error) { return measure(), nil })
 }
 
 // RunErr is Run for error-aware measure functions: a returned error
@@ -235,16 +262,25 @@ func Run(plan Plan, measure func() float64) (Result, error) {
 // budget, records in Result.SamplesLost. Without resilience the first
 // error aborts the campaign.
 func RunErr(plan Plan, measure func() (float64, error)) (Result, error) {
+	return RunErrCtx(context.Background(), plan, measure)
+}
+
+// RunErrCtx is RunErr under a context; see RunCtx for the cancellation
+// contract.
+func RunErrCtx(ctx context.Context, plan Plan, measure func() (float64, error)) (Result, error) {
 	if measure == nil {
 		return Result{}, ErrNoMeasure
 	}
-	return run(plan, measure)
+	return run(ctx, plan, measure)
 }
 
-func run(plan Plan, measure func() (float64, error)) (Result, error) {
+func run(ctx context.Context, plan Plan, measure func() (float64, error)) (Result, error) {
 	p, err := plan.withDefaults()
 	if err != nil {
 		return Result{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	rs := p.Resilience
 	var res Result
@@ -255,13 +291,35 @@ func run(plan Plan, measure func() (float64, error)) (Result, error) {
 		minReliable = p.Timer.MinReliableInterval().Seconds()
 	}
 
+	// calls counts measure invocations so journaled events carry the
+	// fast-forward position for deterministic resume; counting wraps the
+	// measure function itself so every path (warmup, retries, timer-
+	// abandoned attempts) is included. Atomic because a watchdog-abandoned
+	// goroutine (Resilience.SampleTimeout) may still be running its
+	// measure call when the next attempt starts.
+	var calls atomic.Int64
+	calls.Store(int64(p.Resume.Calls()))
+	counted := func() (float64, error) {
+		calls.Add(1)
+		return measure()
+	}
+	emit := func(kind EventKind, v float64) error {
+		if p.Record == nil {
+			return nil
+		}
+		if err := p.Record.Record(Event{Kind: kind, Value: v, Calls: int(calls.Load())}); err != nil {
+			return fmt.Errorf("%w: %v", ErrRecorder, err)
+		}
+		return nil
+	}
+
 	// observation measures one recorded value: the mean of k consecutive
 	// guarded events (k = 1 keeps single-event resolution, the paper's
 	// recommendation). The first failing event fails the observation.
 	observation := func() (float64, error) {
 		sum := 0.0
 		for i := 0; i < p.EventsPerSample; i++ {
-			v, err := rs.guard(measure)
+			v, err := rs.guard(counted)
 			if err != nil {
 				return 0, err
 			}
@@ -275,17 +333,24 @@ func run(plan Plan, measure func() (float64, error)) (Result, error) {
 	}
 
 	// observe adds retry-with-backoff and the fault-suspect value
-	// ceiling on top of observation. Without resilience it is a single
-	// attempt whose error aborts the campaign (lost = false, err != nil).
-	observe := func() (v float64, ok bool, err error) {
+	// ceiling on top of observation, journaling every event. Without
+	// resilience it is a single attempt whose error aborts the campaign
+	// (lost = false, err != nil).
+	observe := func() (float64, bool, error) {
 		if rs == nil {
 			res.Attempts++
-			v, err = observation()
-			return v, err == nil, err
+			v, err := observation()
+			if err != nil {
+				return 0, false, err
+			}
+			return v, true, emit(EventSample, v)
 		}
 		for attempt := 0; attempt <= rs.MaxRetries; attempt++ {
 			if attempt > 0 {
 				res.Retries++
+				if err := emit(EventRetry, 0); err != nil {
+					return 0, false, err
+				}
 				rs.backoff(attempt)
 			}
 			res.Attempts++
@@ -293,16 +358,19 @@ func run(plan Plan, measure func() (float64, error)) (Result, error) {
 			if err != nil {
 				if errors.Is(err, ErrMeasurePanic) {
 					res.Panics++
+					if jerr := emit(EventPanic, 0); jerr != nil {
+						return 0, false, jerr
+					}
 				}
 				continue
 			}
 			if rs.ValueCeiling > 0 && v >= rs.ValueCeiling {
 				continue // fault-suspect observation: discard and retry
 			}
-			return v, true, nil
+			return v, true, emit(EventSample, v)
 		}
 		res.SamplesLost++
-		return 0, false, nil
+		return 0, false, emit(EventLoss, 0)
 	}
 
 	// degraded reports whether the loss budget is exhausted: after a
@@ -315,16 +383,47 @@ func run(plan Plan, measure func() (float64, error)) (Result, error) {
 		return tried >= 10 && float64(res.SamplesLost) > rs.MaxLossFraction*float64(tried)
 	}
 
-	for i := 0; i < p.Warmup; i++ {
-		if _, err := rs.guard(measure); err != nil && rs == nil {
+	// Preload journaled state when resuming: the retained sample, loss
+	// accounting, warmup position, and the adaptive loop's batch
+	// alignment all continue exactly where the interrupted run stopped.
+	var xs []float64
+	warmupDone := 0
+	aslots := 0
+	if p.Resume != nil {
+		st := fold(p.Resume.Events, p.MinSamples)
+		xs = st.samples
+		warmupDone = st.warmup
+		aslots = st.aslots
+		res.WarmupDiscarded = st.warmup
+		res.Retries = st.retries
+		res.SamplesLost = st.losses
+		res.Panics = st.panics
+		res.Attempts = len(st.samples) + st.losses + st.retries
+	}
+
+	res.Stop = StopFixed
+	for i := warmupDone; i < p.Warmup; i++ {
+		if ctx.Err() != nil {
+			res.Stop = StopInterrupted
+			break
+		}
+		if _, err := rs.guard(counted); err != nil && rs == nil {
 			return res, fmt.Errorf("bench: warmup failed: %w", err)
 		}
 		res.WarmupDiscarded++
+		if err := emit(EventWarmup, 0); err != nil {
+			return res, err
+		}
 	}
 
-	xs := make([]float64, 0, p.MinSamples)
-	res.Stop = StopFixed
-	for len(xs) < p.MinSamples {
+	if xs == nil {
+		xs = make([]float64, 0, p.MinSamples)
+	}
+	for res.Stop != StopInterrupted && len(xs) < p.MinSamples {
+		if ctx.Err() != nil {
+			res.Stop = StopInterrupted
+			break
+		}
 		v, ok, err := observe()
 		if err != nil {
 			return res, fmt.Errorf("bench: sample %d failed: %w", len(xs), err)
@@ -337,33 +436,43 @@ func run(plan Plan, measure func() (float64, error)) (Result, error) {
 		}
 	}
 
-	if p.RelErr > 0 && res.Stop != StopDegraded {
+	if p.RelErr > 0 && res.Stop != StopDegraded && res.Stop != StopInterrupted {
 		rule := ci.StoppingRule{
 			Confidence: p.Confidence,
 			RelErr:     p.RelErr,
 			BatchSize:  p.BatchSize,
 		}
 		res.Stop = StopMaxSamples
+		// Convergence is rechecked at slot counts aligned on BatchSize
+		// (not on "whenever collection happens to restart"), so a
+		// resumed campaign makes its Done decisions at exactly the same
+		// points an uninterrupted one does — a requirement for
+		// bit-identical resume.
 	adaptive:
 		for {
-			if done, _ := rule.Done(xs); done {
-				res.Stop = StopConverged
+			if len(xs) >= p.MaxSamples || aslots%p.BatchSize == 0 {
+				if done, _ := rule.Done(xs); done {
+					res.Stop = StopConverged
+					break
+				}
+				if len(xs) >= p.MaxSamples {
+					break
+				}
+			}
+			if ctx.Err() != nil {
+				res.Stop = StopInterrupted
 				break
 			}
-			if len(xs) >= p.MaxSamples {
-				break
+			v, ok, err := observe()
+			aslots++
+			if err != nil {
+				return res, fmt.Errorf("bench: sample %d failed: %w", len(xs), err)
 			}
-			for i := 0; i < p.BatchSize && len(xs) < p.MaxSamples; i++ {
-				v, ok, err := observe()
-				if err != nil {
-					return res, fmt.Errorf("bench: sample %d failed: %w", len(xs), err)
-				}
-				if ok {
-					xs = append(xs, v)
-				} else if degraded(len(xs)) {
-					res.Stop = StopDegraded
-					break adaptive
-				}
+			if ok {
+				xs = append(xs, v)
+			} else if degraded(len(xs)) {
+				res.Stop = StopDegraded
+				break adaptive
 			}
 		}
 	}

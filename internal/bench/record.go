@@ -1,0 +1,129 @@
+package bench
+
+import "errors"
+
+// EventKind labels one collection event emitted by the measurement loop.
+type EventKind string
+
+// Collection event kinds. Together they are a complete replayable trace
+// of a campaign's collection state: folding an event stream reproduces
+// the retained sample, every loss counter, and the loop's position in
+// both the warmup and the adaptive batching schedule.
+const (
+	// EventWarmup: one warmup iteration was measured and discarded.
+	EventWarmup EventKind = "warmup"
+	// EventSample: one observation was recorded into the sample.
+	EventSample EventKind = "sample"
+	// EventRetry: a failed or fault-suspect attempt is being retried.
+	EventRetry EventKind = "retry"
+	// EventPanic: the measure function panicked and was recovered.
+	EventPanic EventKind = "panic"
+	// EventLoss: an observation slot was abandoned after the retry
+	// budget (Result.SamplesLost).
+	EventLoss EventKind = "loss"
+)
+
+// Event is one collection event. Calls is the cumulative number of
+// measure-function invocations made when the event was emitted; a
+// deterministic measure source (e.g. a seeded simulated cluster) can be
+// fast-forwarded by exactly that many calls to restore its RNG state
+// before resuming an interrupted campaign.
+type Event struct {
+	Kind  EventKind `json:"kind"`
+	Value float64   `json:"value,omitempty"`
+	Calls int       `json:"calls"`
+}
+
+// Recorder observes collection events as they happen — the hook a
+// write-ahead journal (internal/campaign) attaches to. Record is called
+// synchronously after each event; an error aborts the campaign (a
+// campaign that cannot journal durably must not pretend it can), wrapped
+// in ErrRecorder.
+type Recorder interface {
+	Record(Event) error
+}
+
+// ErrRecorder reports a Plan.Record hook failure (e.g. a full disk under
+// a journal). The campaign aborts rather than continue without
+// durability.
+var ErrRecorder = errors.New("bench: recorder failed")
+
+// ResumeState preloads a campaign with the collection state replayed
+// from a journaled event stream, so an interrupted campaign continues
+// exactly where it stopped: retained samples, loss accounting, warmup
+// position, and the adaptive loop's batch alignment are all restored,
+// and with a deterministic measure source the final retained sample is
+// bit-identical to an uninterrupted run.
+type ResumeState struct {
+	// Events is the replayed event stream, in journal order.
+	Events []Event
+}
+
+// Calls returns the cumulative measure-invocation count at the last
+// journaled event — how far a deterministic measure source must be
+// fast-forwarded before resuming. Safe on a nil receiver.
+func (s *ResumeState) Calls() int {
+	if s == nil || len(s.Events) == 0 {
+		return 0
+	}
+	return s.Events[len(s.Events)-1].Calls
+}
+
+// Samples returns the retained observations in collection order. Safe
+// on a nil receiver.
+func (s *ResumeState) Samples() []float64 {
+	if s == nil {
+		return nil
+	}
+	var xs []float64
+	for _, ev := range s.Events {
+		if ev.Kind == EventSample {
+			xs = append(xs, ev.Value)
+		}
+	}
+	return xs
+}
+
+// foldState is the collection-loop state reconstructed from an event
+// stream: everything run() needs to continue mid-campaign.
+type foldState struct {
+	samples []float64
+	warmup  int // warmup iterations already discarded
+	retries int
+	losses  int
+	panics  int
+	calls   int // cumulative measure invocations
+	aslots  int // adaptive-phase observation slots completed
+}
+
+// fold replays events against the effective (defaulted) MinSamples.
+// Slot accounting: every observation slot ends in a sample or a loss; a
+// slot that started once MinSamples observations were already retained
+// belongs to the adaptive phase, whose Done-check cadence is aligned on
+// aslots so a resumed campaign rechecks convergence at exactly the same
+// points an uninterrupted one would.
+func fold(events []Event, minSamples int) foldState {
+	var st foldState
+	for _, ev := range events {
+		st.calls = ev.Calls
+		switch ev.Kind {
+		case EventWarmup:
+			st.warmup++
+		case EventRetry:
+			st.retries++
+		case EventPanic:
+			st.panics++
+		case EventSample:
+			if len(st.samples) >= minSamples {
+				st.aslots++
+			}
+			st.samples = append(st.samples, ev.Value)
+		case EventLoss:
+			if len(st.samples) >= minSamples {
+				st.aslots++
+			}
+			st.losses++
+		}
+	}
+	return st
+}

@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// sliceRecorder journals events in memory.
+type sliceRecorder struct {
+	events []Event
+	failAt int // fail the n-th Record call (0 = never)
+}
+
+func (r *sliceRecorder) Record(ev Event) error {
+	if r.failAt > 0 && len(r.events)+1 >= r.failAt {
+		return errors.New("disk full")
+	}
+	r.events = append(r.events, ev)
+	return nil
+}
+
+// noisyMeasure returns a deterministic measure function: a seeded stream
+// where every 7th draw spikes above the resilience ceiling, exercising
+// retries and the loss path.
+func noisyMeasure(seed uint64) func() (float64, error) {
+	rng := rand.New(rand.NewPCG(seed, 42))
+	n := 0
+	return func() (float64, error) {
+		n++
+		v := 1 + rng.Float64() // body in [1, 2)
+		if n%7 == 0 {
+			v += 10 // fault-suspect spike
+		}
+		return v, nil
+	}
+}
+
+func resumePlan(rec Recorder, rs *ResumeState) Plan {
+	return Plan{
+		Warmup:     3,
+		MinSamples: 15,
+		MaxSamples: 60,
+		RelErr:     0.02,
+		BatchSize:  5,
+		Resilience: &Resilience{ValueCeiling: 5, MaxRetries: 1, MaxLossFraction: 1},
+		Record:     rec,
+		Resume:     rs,
+	}
+}
+
+func TestRunCtxInterruptedCheckpointsCleanly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	count := 0
+	res, err := RunErrCtx(ctx, Plan{MinSamples: 50}, func() (float64, error) {
+		count++
+		if count == 20 {
+			cancel()
+		}
+		return float64(count), nil
+	})
+	if err != nil {
+		t.Fatalf("interrupted campaign with enough samples should analyze: %v", err)
+	}
+	if res.Stop != StopInterrupted {
+		t.Fatalf("Stop = %q, want %q", res.Stop, StopInterrupted)
+	}
+	if n := len(res.Raw); n != 20 {
+		t.Fatalf("retained %d samples, want 20", n)
+	}
+}
+
+func TestRunCtxInterruptedBeforeAnySample(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunErrCtx(ctx, Plan{MinSamples: 10}, func() (float64, error) { return 1, nil })
+	if !errors.Is(err, ErrTooFewSamples) {
+		t.Fatalf("err = %v, want ErrTooFewSamples", err)
+	}
+	if res.Stop != StopInterrupted {
+		t.Fatalf("Stop = %q, want %q", res.Stop, StopInterrupted)
+	}
+}
+
+// TestResumeBitIdentical interrupts a journaled campaign at every
+// feasible sample count, resumes it from the recorded events (with the
+// measure source fast-forwarded), and requires the final retained
+// sample to be bit-identical to an uninterrupted run — the durability
+// contract internal/campaign builds on.
+func TestResumeBitIdentical(t *testing.T) {
+	const seed = 99
+	want, err := RunErr(resumePlan(nil, nil), noisyMeasure(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Retries == 0 {
+		t.Fatal("test measure should provoke retries")
+	}
+
+	for cut := 1; cut < want.Summary.N; cut++ {
+		rec := &sliceRecorder{}
+		ctx, cancel := context.WithCancel(context.Background())
+		samples := 0
+		cutRec := recorderFunc(func(ev Event) error {
+			if err := rec.Record(ev); err != nil {
+				return err
+			}
+			if ev.Kind == EventSample {
+				if samples++; samples == cut {
+					cancel()
+				}
+			}
+			return nil
+		})
+		part, err := RunErrCtx(ctx, resumePlan(cutRec, nil), noisyMeasure(seed))
+		cancel()
+		if err != nil && !errors.Is(err, ErrTooFewSamples) {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if part.Stop != StopInterrupted {
+			t.Fatalf("cut %d: Stop = %q, want interrupted", cut, part.Stop)
+		}
+
+		// Resume: fast-forward a fresh measure source, then continue.
+		st := &ResumeState{Events: rec.events}
+		m := noisyMeasure(seed)
+		for i := 0; i < st.Calls(); i++ {
+			if _, err := m(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := RunErr(resumePlan(nil, st), m)
+		if err != nil {
+			t.Fatalf("cut %d resume: %v", cut, err)
+		}
+		if got.Stop != want.Stop {
+			t.Errorf("cut %d: Stop = %q, want %q", cut, got.Stop, want.Stop)
+		}
+		if len(got.Raw) != len(want.Raw) {
+			t.Fatalf("cut %d: resumed n=%d, uninterrupted n=%d", cut, len(got.Raw), len(want.Raw))
+		}
+		for i := range got.Raw {
+			if math.Float64bits(got.Raw[i]) != math.Float64bits(want.Raw[i]) {
+				t.Fatalf("cut %d: sample %d diverged: %v vs %v", cut, i, got.Raw[i], want.Raw[i])
+			}
+		}
+		if got.Retries != want.Retries || got.SamplesLost != want.SamplesLost ||
+			got.Attempts != want.Attempts {
+			t.Errorf("cut %d: accounting diverged: retries %d/%d lost %d/%d attempts %d/%d",
+				cut, got.Retries, want.Retries, got.SamplesLost, want.SamplesLost,
+				got.Attempts, want.Attempts)
+		}
+	}
+}
+
+// recorderFunc adapts a function to the Recorder interface.
+type recorderFunc func(Event) error
+
+func (f recorderFunc) Record(ev Event) error { return f(ev) }
+
+func TestRecorderFailureAbortsCampaign(t *testing.T) {
+	rec := &sliceRecorder{failAt: 3}
+	_, err := RunErr(Plan{MinSamples: 10, Record: rec}, noisyMeasure(1))
+	if !errors.Is(err, ErrRecorder) {
+		t.Fatalf("err = %v, want ErrRecorder", err)
+	}
+}
+
+func TestEventStreamReconstructsAccounting(t *testing.T) {
+	rec := &sliceRecorder{}
+	res, err := RunErr(resumePlan(rec, nil), noisyMeasure(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := fold(rec.events, 15)
+	if got := len(st.samples); got != res.Summary.N+res.OutliersRemoved {
+		t.Errorf("replayed %d samples, result has %d", got, res.Summary.N)
+	}
+	if st.retries != res.Retries || st.losses != res.SamplesLost || st.panics != res.Panics {
+		t.Errorf("replay accounting %d/%d/%d, result %d/%d/%d",
+			st.retries, st.losses, st.panics, res.Retries, res.SamplesLost, res.Panics)
+	}
+	if st.warmup != res.WarmupDiscarded {
+		t.Errorf("replay warmup %d, result %d", st.warmup, res.WarmupDiscarded)
+	}
+}

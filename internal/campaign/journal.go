@@ -1,0 +1,252 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+)
+
+// On-disk layout of a campaign directory.
+const (
+	// ManifestFile holds the campaign Manifest (JSON).
+	ManifestFile = "manifest.json"
+	// JournalFile is the append-only event journal (JSONL, one
+	// CRC-framed record per line).
+	JournalFile = "journal.jsonl"
+)
+
+// Record is one journaled collection event, numbered densely from 1.
+type Record struct {
+	Seq   int         `json:"seq"`
+	Event bench.Event `json:"event"`
+}
+
+// frame is the wire form of one journal line: the record's exact JSON
+// bytes plus their CRC32 (IEEE). The checksum is computed over the raw
+// bytes as written, so a reader verifies integrity without re-encoding.
+type frame struct {
+	CRC uint32          `json:"crc"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+// State is the collection state reconstructed from a journal.
+type State struct {
+	// Records are the verified records, in order.
+	Records []Record
+	// Torn reports that the journal ended in a torn or corrupt record
+	// (a crash mid-append, a bit flip); the bad tail was dropped.
+	Torn bool
+	// ValidBytes is the length of the verified journal prefix; bytes
+	// past it are the dropped tail.
+	ValidBytes int64
+}
+
+// Events extracts the bench event stream from the verified records.
+func (s State) Events() []bench.Event {
+	evs := make([]bench.Event, len(s.Records))
+	for i, r := range s.Records {
+		evs[i] = r.Event
+	}
+	return evs
+}
+
+// Samples returns the retained observations, in collection order.
+func (s State) Samples() []float64 {
+	var xs []float64
+	for _, r := range s.Records {
+		if r.Event.Kind == bench.EventSample {
+			xs = append(xs, r.Event.Value)
+		}
+	}
+	return xs
+}
+
+// Journal is an open write-ahead journal. It implements bench.Recorder:
+// attach it via Plan.Record and every collection event is framed,
+// checksummed, and flushed to disk before collection proceeds.
+type Journal struct {
+	f   *os.File
+	seq int
+	// Sync controls per-record fsync. Default true: an OS crash loses
+	// at most the record being written. Set false to trade durability
+	// against the page cache for journaling throughput.
+	Sync bool
+}
+
+// Errors returned by the journal layer.
+var (
+	// ErrCampaignExists reports Create on a directory that already
+	// holds a campaign (resume it with Open instead).
+	ErrCampaignExists = errors.New("campaign: directory already holds a campaign")
+	// ErrNoCampaign reports Open on a directory without a manifest.
+	ErrNoCampaign = errors.New("campaign: no campaign in directory")
+)
+
+// Create starts a new campaign: it creates dir (if needed), writes the
+// manifest, and opens an empty journal. It refuses a directory that
+// already contains a campaign.
+func Create(dir string, m Manifest) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	mpath := filepath.Join(dir, ManifestFile)
+	if _, err := os.Stat(mpath); err == nil {
+		return nil, fmt.Errorf("%w: %s", ErrCampaignExists, dir)
+	}
+	mb, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("campaign: encoding manifest: %w", err)
+	}
+	// Manifest first, atomically: a journal must never exist without
+	// the setup record that makes it interpretable (Rule 9).
+	tmp := mpath + ".tmp"
+	if err := os.WriteFile(tmp, append(mb, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	if err := os.Rename(tmp, mpath); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, JournalFile),
+		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	return &Journal{f: f, Sync: true}, nil
+}
+
+// Load reads a campaign directory without opening it for writing: the
+// manifest plus the replayed journal state. Use it to inspect a
+// campaign or to audit its integrity.
+func Load(dir string) (Manifest, State, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Manifest{}, State{}, fmt.Errorf("%w: %s", ErrNoCampaign, dir)
+		}
+		return Manifest{}, State{}, fmt.Errorf("campaign: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(mb, &m); err != nil {
+		return Manifest{}, State{}, fmt.Errorf("campaign: corrupt manifest: %w", err)
+	}
+	jb, err := os.ReadFile(filepath.Join(dir, JournalFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return m, State{}, nil // campaign created, nothing collected yet
+		}
+		return m, State{}, fmt.Errorf("campaign: %w", err)
+	}
+	return m, Replay(jb), nil
+}
+
+// Open reopens an interrupted campaign for appending: it replays the
+// journal, truncates any torn tail record, and positions the writer
+// after the last verified record.
+func Open(dir string) (*Journal, Manifest, State, error) {
+	m, st, err := Load(dir)
+	if err != nil {
+		return nil, Manifest{}, State{}, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, JournalFile), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, Manifest{}, State{}, fmt.Errorf("campaign: %w", err)
+	}
+	// Physically drop the torn tail so the journal on disk is exactly
+	// its verified prefix, then append after it.
+	if err := f.Truncate(st.ValidBytes); err != nil {
+		f.Close()
+		return nil, Manifest{}, State{}, fmt.Errorf("campaign: truncating torn tail: %w", err)
+	}
+	if _, err := f.Seek(st.ValidBytes, 0); err != nil {
+		f.Close()
+		return nil, Manifest{}, State{}, fmt.Errorf("campaign: %w", err)
+	}
+	return &Journal{f: f, seq: len(st.Records), Sync: true}, m, st, nil
+}
+
+// Replay scans raw journal bytes and reconstructs the verified state:
+// records are accepted up to (not including) the first line that fails
+// JSON framing, CRC verification, or dense sequence numbering — a crash
+// mid-append leaves exactly such a torn tail, which is dropped.
+func Replay(data []byte) State {
+	st := State{}
+	off := int64(0)
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			// No terminating newline: a torn final write.
+			st.Torn = true
+			return st
+		}
+		line := data[:nl]
+		rec, ok := decodeLine(line)
+		if !ok || rec.Seq != len(st.Records)+1 {
+			st.Torn = true
+			return st
+		}
+		st.Records = append(st.Records, rec)
+		off += int64(nl + 1)
+		st.ValidBytes = off
+		data = data[nl+1:]
+	}
+	return st
+}
+
+// decodeLine verifies and decodes one journal line.
+func decodeLine(line []byte) (Record, bool) {
+	var fr frame
+	if err := json.Unmarshal(line, &fr); err != nil || fr.Rec == nil {
+		return Record{}, false
+	}
+	if crc32.ChecksumIEEE(fr.Rec) != fr.CRC {
+		return Record{}, false
+	}
+	var rec Record
+	if err := json.Unmarshal(fr.Rec, &rec); err != nil {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// Record appends one collection event, CRC-framed, and (by default)
+// fsyncs before returning — the write-ahead contract: an event is only
+// acknowledged to the collection loop once it is durable.
+func (j *Journal) Record(ev bench.Event) error {
+	j.seq++
+	rb, err := json.Marshal(Record{Seq: j.seq, Event: ev})
+	if err != nil {
+		return fmt.Errorf("campaign: encoding record: %w", err)
+	}
+	lb, err := json.Marshal(frame{CRC: crc32.ChecksumIEEE(rb), Rec: rb})
+	if err != nil {
+		return fmt.Errorf("campaign: framing record: %w", err)
+	}
+	if _, err := j.f.Write(append(lb, '\n')); err != nil {
+		return fmt.Errorf("campaign: appending record: %w", err)
+	}
+	if j.Sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("campaign: syncing journal: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}

@@ -1,0 +1,137 @@
+// Package campaign makes benchmark campaigns durable and interruptible:
+// a write-ahead sample journal (append-only JSONL with per-record CRC32
+// checksums), a campaign manifest binding the journal to its exact
+// experimental setup (config hash, RNG seed, fault-schedule fingerprint,
+// environment description — Rule 9's reproducibility record), and a
+// resume path that replays a possibly-truncated journal, drops the torn
+// tail, fast-forwards the deterministic measure source, and continues
+// collection exactly where it stopped.
+//
+// The motivation is the paper's Rule 2 ("report all data") under the
+// reality Hunold & Carpen-Amarie document: multi-hour campaigns die
+// mid-run. Without a journal, a crash or Ctrl-C silently discards every
+// sample gathered so far; with one, the campaign checkpoints on every
+// observation and an interrupted run resumes bit-for-bit. Resume is
+// refused when the configuration drifted — continuing a campaign under
+// a different setup would silently mix two experiments, which the
+// twelve-rule audit surfaces as a Rule 9 violation.
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/rules"
+)
+
+// FormatVersion identifies the on-disk journal/manifest layout.
+const FormatVersion = 1
+
+// Manifest binds a journal to the exact experimental setup that
+// produced it. Seed, ConfigHash and FaultFingerprint are the identity
+// of the campaign: resume compares them and refuses on any drift.
+type Manifest struct {
+	Version int    `json:"version"`
+	Name    string `json:"name,omitempty"`
+	// Seed is the RNG seed of the deterministic measure source.
+	Seed uint64 `json:"seed"`
+	// ConfigHash is the SHA-256 of the canonical JSON encoding of the
+	// campaign configuration (plan, machine, flags — whatever the
+	// caller declares as "the setup").
+	ConfigHash string `json:"config_hash"`
+	// FaultFingerprint is the SHA-256 of the injected fault schedule
+	// (the hash of JSON "null" when no faults are injected): a changed
+	// schedule is a changed experiment.
+	FaultFingerprint string `json:"fault_fingerprint"`
+	// Environment is the Rule 9 description of the experimental
+	// environment, stored alongside the data it explains.
+	Environment rules.Environment `json:"environment"`
+	// CreatedAt records when the campaign started (informational; not
+	// part of the campaign identity).
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// NewManifest builds a manifest for a campaign: config is the caller's
+// complete setup description (hashed canonically), sched the injected
+// fault schedule (nil for none), env the Rule 9 environment record.
+func NewManifest(name string, seed uint64, config any, sched *faults.Schedule, env rules.Environment) (Manifest, error) {
+	ch, err := HashJSON(config)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("campaign: hashing config: %w", err)
+	}
+	ff, err := HashJSON(sched)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("campaign: hashing fault schedule: %w", err)
+	}
+	return Manifest{
+		Version:          FormatVersion,
+		Name:             name,
+		Seed:             seed,
+		ConfigHash:       ch,
+		FaultFingerprint: ff,
+		Environment:      env,
+		CreatedAt:        time.Now().UTC(),
+	}, nil
+}
+
+// HashJSON returns the hex SHA-256 of v's JSON encoding. Go's JSON
+// encoder is canonical for structs (declaration order) and maps (sorted
+// keys), so equal configurations hash equally.
+func HashJSON(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// ErrManifestDrift reports a resume attempt whose current setup differs
+// from the recorded one. Continuing would mix two experiments in one
+// sample — a Rule 9 violation the audit engine reports.
+var ErrManifestDrift = errors.New("campaign: manifest drift, resume refused")
+
+// CheckResume compares the recorded manifest against the current one
+// and returns one Rule 9 audit finding per drifted identity field plus
+// ErrManifestDrift when resume must be refused. A nil error means the
+// setups match and resume is sound.
+func CheckResume(recorded, current Manifest) ([]rules.Finding, error) {
+	var fs []rules.Finding
+	drift := func(what, rec, cur string) {
+		fs = append(fs, rules.Finding{
+			Rule:     9,
+			Severity: rules.Violation,
+			Message: fmt.Sprintf("resume %s drifted (recorded %s, current %s): "+
+				"the resumed samples would not share the recorded experimental setup", what, rec, cur),
+		})
+	}
+	if recorded.Version != current.Version {
+		return nil, fmt.Errorf("%w: journal format v%d, this build writes v%d",
+			ErrManifestDrift, recorded.Version, current.Version)
+	}
+	if recorded.Seed != current.Seed {
+		drift("RNG seed", fmt.Sprint(recorded.Seed), fmt.Sprint(current.Seed))
+	}
+	if recorded.ConfigHash != current.ConfigHash {
+		drift("config hash", short(recorded.ConfigHash), short(current.ConfigHash))
+	}
+	if recorded.FaultFingerprint != current.FaultFingerprint {
+		drift("fault-schedule fingerprint", short(recorded.FaultFingerprint), short(current.FaultFingerprint))
+	}
+	if len(fs) > 0 {
+		return fs, fmt.Errorf("%w: %d Rule 9 finding(s)", ErrManifestDrift, len(fs))
+	}
+	return nil, nil
+}
+
+func short(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}

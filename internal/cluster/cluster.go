@@ -11,6 +11,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -387,13 +388,25 @@ func (m *Machine) opCost(rank int, at time.Duration) time.Duration {
 // The first WarmupRounds are included — discarding them is the
 // measurement layer's policy decision (§4.1.2, "Warmup").
 func (m *Machine) PingPong(a, b, bytes, rounds int) []time.Duration {
-	out := make([]time.Duration, rounds)
+	return m.PingPongCtx(context.Background(), a, b, bytes, rounds)
+}
+
+// PingPongCtx is PingPong under a context: cancellation stops the
+// exchange between rounds and returns the rounds completed so far, so a
+// long sweep hands control back promptly instead of finishing a large
+// fixed batch. The machine's clock only advances for completed rounds,
+// keeping an interrupted exchange resumable deterministically.
+func (m *Machine) PingPongCtx(ctx context.Context, a, b, bytes, rounds int) []time.Duration {
+	out := make([]time.Duration, 0, rounds)
 	for i := 0; i < rounds; i++ {
+		if ctx != nil && ctx.Err() != nil {
+			return out
+		}
 		fwd := m.msgLatency(a, b, bytes, m.now)
 		m.now += fwd
 		back := m.msgLatency(b, a, bytes, m.now)
 		m.now += back
-		out[i] = (fwd + back + 2*m.cfg.SendOverhead) / 2
+		out = append(out, (fwd+back+2*m.cfg.SendOverhead)/2)
 	}
 	return out
 }

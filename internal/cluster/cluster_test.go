@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -462,5 +463,29 @@ func TestTopologyCreatesMultimodalLatency(t *testing.T) {
 	if stats.Median(inter)-stats.Median(intra) < float64(time.Microsecond) {
 		t.Errorf("inter-group median should sit ≈2µs above intra-group: %v vs %v",
 			stats.Median(inter), stats.Median(intra))
+	}
+}
+
+func TestPingPongCtxCancellation(t *testing.T) {
+	m := mustNew(t, PizDora(), 2, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got := m.PingPongCtx(ctx, 0, 1, 64, 100); len(got) != 0 {
+		t.Fatalf("cancelled exchange completed %d rounds, want 0", len(got))
+	}
+
+	// A live context behaves exactly like PingPong, including the clock
+	// advance, so deterministic replay is unaffected by the ctx plumbing.
+	a := mustNew(t, PizDora(), 2, 1)
+	b := mustNew(t, PizDora(), 2, 1)
+	xa := a.PingPong(0, 1, 64, 50)
+	xb := b.PingPongCtx(context.Background(), 0, 1, 64, 50)
+	if len(xa) != len(xb) {
+		t.Fatalf("round counts differ: %d vs %d", len(xa), len(xb))
+	}
+	for i := range xa {
+		if xa[i] != xb[i] {
+			t.Fatalf("round %d differs: %v vs %v", i, xa[i], xb[i])
+		}
 	}
 }

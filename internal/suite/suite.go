@@ -9,13 +9,14 @@
 package suite
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"time"
 
-	"repro/internal/ci"
+	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/model"
 	"repro/internal/report"
@@ -50,6 +51,11 @@ type Config struct {
 	RelErr      float64  // target relative CI width (default 0.05)
 	Confidence  float64  // CI level (default 0.95)
 	Seed        uint64
+	// Resilience, when non-nil, arms bench's fault-tolerant collection
+	// loop for every configuration: retries, the fault-suspect value
+	// ceiling (in µs here, matching the measured unit), and graceful
+	// degradation. Rows then carry the per-configuration loss accounting.
+	Resilience *bench.Resilience
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +95,12 @@ type Row struct {
 	P99Us      float64
 	MaxSkewUs  float64 // residual delay-window start skew
 	Converged  bool    // CI target reached within budget
+	// Stop is bench's verdict on how collection for this configuration
+	// ended (converged, budget exhausted, degraded by loss, interrupted);
+	// SamplesLost counts observation slots abandoned by the resilient
+	// loop. Rule 4: a degraded row is reported, not hidden.
+	Stop        bench.StopReason
+	SamplesLost int
 }
 
 // Result is a complete suite run.
@@ -98,15 +110,34 @@ type Result struct {
 	// Models maps collective/bytes to the fitted LogP-style scaling
 	// model over the measured process counts.
 	Models map[string]model.CollectiveModel
+	// Interrupted reports that the sweep was cancelled mid-run: Rows
+	// holds every configuration completed before the interruption and
+	// the report labels the result partial.
+	Interrupted bool
+}
+
+// TotalLost sums the per-row resilient-loop loss accounting.
+func (r *Result) TotalLost() int {
+	n := 0
+	for _, row := range r.Rows {
+		n += row.SamplesLost
+	}
+	return n
 }
 
 // Errors.
 var ErrUnknownCollective = errors.New("suite: unknown collective")
 
-// Run executes the suite. Progress rows are streamed to w as they
-// complete (pass nil to collect silently).
-func Run(cfg Config, w io.Writer) (*Result, error) {
+// Run executes the suite under ctx. Progress rows are streamed to w as
+// they complete (pass nil to collect silently). Cancellation — Ctrl-C, a
+// wall-clock budget — checkpoints the sweep instead of discarding it:
+// the partial Result holds every completed configuration, is marked
+// Interrupted, and is returned with a nil error.
+func Run(ctx context.Context, cfg Config, w io.Writer) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for _, c := range cfg.Collectives {
 		if !known(c) {
 			return nil, fmt.Errorf("%w: %q", ErrUnknownCollective, c)
@@ -124,16 +155,26 @@ func Run(cfg Config, w io.Writer) (*Result, error) {
 			var medians []float64
 			for _, p := range cfg.Ranks {
 				seed++
-				row, err := measure(cfg, coll, p, bytes, seed)
+				row, err := measure(ctx, cfg, coll, p, bytes, seed)
 				if err != nil {
+					if ctx.Err() != nil {
+						// Cancelled before this configuration retained an
+						// analyzable sample: the completed rows stand.
+						res.Interrupted = true
+						return res, nil
+					}
 					return nil, err
 				}
 				res.Rows = append(res.Rows, row)
 				ps = append(ps, p)
 				medians = append(medians, row.MedianUs*1e-6)
 				if w != nil {
-					fmt.Fprintf(w, "%-10s p=%-3d %6dB  n=%-4d median %.4g µs [%.4g, %.4g]\n",
-						coll, p, bytes, row.N, row.MedianUs, row.CILoUs, row.CIHiUs)
+					fmt.Fprintf(w, "%-10s p=%-3d %6dB  n=%-4d median %.4g µs [%.4g, %.4g]%s\n",
+						coll, p, bytes, row.N, row.MedianUs, row.CILoUs, row.CIHiUs, rowFlag(row))
+				}
+				if row.Stop == bench.StopInterrupted {
+					res.Interrupted = true
+					return res, nil
 				}
 			}
 			if len(ps) >= 4 {
@@ -144,6 +185,20 @@ func Run(cfg Config, w io.Writer) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// rowFlag annotates a progress line with anything that disqualifies the
+// row as a clean measurement.
+func rowFlag(r Row) string {
+	switch {
+	case r.Stop == bench.StopDegraded:
+		return fmt.Sprintf("  DEGRADED lost=%d", r.SamplesLost)
+	case r.Stop == bench.StopInterrupted:
+		return "  INTERRUPTED"
+	case r.SamplesLost > 0:
+		return fmt.Sprintf("  lost=%d", r.SamplesLost)
+	}
+	return ""
 }
 
 func known(c string) bool {
@@ -161,11 +216,31 @@ func addRow(tbl *report.Table, r Row) {
 		fmt.Sprintf("[%.4g, %.4g]", r.CILoUs, r.CIHiUs),
 		fmt.Sprintf("%.4g", r.P99Us),
 		fmt.Sprintf("%.3g", r.MaxSkewUs),
-		r.Converged)
+		r.SamplesLost,
+		stopLabel(r.Stop))
 }
 
-// measure runs one configuration with adaptive sampling.
-func measure(cfg Config, coll string, ranks, bytes int, seed uint64) (Row, error) {
+// stopLabel compresses bench's stop reasons into table-width words.
+func stopLabel(s bench.StopReason) string {
+	switch s {
+	case bench.StopConverged:
+		return "converged"
+	case bench.StopMaxSamples:
+		return "budget"
+	case bench.StopDegraded:
+		return "DEGRADED"
+	case bench.StopInterrupted:
+		return "INTERRUPTED"
+	case bench.StopFixed:
+		return "fixed"
+	}
+	return string(s)
+}
+
+// measure runs one configuration through bench's measurement controller:
+// adaptive CI-driven sampling, optional resilient collection, and clean
+// checkpointing on cancellation.
+func measure(ctx context.Context, cfg Config, coll string, ranks, bytes int, seed uint64) (Row, error) {
 	m, err := cluster.New(cfg.Cluster, ranks, seed)
 	if err != nil {
 		return Row{}, err
@@ -177,7 +252,7 @@ func measure(cfg Config, coll string, ranks, bytes int, seed uint64) (Row, error
 	sync := m.DelayWindowSync(time.Millisecond, 3)
 	row.MaxSkewUs = float64(sync.MaxSkew) / float64(time.Microsecond)
 
-	run := func() float64 {
+	run := func() (float64, error) {
 		var cr cluster.CollectiveResult
 		switch coll {
 		case Reduce:
@@ -198,40 +273,29 @@ func measure(cfg Config, coll string, ranks, bytes int, seed uint64) (Row, error
 			cr = m.Alltoall(bytes, sync.Skew)
 		}
 		m.Advance(cr.Max() + 10*time.Microsecond)
-		return float64(cr.Max()) / float64(time.Microsecond)
+		return float64(cr.Max()) / float64(time.Microsecond), nil
 	}
 
-	rule := ci.StoppingRule{
-		Confidence: cfg.Confidence,
+	res, err := bench.RunErrCtx(ctx, bench.Plan{
+		MinSamples: cfg.MinRuns,
+		MaxSamples: cfg.MaxRuns,
 		RelErr:     cfg.RelErr,
+		Confidence: cfg.Confidence,
 		BatchSize:  10,
-		MaxN:       cfg.MaxRuns,
+		Resilience: cfg.Resilience,
+	}, run)
+	if err != nil {
+		return Row{}, err
 	}
-	xs := make([]float64, 0, cfg.MinRuns)
-	for i := 0; i < cfg.MinRuns; i++ {
-		xs = append(xs, run())
-	}
-	var iv ci.Interval
-	for {
-		var done bool
-		done, iv = rule.Done(xs)
-		if done {
-			row.Converged = true
-			break
-		}
-		if len(xs) >= cfg.MaxRuns {
-			break
-		}
-		for i := 0; i < 10 && len(xs) < cfg.MaxRuns; i++ {
-			xs = append(xs, run())
-		}
-	}
-	row.N = len(xs)
-	sorted := stats.Sorted(xs)
+	row.N = len(res.Raw)
+	sorted := stats.Sorted(res.Raw)
 	row.MedianUs = stats.Quantile(sorted, 0.5)
 	row.P99Us = stats.Quantile(sorted, 0.99)
-	row.CILoUs = iv.Lo
-	row.CIHiUs = iv.Hi
+	row.CILoUs = res.MedianCI.Lo
+	row.CIHiUs = res.MedianCI.Hi
+	row.Converged = res.Stop == bench.StopConverged
+	row.Stop = res.Stop
+	row.SamplesLost = res.SamplesLost
 	return row, nil
 }
 
@@ -248,10 +312,14 @@ func (r *Result) WriteReport(w io.Writer) error {
 		}
 		return rows[i].Ranks < rows[j].Ranks
 	})
+	title := "collective microbenchmark suite on " + r.Config.Cluster.Name
+	if r.Interrupted {
+		title += " (PARTIAL: sweep interrupted)"
+	}
 	tbl := &report.Table{
-		Title: "collective microbenchmark suite on " + r.Config.Cluster.Name,
+		Title: title,
 		Headers: []string{
-			"collective", "p", "bytes", "n", "median (µs)", "95% CI", "p99 (µs)", "sync skew (µs)", "converged",
+			"collective", "p", "bytes", "n", "median (µs)", "95% CI", "p99 (µs)", "sync skew (µs)", "lost", "stop",
 		},
 	}
 	for _, row := range rows {
@@ -259,6 +327,14 @@ func (r *Result) WriteReport(w io.Writer) error {
 	}
 	if err := tbl.Render(w); err != nil {
 		return err
+	}
+	if r.Interrupted {
+		fmt.Fprintln(w, "\nsweep interrupted before completion: rows above are the configurations"+
+			" that finished; unmeasured configurations are absent, not zero (Rule 2).")
+	}
+	if lost := r.TotalLost(); lost > 0 {
+		fmt.Fprintf(w, "\nresilient collection dropped %d observation slot(s) across the sweep;"+
+			" per-row losses are in the table (Rule 4: losses are data).\n", lost)
 	}
 	if len(r.Models) > 0 {
 		fmt.Fprintln(w, "\nfitted scaling models (T in seconds):")

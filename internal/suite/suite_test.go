@@ -1,10 +1,12 @@
 package suite
 
 import (
+	"context"
 	"io"
 	"strings"
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/cluster"
 )
 
@@ -22,7 +24,7 @@ func quickConfig() Config {
 }
 
 func TestRunSuite(t *testing.T) {
-	res, err := Run(quickConfig(), io.Discard)
+	res, err := Run(context.Background(), quickConfig(), io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +59,7 @@ func TestRunSuite(t *testing.T) {
 }
 
 func TestSuiteMediansGrowWithP(t *testing.T) {
-	res, err := Run(quickConfig(), nil)
+	res, err := Run(context.Background(), quickConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +82,7 @@ func TestSuiteAllCollectivesRun(t *testing.T) {
 	cfg.Ranks = []int{2, 5}
 	cfg.MinRuns = 5
 	cfg.MaxRuns = 8
-	res, err := Run(cfg, nil)
+	res, err := Run(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,13 +100,13 @@ func TestSuiteAllCollectivesRun(t *testing.T) {
 func TestSuiteValidation(t *testing.T) {
 	cfg := quickConfig()
 	cfg.Collectives = []string{"mystery"}
-	if _, err := Run(cfg, nil); err == nil {
+	if _, err := Run(context.Background(), cfg, nil); err == nil {
 		t.Error("unknown collective should error")
 	}
 }
 
 func TestWriteReport(t *testing.T) {
-	res, err := Run(quickConfig(), nil)
+	res, err := Run(context.Background(), quickConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,11 +123,11 @@ func TestWriteReport(t *testing.T) {
 }
 
 func TestSuiteDeterministicUnderSeed(t *testing.T) {
-	a, err := Run(quickConfig(), nil)
+	a, err := Run(context.Background(), quickConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(quickConfig(), nil)
+	b, err := Run(context.Background(), quickConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,12 +138,77 @@ func TestSuiteDeterministicUnderSeed(t *testing.T) {
 	}
 }
 
+func TestSuiteInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the first observation
+	res, err := Run(ctx, quickConfig(), nil)
+	if err != nil {
+		t.Fatalf("interrupted sweep must return a partial result, got error: %v", err)
+	}
+	if !res.Interrupted {
+		t.Error("Interrupted not set on a cancelled sweep")
+	}
+	var sb strings.Builder
+	if err := res.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "PARTIAL") {
+		t.Error("report does not label an interrupted sweep as partial")
+	}
+}
+
+func TestSuiteResilienceWired(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Collectives = []string{Reduce}
+	cfg.Ranks = []int{4}
+	clean, err := Run(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Rows[0].Stop == "" {
+		t.Error("row carries no stop reason")
+	}
+
+	// A ceiling at the clean median rejects roughly half of all draws;
+	// with a single retry per slot, ~25% of observation slots are lost,
+	// far past a 10% degradation threshold — the row must surface
+	// StopDegraded with its loss accounting rather than masquerade as a
+	// clean measurement.
+	cfg.Resilience = &bench.Resilience{
+		ValueCeiling:    clean.Rows[0].MedianUs,
+		MaxRetries:      1,
+		MaxLossFraction: 0.1,
+	}
+	res, err := Run(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row.Stop != bench.StopDegraded {
+		t.Fatalf("stop = %q, want StopDegraded", row.Stop)
+	}
+	if row.SamplesLost == 0 {
+		t.Error("degraded row reports zero losses")
+	}
+	var sb strings.Builder
+	if err := res.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "DEGRADED") {
+		t.Error("report does not flag the degraded row")
+	}
+	if !strings.Contains(out, "observation slot") {
+		t.Error("report does not summarize the sweep's losses")
+	}
+}
+
 func TestSuiteStreamsProgress(t *testing.T) {
 	var sb strings.Builder
 	cfg := quickConfig()
 	cfg.Collectives = []string{Reduce}
 	cfg.Ranks = []int{2, 4}
-	if _, err := Run(cfg, &sb); err != nil {
+	if _, err := Run(context.Background(), cfg, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "reduce") {

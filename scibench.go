@@ -25,12 +25,14 @@
 package scibench
 
 import (
+	"context"
 	"io"
 	"math/rand/v2"
 
 	"repro/internal/bench"
 	"repro/internal/bootstrap"
 	"repro/internal/bounds"
+	"repro/internal/campaign"
 	"repro/internal/ci"
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -61,6 +63,9 @@ type (
 	// CrossProcess is the Rule 10 summarization of per-process samples
 	// with an ANOVA pooling gate.
 	CrossProcess = bench.CrossProcess
+	// StopReason explains why sample collection ended (see the Stop*
+	// constants).
+	StopReason = bench.StopReason
 )
 
 // Run executes a measurement campaign against the measure closure.
@@ -74,6 +79,34 @@ func Run(plan Plan, measure func() float64) (Result, error) {
 func RunErr(plan Plan, measure func() (float64, error)) (Result, error) {
 	return bench.RunErr(plan, measure)
 }
+
+// RunCtx is Run under a context: cancellation (Ctrl-C, a wall-clock
+// budget) checkpoints the campaign cleanly with StopInterrupted instead
+// of discarding the collected samples.
+func RunCtx(ctx context.Context, plan Plan, measure func() float64) (Result, error) {
+	return bench.RunCtx(ctx, plan, measure)
+}
+
+// RunErrCtx is RunErr under a context; see RunCtx.
+func RunErrCtx(ctx context.Context, plan Plan, measure func() (float64, error)) (Result, error) {
+	return bench.RunErrCtx(ctx, plan, measure)
+}
+
+// Stop reasons recorded in Result.Stop.
+const (
+	// StopFixed: no adaptive target; the fixed sample count was collected.
+	StopFixed = bench.StopFixed
+	// StopConverged: the CI reached the requested relative width.
+	StopConverged = bench.StopConverged
+	// StopMaxSamples: the budget ran out before convergence.
+	StopMaxSamples = bench.StopMaxSamples
+	// StopDegraded: resilient collection abandoned the campaign after too
+	// many losses; the Result is partial with full loss accounting.
+	StopDegraded = bench.StopDegraded
+	// StopInterrupted: the context was cancelled and collection
+	// checkpointed cleanly; a journaled campaign can resume.
+	StopInterrupted = bench.StopInterrupted
+)
 
 // Analyze runs the full statistical analysis over an existing sample.
 func Analyze(xs []float64, confidence float64) (Result, error) {
@@ -523,7 +556,13 @@ type (
 // RunSuite executes the SKaMPI-style collective suite; progress rows
 // stream to w (nil for silent).
 func RunSuite(cfg SuiteConfig, w io.Writer) (*SuiteResult, error) {
-	return suite.Run(cfg, w)
+	return suite.Run(context.Background(), cfg, w)
+}
+
+// RunSuiteCtx is RunSuite under a context: cancellation checkpoints the
+// sweep and returns the partial result marked Interrupted.
+func RunSuiteCtx(ctx context.Context, cfg SuiteConfig, w io.Writer) (*SuiteResult, error) {
+	return suite.Run(ctx, cfg, w)
 }
 
 // Timer calibration (package timer).
@@ -579,3 +618,76 @@ func XYPlot(w io.Writer, title string, series []Series, width, height int) error
 func WriteRulesReport(w io.Writer, findings []Finding) error {
 	return rules.WriteReport(w, findings)
 }
+
+// Durable, interruptible campaigns (package campaign): a write-ahead
+// sample journal with per-record checksums, a manifest binding the
+// journal to its exact setup (Rule 9), and crash/cancel recovery that
+// resumes a deterministic campaign bit-for-bit.
+type (
+	// CampaignManifest binds a journal to the setup that produced it:
+	// seed, config hash, fault-schedule fingerprint, environment.
+	CampaignManifest = campaign.Manifest
+	// CampaignJournal is an open write-ahead journal; attach it via
+	// Plan.Record to make every collection event durable.
+	CampaignJournal = campaign.Journal
+	// CampaignState is the collection state replayed from a journal,
+	// with any torn tail dropped.
+	CampaignState = campaign.State
+	// CampaignResumeInfo reports what a resume recovered and verified.
+	CampaignResumeInfo = campaign.ResumeInfo
+	// CampaignResumeOptions tunes resume for the measure source; the
+	// zero value is right for deterministic (seeded simulated) sources.
+	CampaignResumeOptions = campaign.ResumeOptions
+)
+
+// NewCampaignManifest builds the Rule 9 manifest for a journaled
+// campaign: config is the complete setup description (hashed
+// canonically), sched the injected fault schedule (nil for none).
+func NewCampaignManifest(name string, seed uint64, config any, sched *FaultSchedule, env ExperimentEnv) (CampaignManifest, error) {
+	return campaign.NewManifest(name, seed, config, sched, env)
+}
+
+// RunCampaign executes a fully journaled campaign in dir: every
+// collection event is durable before the next observation runs, so an
+// interruption at any point leaves a resumable journal.
+func RunCampaign(ctx context.Context, dir string, m CampaignManifest, plan Plan, measure func() (float64, error)) (Result, error) {
+	return campaign.Run(ctx, dir, m, plan, measure)
+}
+
+// ResumeCampaign continues an interrupted journaled campaign: it
+// replays the journal (dropping any torn tail), refuses on manifest
+// drift (Rule 9), fast-forwards the deterministic measure source, and
+// runs to completion — bit-identical to an uninterrupted run.
+func ResumeCampaign(ctx context.Context, dir string, current CampaignManifest, plan Plan,
+	measure func() (float64, error), opt CampaignResumeOptions) (Result, CampaignResumeInfo, error) {
+	return campaign.Resume(ctx, dir, current, plan, measure, opt)
+}
+
+// LoadCampaign inspects a campaign directory without opening it for
+// writing: the manifest plus the verified journal state.
+func LoadCampaign(dir string) (CampaignManifest, CampaignState, error) {
+	return campaign.Load(dir)
+}
+
+// CampaignBoundaryShift checks whether a significant regime shift
+// localizes at a suspend/resume boundary index (Rule 6 quarantine).
+func CampaignBoundaryShift(xs []float64, boundary int, alpha float64) (ChangePoint, bool, error) {
+	return campaign.BoundaryShift(xs, boundary, alpha)
+}
+
+// Sentinel errors of the campaign layer, for errors.Is branching.
+var (
+	// ErrManifestDrift reports a resume whose current setup differs from
+	// the recorded one; resume is refused (Rule 9).
+	ErrManifestDrift = campaign.ErrManifestDrift
+	// ErrReplayDivergence reports fast-forward re-measurement that did
+	// not reproduce the journaled samples.
+	ErrReplayDivergence = campaign.ErrReplayDivergence
+	// ErrCampaignExists reports RunCampaign on a directory that already
+	// holds a campaign (resume it instead).
+	ErrCampaignExists = campaign.ErrCampaignExists
+	// ErrNoCampaign reports a resume/load on a directory without one.
+	ErrNoCampaign = campaign.ErrNoCampaign
+	// ErrRecorder wraps a journal write failure that aborted collection.
+	ErrRecorder = bench.ErrRecorder
+)
