@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench figures
+.PHONY: all build test vet race check bench bench-json figures
 
 all: check
 
@@ -21,6 +21,14 @@ check: vet race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-json records the harness benchmarks (suite engine, bootstrap,
+# analysis fast path) as machine-readable JSON next to the repo.
+bench-json:
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkSuiteRun|BenchmarkBootstrapCI|BenchmarkAnalyze|BenchmarkSampleReset|BenchmarkSummarize$$|BenchmarkMedianCI' \
+		-benchmem . | $(GO) run ./cmd/benchjson > BENCH_harness.json
+	@echo wrote BENCH_harness.json
 
 figures:
 	$(GO) run ./cmd/figures all -quick

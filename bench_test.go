@@ -16,7 +16,9 @@ import (
 	"time"
 
 	scibench "repro"
+	"repro/internal/bootstrap"
 	"repro/internal/figures"
+	"repro/internal/stats"
 )
 
 // BenchmarkTable1Survey regenerates Table 1 (synthetic dataset with the
@@ -371,4 +373,84 @@ func blockMeans(xs []float64, k int) []float64 {
 		out[i] = sum / float64(k)
 	}
 	return out
+}
+
+// --- Harness benchmarks (parallel execution engine + stats fast path) --
+
+// BenchmarkSuiteRun measures a small collective sweep end to end, serial
+// vs all cores; the report is bit-identical either way, so the delta is
+// pure harness speedup.
+func BenchmarkSuiteRun(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := "j=1"
+		if workers == 0 {
+			name = "j=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := scibench.SuiteConfig{
+				Cluster:     scibench.PizDaint(),
+				Collectives: []string{"reduce", "bcast", "allreduce"},
+				Ranks:       []int{2, 4, 8, 16},
+				Bytes:       []int{8},
+				MinRuns:     20,
+				MaxRuns:     80,
+				RelErr:      0.05,
+				Seed:        1,
+				Workers:     workers,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := scibench.RunSuite(cfg, io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBootstrapCI measures a BCa bootstrap of the median, serial vs
+// all cores (identical intervals by construction).
+func BenchmarkBootstrapCI(b *testing.B) {
+	xs := randomSample(200, 8)
+	for _, workers := range []int{1, 0} {
+		name := "j=1"
+		if workers == 0 {
+			name = "j=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewPCG(1, 2))
+				if _, err := bootstrap.CIWorkers(xs, stats.Median, bootstrap.BCa,
+					1000, 0.95, rng, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyze measures the full one-sample analysis (summary, CIs,
+// change-point scan, normality diagnostics) on 5k observations — the
+// path that previously sorted the sample 4–6 times and now sorts once.
+func BenchmarkAnalyze(b *testing.B) {
+	xs := randomSample(5000, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scibench.Analyze(xs, 0.95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSampleReset measures the allocation-lean loop path: one
+// Sample reused across many summaries (0 allocs/op after warmup).
+func BenchmarkSampleReset(b *testing.B) {
+	xs := randomSample(10000, 10)
+	s := scibench.NewSample(xs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset(xs)
+		_ = s.Summarize()
+	}
 }

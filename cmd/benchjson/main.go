@@ -1,0 +1,117 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON document on stdout — a machine-readable record of a
+// benchmark run, so performance claims ship with their raw data
+// (Rule 1: the experiments must be reproducible and interpretable).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson > BENCH.json
+//
+// Every `Benchmark...` result line becomes one entry with its iteration
+// count, ns/op, and any further value/unit pairs the -benchmem flag or
+// b.ReportMetric added (B/op, allocs/op, custom metrics). The goos /
+// goarch / cpu / pkg header lines are captured as environment metadata.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: name, iterations, and the measured
+// metrics keyed by unit (always "ns/op"; "B/op", "allocs/op", and custom
+// units when present).
+type Result struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole run: environment header plus all results.
+type Report struct {
+	Env     map[string]string `json:"env"`
+	Results []Result          `json:"results"`
+}
+
+func main() {
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (Report, error) {
+	rep := Report{Env: map[string]string{}}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			rep.Env[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "pkg:"):
+			_, v, _ := strings.Cut(line, ":")
+			pkg = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "Benchmark"):
+			r, ok := parseResult(line)
+			if !ok {
+				continue // e.g. a benchmark that only printed a name
+			}
+			r.Package = pkg
+			rep.Results = append(rep.Results, r)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseResult decodes one result line of the form
+//
+//	BenchmarkName-8   1234   5678 ns/op   90 B/op   3 allocs/op
+func parseResult(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := fields[0]
+	// Strip the trailing -GOMAXPROCS suffix go test appends.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	if _, ok := r.Metrics["ns/op"]; !ok {
+		return Result{}, false
+	}
+	return r, true
+}

@@ -4,26 +4,37 @@
 //
 // Usage:
 //
-//	figures [flags] <experiment>
+//	figures [flags] <experiment> [flags]
 //
 // where <experiment> is one of: table1, means, fig1, fig2, fig3, fig4,
-// fig5, fig6, fig7ab, fig7c, weak, all.
+// fig5, fig6, fig7ab, fig7c, weak, all. Flags may appear before or after
+// the experiment name.
 //
 // Flags:
 //
 //	-seed N     RNG seed (default 2015)
 //	-samples N  per-system sample count for fig2/fig3/fig4/fig7c
 //	            (default 1000000, the paper's 10⁶)
-//	-runs N     run count for fig1 (default 50) and fig5/fig6 (default 1000)
+//	-runs N     run count for fig1 (default 50) and fig5/fig6 (default 1000);
+//	            an explicit -runs overrides -quick's shrinking
 //	-n N        HPL matrix dimension for fig1 (default 314000)
-//	-quick      shrink all sizes for a fast smoke run
+//	-quick      shrink all sizes for a fast smoke run: samples drop to 1e5,
+//	            the HPL dimension to 32768, and per-figure run defaults to a
+//	            tenth (floor 20) unless -runs is set
+//	-j N        experiments to run concurrently for 'all' (0 = GOMAXPROCS);
+//	            output order and bytes are identical for every N
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/figures"
 	"repro/internal/report"
@@ -33,23 +44,33 @@ func main() {
 	var (
 		seed    = flag.Uint64("seed", 2015, "RNG seed")
 		samples = flag.Int("samples", 1000000, "per-system samples (fig2/3/4/7c)")
-		runs    = flag.Int("runs", 0, "runs for fig1 (default 50) / fig5-6 (default 1000)")
+		runs    = flag.Int("runs", 0, "runs for fig1 (default 50) / fig5-6 (default 1000); overrides -quick")
 		n       = flag.Int("n", 314000, "HPL matrix dimension (fig1)")
 		quick   = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
+		jobs    = flag.Int("j", 0, "experiments to run concurrently for 'all' (0 = GOMAXPROCS)")
 		csvDir  = flag.String("csv", "", "also write each experiment's raw dataset to this directory (Rule 9)")
 		svgDir  = flag.String("svg", "", "also write publication-style SVG figures to this directory")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
+	usage := func() {
 		fmt.Fprintln(os.Stderr, "usage: figures [flags] table1|means|fig1|fig2|fig3|fig4|fig5|fig6|fig7ab|fig7c|weak|all")
 		os.Exit(2)
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	name := flag.Arg(0)
+	// The flag package stops at the first positional argument; re-parse
+	// the remainder so `figures all -quick` works as well as
+	// `figures -quick all`.
+	if flag.NArg() > 1 {
+		if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil || flag.NArg() != 0 {
+			usage()
+		}
 	}
 	if *quick {
 		*samples = 100000
 		*n = 32768
-		if *runs == 0 {
-			*runs = 0 // per-figure defaults below still apply; quick shrinks via runsFor
-		}
 	}
 	runsFor := func(def int) int {
 		if *runs > 0 {
@@ -93,8 +114,7 @@ func main() {
 		return render(f)
 	}
 
-	w := os.Stdout
-	run := func(name string) error {
+	run := func(name string, w io.Writer) error {
 		switch name {
 		case "table1":
 			_, err := figures.Table1(w, *seed)
@@ -207,23 +227,77 @@ func main() {
 		}
 	}
 
-	name := flag.Arg(0)
+	w := os.Stdout
 	if name == "all" {
-		for _, exp := range []string{
-			"table1", "means", "fig1", "fig2", "fig3", "fig4",
-			"fig5", "fig6", "fig7ab", "fig7c", "weak",
-		} {
+		runAll(w, *jobs, run)
+		return
+	}
+	if err := run(name, w); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// allExperiments is the canonical order `all` renders in — and therefore
+// the byte order of its output, for every -j.
+var allExperiments = []string{
+	"table1", "means", "fig1", "fig2", "fig3", "fig4",
+	"fig5", "fig6", "fig7ab", "fig7c", "weak",
+}
+
+// runAll renders every experiment on up to jobs goroutines (0 =
+// GOMAXPROCS). Experiments are independent given their seeds, so each
+// renders into its own buffer; buffers are flushed to w in canonical
+// order as soon as every earlier experiment has finished, making the
+// output byte-identical to a serial run. On the first (canonical-order)
+// failure the error goes to stderr and the process exits 1, just as the
+// serial loop did — later experiments' output is not printed.
+func runAll(w io.Writer, jobs int, run func(name string, w io.Writer) error) {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(allExperiments) {
+		jobs = len(allExperiments)
+	}
+
+	outs := make([]bytes.Buffer, len(allExperiments))
+	errs := make([]error, len(allExperiments))
+	completions := make(chan int, len(allExperiments))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < jobs; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(allExperiments) {
+					return
+				}
+				errs[i] = run(allExperiments[i], &outs[i])
+				completions <- i
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(completions)
+	}()
+
+	finished := make([]bool, len(allExperiments))
+	nextFlush := 0
+	for i := range completions {
+		finished[i] = true
+		for nextFlush < len(allExperiments) && finished[nextFlush] {
+			exp := allExperiments[nextFlush]
 			fmt.Fprintf(w, "==================== %s ====================\n", exp)
-			if err := run(exp); err != nil {
+			io.Copy(w, &outs[nextFlush])
+			if err := errs[nextFlush]; err != nil {
 				fmt.Fprintf(os.Stderr, "figures: %s: %v\n", exp, err)
 				os.Exit(1)
 			}
 			fmt.Fprintln(w)
+			nextFlush++
 		}
-		return
-	}
-	if err := run(name); err != nil {
-		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-		os.Exit(1)
 	}
 }

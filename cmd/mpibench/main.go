@@ -10,7 +10,12 @@
 //	mpibench [-system daint|dora|pilatus] [-collectives reduce,bcast,...]
 //	         [-ranks 2,4,8,16,32] [-bytes 8,1024] [-relerr 0.05]
 //	         [-seed 1] [-faults straggler,burst] [-ceiling 0]
-//	         [-budget 0] [-v]
+//	         [-budget 0] [-j 0] [-v]
+//
+// -j measures up to N configurations concurrently (0 = GOMAXPROCS); the
+// report is bit-identical for every worker count because per-
+// configuration seeds are assigned from the canonical sweep order before
+// fan-out.
 //
 // The sweep is interruptible: Ctrl-C (or an elapsed -budget) checkpoints
 // cleanly, prints the partial report with the interruption labeled, and
@@ -46,6 +51,7 @@ func main() {
 			strings.Join(faults.PresetNames(), "|")+" (comma-separated to combine)")
 		ceiling = flag.Float64("ceiling", 0, "resilient collection: discard+retry observations at or above this value (µs); 0 disables")
 		budget  = flag.Duration("budget", 0, "wall-clock campaign budget (e.g. 10m); 0 means unlimited")
+		workers = flag.Int("j", 0, "configurations to measure concurrently (0 = GOMAXPROCS); results are worker-count invariant")
 		verbose = flag.Bool("v", false, "stream per-configuration progress")
 	)
 	flag.Parse()
@@ -85,6 +91,7 @@ func main() {
 		Cluster: clusterCfg,
 		RelErr:  *relErr,
 		Seed:    *seed,
+		Workers: *workers,
 	}
 	if *ceiling > 0 {
 		cfg.Resilience = &bench.Resilience{ValueCeiling: *ceiling}

@@ -40,7 +40,7 @@ const campaignConfigFile = "config.json"
 func cmdCampaign(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
 	dir := fs.String("dir", "", "campaign directory (required)")
-	cc, budget := campaignFlags(fs)
+	cc, budget, workers := campaignFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,6 +55,7 @@ func cmdCampaign(args []string) error {
 	if err != nil {
 		return err
 	}
+	plan.Workers = *workers
 	ctx, stop := campaignContext(*budget)
 	defer stop()
 
@@ -64,7 +65,7 @@ func cmdCampaign(args []string) error {
 
 func cmdResume(args []string) error {
 	fs := flag.NewFlagSet("resume", flag.ExitOnError)
-	cc, budget := campaignFlags(fs)
+	cc, budget, workers := campaignFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,6 +86,7 @@ func cmdResume(args []string) error {
 	if err != nil {
 		return err
 	}
+	plan.Workers = *workers
 	ctx, stop := campaignContext(*budget)
 	defer stop()
 
@@ -116,8 +118,12 @@ func cmdResume(args []string) error {
 }
 
 // campaignFlags registers the flags shared by campaign and resume; the
-// returned config holds the parsed values after fs.Parse.
-func campaignFlags(fs *flag.FlagSet) (*campaignConfig, *time.Duration) {
+// returned config holds the parsed values after fs.Parse. The analysis
+// worker count is returned separately: it changes only how fast the
+// statistics are computed, never their values, so it is deliberately NOT
+// part of the recorded campaign identity (running a campaign with -j 1
+// and resuming it with -j 8 is not drift).
+func campaignFlags(fs *flag.FlagSet) (*campaignConfig, *time.Duration, *int) {
 	cc := &campaignConfig{}
 	fs.StringVar(&cc.System, "system", "daint", "simulated system: daint|dora|pilatus")
 	fs.IntVar(&cc.Samples, "samples", 200, "sample budget (adaptive max)")
@@ -126,7 +132,8 @@ func campaignFlags(fs *flag.FlagSet) (*campaignConfig, *time.Duration) {
 	fs.StringVar(&cc.Faults, "faults", "", "fault preset(s) to inject (see `scibench generate`)")
 	fs.DurationVar(&cc.Throttle, "throttle", 0, "wall-clock pause before each observation (pacing)")
 	budget := fs.Duration("budget", 0, "wall-clock campaign budget (e.g. 10m); 0 means unlimited")
-	return cc, budget
+	workers := fs.Int("j", 0, "analysis workers (0 = GOMAXPROCS); results are worker-count invariant")
+	return cc, budget, workers
 }
 
 // applyOverrides starts from the recorded config and applies only the

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/ci"
@@ -75,6 +76,14 @@ type Plan struct {
 	// the calibration's §4.2.1 quality thresholds; violations are
 	// counted in Result.TimerWarnings. Observations are in seconds.
 	Timer *timer.Calibration
+	// Workers bounds the analysis-phase parallelism: the independent
+	// statistical tasks (summary + intervals, change-point scan,
+	// normality diagnostics) run on up to Workers goroutines. Zero
+	// selects GOMAXPROCS; 1 forces the serial path; negative values are
+	// rejected. The analysis is deterministic for every worker count —
+	// the tasks share the one sorted Sample view and merge into disjoint
+	// Result fields.
+	Workers int
 	// Resilience, when non-nil, arms the fault-tolerant collection loop:
 	// per-sample watchdog, fault-suspect value ceiling, bounded retry
 	// with backoff, panic recovery, and graceful degradation into a
@@ -113,6 +122,8 @@ func (p Plan) withDefaults() (Plan, error) {
 		return p, fmt.Errorf("%w: RelErr %g outside [0, 1)", ErrBadPlan, p.RelErr)
 	case p.EventsPerSample < 0:
 		return p, fmt.Errorf("%w: negative EventsPerSample %d", ErrBadPlan, p.EventsPerSample)
+	case p.Workers < 0:
+		return p, fmt.Errorf("%w: negative Workers %d", ErrBadPlan, p.Workers)
 	}
 	if p.MinSamples == 0 {
 		p.MinSamples = 10
@@ -483,7 +494,7 @@ func run(ctx context.Context, plan Plan, measure func() (float64, error)) (Resul
 		xs = kept
 	}
 	res.Raw = xs
-	return analyze(res, xs, p.Confidence)
+	return analyze(res, xs, p.Confidence, p.Workers)
 }
 
 // Analyze computes the full statistical report for an existing sample
@@ -494,33 +505,94 @@ func Analyze(xs []float64, confidence float64) (Result, error) {
 	if confidence <= 0 || confidence >= 1 {
 		confidence = 0.95
 	}
-	return analyze(Result{Raw: xs, Stop: StopFixed}, xs, confidence)
+	return analyze(Result{Raw: xs, Stop: StopFixed}, xs, confidence, 1)
 }
 
-func analyze(res Result, xs []float64, confidence float64) (Result, error) {
+// analyze computes the statistical report over one shared stats.Sample,
+// so the sample is sorted exactly once however many statistics read it.
+// The three independent task groups — intervals, the change-point scan,
+// and the normality diagnostics — run concurrently when workers permits
+// (0 = GOMAXPROCS); each computes into its own locals that are merged
+// after the barrier, so the result is bit-identical for every worker
+// count.
+func analyze(res Result, xs []float64, confidence float64, workers int) (Result, error) {
 	res.ShiftP = math.NaN()
 	if len(xs) < 2 {
 		return res, fmt.Errorf("%w: only %d observations retained", ErrTooFewSamples, len(xs))
 	}
-	res.Summary = stats.Summarize(xs)
+	smp := stats.NewSample(xs)
+	res.Summary = smp.Summarize()
 	res.Deterministic = res.Summary.Min == res.Summary.Max
 
-	if iv, err := ci.MeanCI(xs, confidence); err == nil {
-		res.MeanCI = iv
-	}
-	if iv, err := ci.MedianCI(xs, confidence); err == nil {
-		res.MedianCI = iv
+	var meanIV, medianIV ci.Interval
+	var meanOK, medianOK bool
+	intervals := func() {
+		if iv, err := ci.MeanCISample(smp, confidence); err == nil {
+			meanIV, meanOK = iv, true
+		}
+		if iv, err := ci.MedianCISample(smp, confidence); err == nil {
+			medianIV, medianOK = iv, true
+		}
 	}
 
 	// Contamination check: the ordered stream must be one regime
 	// (§3.1.3's iid requirement; a mid-campaign shift silently mixes
 	// distributions and invalidates every summary below).
-	if len(xs) >= minShiftSamples && !res.Deterministic {
-		if cp, err := htest.Pettitt(xs); err == nil {
-			res.ShiftP = cp.P
-			res.ShiftIndex = cp.Index
-			res.ShiftDetected = cp.Significant(shiftAlpha)
+	var cp htest.ChangePoint
+	var cpOK bool
+	shift := func() {
+		if len(xs) >= minShiftSamples && !res.Deterministic {
+			if c, err := htest.Pettitt(xs); err == nil {
+				cp, cpOK = c, true
+			}
 		}
+	}
+
+	swW, swP := math.NaN(), math.NaN()
+	plausible := false
+	normality := func() {
+		if res.Deterministic {
+			return
+		}
+		if n := len(xs); n <= 5000 {
+			if sw, err := htest.ShapiroWilkSorted(smp.Sorted()); err == nil {
+				swW, swP = sw.Stat, sw.P
+				plausible = sw.P >= 0.05 ||
+					(n > 1000 && stats.QQCorrelationSorted(smp.Sorted()) > 0.999)
+			}
+		} else if sw, err := htest.ShapiroWilk(xs[:5000]); err == nil {
+			// Above Shapiro–Wilk's range: report W over the leading 5000
+			// observations; the plausibility predicate stays false.
+			swW, swP = sw.Stat, sw.P
+		}
+	}
+
+	if workers == 1 {
+		intervals()
+		shift()
+		normality()
+	} else {
+		var wg sync.WaitGroup
+		for _, task := range []func(){intervals, shift, normality} {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				task()
+			}()
+		}
+		wg.Wait()
+	}
+
+	if meanOK {
+		res.MeanCI = meanIV
+	}
+	if medianOK {
+		res.MedianCI = medianIV
+	}
+	if cpOK {
+		res.ShiftP = cp.P
+		res.ShiftIndex = cp.Index
+		res.ShiftDetected = cp.Significant(shiftAlpha)
 	}
 	res.FaultSuspected = res.SamplesLost > 0 || res.Retries > 0 ||
 		res.Panics > 0 || res.ShiftDetected
@@ -529,23 +601,10 @@ func analyze(res Result, xs []float64, confidence float64) (Result, error) {
 		res.PlausiblyNormal = false
 		return res, nil
 	}
-	if sw, err := htest.ShapiroWilk(clip(xs, 5000)); err == nil {
-		res.ShapiroW = sw.Stat
-		res.ShapiroP = sw.P
-	} else {
-		res.ShapiroW = math.NaN()
-		res.ShapiroP = math.NaN()
-	}
-	res.PlausiblyNormal = htest.IsPlausiblyNormal(xs, 0.05)
+	res.ShapiroW = swW
+	res.ShapiroP = swP
+	res.PlausiblyNormal = plausible
 	return res, nil
-}
-
-// clip returns at most n leading elements (Shapiro–Wilk caps at 5000).
-func clip(xs []float64, n int) []float64 {
-	if len(xs) <= n {
-		return xs
-	}
-	return xs[:n]
 }
 
 // PreferredCenter returns the summary the paper's decision tree

@@ -4,16 +4,25 @@
 // percentile method and the bias-corrected-and-accelerated (BCa) method
 // of Efron & Tibshirani for arbitrary statistics, plus a two-sample
 // difference helper for comparisons where no analytic CI exists.
+//
+// Resampling is sharded across workers with one PCG stream per resample,
+// derived from exactly two draws of the caller's rng; the resulting
+// interval is therefore bit-identical for every worker count, and the
+// caller's rng advances identically whether the work ran on one
+// goroutine or many (Rule 9 applied to our own analyses).
 package bootstrap
 
 import (
 	"errors"
 	"math"
 	"math/rand/v2"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/ci"
 	"repro/internal/dist"
+	"repro/internal/stats"
 )
 
 // Errors.
@@ -40,9 +49,20 @@ const (
 )
 
 // CI computes a bootstrap confidence interval for stat over xs using B
-// resamples. The rng must be supplied for reproducibility (Rule 9
-// applied to our own analyses).
+// resamples on all available cores. The rng must be supplied for
+// reproducibility; see CIWorkers for the worker-count invariance
+// guarantee.
 func CI(xs []float64, stat Statistic, method Method, b int, confidence float64, rng *rand.Rand) (ci.Interval, error) {
+	return CIWorkers(xs, stat, method, b, confidence, rng, 0)
+}
+
+// CIWorkers is CI with the resamples sharded over up to workers
+// goroutines (0 = GOMAXPROCS, 1 = serial). Each resample draws from its
+// own PCG stream derived from two rng draws, so the interval — and the
+// caller rng's position afterwards — is identical for every worker
+// count. The statistic must be safe for concurrent calls on distinct
+// slices (pure functions like stats.Median are).
+func CIWorkers(xs []float64, stat Statistic, method Method, b int, confidence float64, rng *rand.Rand, workers int) (ci.Interval, error) {
 	n := len(xs)
 	if n < 8 {
 		return ci.Interval{}, ErrSampleSize
@@ -55,15 +75,21 @@ func CI(xs []float64, stat Statistic, method Method, b int, confidence float64, 
 	}
 	theta := stat(xs)
 
-	// Bootstrap distribution.
+	// Bootstrap distribution, one derived stream per resample.
 	boot := make([]float64, b)
-	resample := make([]float64, n)
-	for i := 0; i < b; i++ {
-		for j := 0; j < n; j++ {
-			resample[j] = xs[rng.IntN(n)]
+	base1, base2 := rng.Uint64(), rng.Uint64()
+	forEachShard(b, workers, func(start, end int) {
+		resample := make([]float64, n)
+		pcg := rand.NewPCG(0, 0)
+		r := rand.New(pcg)
+		for i := start; i < end; i++ {
+			pcg.Seed(streamSeeds(base1, base2, i))
+			for j := 0; j < n; j++ {
+				resample[j] = xs[r.IntN(n)]
+			}
+			boot[i] = stat(resample)
 		}
-		boot[i] = stat(resample)
-	}
+	})
 	sort.Float64s(boot)
 	if boot[0] == boot[b-1] {
 		// All resamples identical: a zero-width interval is exact.
@@ -74,21 +100,22 @@ func CI(xs []float64, stat Statistic, method Method, b int, confidence float64, 
 	lo, hi := alpha/2, 1-alpha/2
 	if method == BCa {
 		var err error
-		lo, hi, err = bcaLevels(xs, boot, theta, stat, alpha)
+		lo, hi, err = bcaLevels(xs, boot, theta, stat, alpha, workers)
 		if err != nil {
 			return ci.Interval{}, err
 		}
 	}
 	return ci.Interval{
-		Lo:         quantileSorted(boot, lo),
-		Hi:         quantileSorted(boot, hi),
+		Lo:         stats.Quantile(boot, lo),
+		Hi:         stats.Quantile(boot, hi),
 		Confidence: confidence,
 		Center:     theta,
 	}, nil
 }
 
-// bcaLevels computes the BCa-adjusted quantile levels.
-func bcaLevels(xs, sortedBoot []float64, theta float64, stat Statistic, alpha float64) (float64, float64, error) {
+// bcaLevels computes the BCa-adjusted quantile levels, sharding the
+// O(n²) leave-one-out jackknife across workers.
+func bcaLevels(xs, sortedBoot []float64, theta float64, stat Statistic, alpha float64, workers int) (float64, float64, error) {
 	b := len(sortedBoot)
 	// Bias correction z0: the normal quantile of the fraction of the
 	// bootstrap distribution below the observed statistic.
@@ -102,13 +129,15 @@ func bcaLevels(xs, sortedBoot []float64, theta float64, stat Statistic, alpha fl
 	// Acceleration a via jackknife.
 	n := len(xs)
 	jack := make([]float64, n)
-	tmp := make([]float64, 0, n-1)
-	for i := 0; i < n; i++ {
-		tmp = tmp[:0]
-		tmp = append(tmp, xs[:i]...)
-		tmp = append(tmp, xs[i+1:]...)
-		jack[i] = stat(tmp)
-	}
+	forEachShard(n, workers, func(start, end int) {
+		tmp := make([]float64, 0, n-1)
+		for i := start; i < end; i++ {
+			tmp = tmp[:0]
+			tmp = append(tmp, xs[:i]...)
+			tmp = append(tmp, xs[i+1:]...)
+			jack[i] = stat(tmp)
+		}
+	})
 	var mean float64
 	for _, v := range jack {
 		mean += v
@@ -137,27 +166,19 @@ func bcaLevels(xs, sortedBoot []float64, theta float64, stat Statistic, alpha fl
 	return lo, hi, nil
 }
 
-// quantileSorted returns the type-7 quantile of a pre-sorted slice.
-func quantileSorted(s []float64, p float64) float64 {
-	if p <= 0 {
-		return s[0]
-	}
-	if p >= 1 {
-		return s[len(s)-1]
-	}
-	h := p * float64(len(s)-1)
-	i := int(h)
-	if i+1 >= len(s) {
-		return s[len(s)-1]
-	}
-	return s[i] + (h-float64(i))*(s[i+1]-s[i])
-}
-
 // DifferenceCI bootstraps a CI for stat(ys) − stat(xs) by resampling the
 // two groups independently — the distribution-free comparison to reach
 // for when medians/quantiles of unequal-shape groups are compared and no
-// analytic interval applies.
+// analytic interval applies. Runs on all available cores; see
+// DifferenceCIWorkers.
 func DifferenceCI(xs, ys []float64, stat Statistic, b int, confidence float64, rng *rand.Rand) (ci.Interval, error) {
+	return DifferenceCIWorkers(xs, ys, stat, b, confidence, rng, 0)
+}
+
+// DifferenceCIWorkers is DifferenceCI sharded over up to workers
+// goroutines with the same worker-count-invariance guarantee as
+// CIWorkers: one derived PCG stream per resample, two rng draws total.
+func DifferenceCIWorkers(xs, ys []float64, stat Statistic, b int, confidence float64, rng *rand.Rand, workers int) (ci.Interval, error) {
 	if len(xs) < 8 || len(ys) < 8 {
 		return ci.Interval{}, ErrSampleSize
 	}
@@ -169,23 +190,79 @@ func DifferenceCI(xs, ys []float64, stat Statistic, b int, confidence float64, r
 	}
 	theta := stat(ys) - stat(xs)
 	boot := make([]float64, b)
-	rx := make([]float64, len(xs))
-	ry := make([]float64, len(ys))
-	for i := 0; i < b; i++ {
-		for j := range rx {
-			rx[j] = xs[rng.IntN(len(xs))]
+	base1, base2 := rng.Uint64(), rng.Uint64()
+	forEachShard(b, workers, func(start, end int) {
+		rx := make([]float64, len(xs))
+		ry := make([]float64, len(ys))
+		pcg := rand.NewPCG(0, 0)
+		r := rand.New(pcg)
+		for i := start; i < end; i++ {
+			pcg.Seed(streamSeeds(base1, base2, i))
+			for j := range rx {
+				rx[j] = xs[r.IntN(len(xs))]
+			}
+			for j := range ry {
+				ry[j] = ys[r.IntN(len(ys))]
+			}
+			boot[i] = stat(ry) - stat(rx)
 		}
-		for j := range ry {
-			ry[j] = ys[rng.IntN(len(ys))]
-		}
-		boot[i] = stat(ry) - stat(rx)
-	}
+	})
 	sort.Float64s(boot)
 	alpha := 1 - confidence
 	return ci.Interval{
-		Lo:         quantileSorted(boot, alpha/2),
-		Hi:         quantileSorted(boot, 1-alpha/2),
+		Lo:         stats.Quantile(boot, alpha/2),
+		Hi:         stats.Quantile(boot, 1-alpha/2),
 		Confidence: confidence,
 		Center:     theta,
 	}, nil
+}
+
+// forEachShard splits [0, total) into contiguous chunks and runs fn over
+// them on up to workers goroutines (0 = GOMAXPROCS). fn must only write
+// to disjoint state per index range. workers == 1 (or total <= 1) runs
+// inline with no goroutines.
+func forEachShard(total, workers int, fn func(start, end int)) {
+	if total <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		fn(0, total)
+		return
+	}
+	chunk := (total + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < total; start += chunk {
+		end := start + chunk
+		if end > total {
+			end = total
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// streamSeeds derives the i-th resample's PCG seed pair from the two
+// base draws using the splitmix64 finalizer — a fixed function of
+// (base1, base2, i), so shard boundaries never influence the streams.
+func streamSeeds(base1, base2 uint64, i int) (uint64, uint64) {
+	s := base1 + uint64(i)*0x9e3779b97f4a7c15
+	return mix64(s), mix64(s ^ base2)
+}
+
+// mix64 is the splitmix64 output function (Steele et al.), a strong
+// bijective mixer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4b91e
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }

@@ -168,3 +168,66 @@ func TestDifferenceCI(t *testing.T) {
 		t.Error("bad confidence should error")
 	}
 }
+
+func TestWorkerCountInvariance(t *testing.T) {
+	// The interval AND the caller rng's position afterwards must be
+	// bit-identical for every worker count (exactly two base draws are
+	// consumed regardless of sharding).
+	xs := make([]float64, 50)
+	src := rand.New(rand.NewPCG(11, 11))
+	for i := range xs {
+		xs[i] = math.Exp(0.3 * src.NormFloat64())
+	}
+	for _, method := range []Method{Percentile, BCa} {
+		run := func(workers int) (interval, next any) {
+			rng := rand.New(rand.NewPCG(42, 43))
+			iv, err := CIWorkers(xs, stats.Median, method, 400, 0.95, rng, workers)
+			if err != nil {
+				t.Fatalf("method=%v workers=%d: %v", method, workers, err)
+			}
+			return iv, rng.Uint64()
+		}
+		serialIV, serialNext := run(1)
+		for _, workers := range []int{2, 3, 8, 0} {
+			iv, next := run(workers)
+			if iv != serialIV {
+				t.Errorf("method=%v workers=%d: interval %v differs from serial %v",
+					method, workers, iv, serialIV)
+			}
+			if next != serialNext {
+				t.Errorf("method=%v workers=%d: caller rng advanced differently than serial",
+					method, workers)
+			}
+		}
+	}
+}
+
+func TestDifferenceCIWorkerCountInvariance(t *testing.T) {
+	src := rand.New(rand.NewPCG(12, 12))
+	xs := make([]float64, 40)
+	ys := make([]float64, 60)
+	for i := range xs {
+		xs[i] = 5 + src.NormFloat64()
+	}
+	for i := range ys {
+		ys[i] = 6 + src.NormFloat64()
+	}
+	run := func(workers int) (interval, next any) {
+		rng := rand.New(rand.NewPCG(77, 78))
+		iv, err := DifferenceCIWorkers(xs, ys, stats.Median, 400, 0.9, rng, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return iv, rng.Uint64()
+	}
+	serialIV, serialNext := run(1)
+	for _, workers := range []int{2, 5, 0} {
+		iv, next := run(workers)
+		if iv != serialIV {
+			t.Errorf("workers=%d: interval %v differs from serial %v", workers, iv, serialIV)
+		}
+		if next != serialNext {
+			t.Errorf("workers=%d: caller rng advanced differently than serial", workers)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 )
 
@@ -179,11 +180,18 @@ func Evaluate(ps []int, measured []time.Duration, models ...Model) ([]ScalingPoi
 
 // Violations lists the (point, model) pairs where the measurement beats
 // the bound by more than tol (relative), signalling an invalid model or
-// base case.
+// base case. Models are visited in sorted-name order so the listing is
+// deterministic (Bounds is a map).
 func Violations(points []ScalingPoint, tol float64) []string {
 	var v []string
 	for _, pt := range points {
-		for name, b := range pt.Bounds {
+		names := make([]string, 0, len(pt.Bounds))
+		for name := range pt.Bounds {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			b := pt.Bounds[name]
 			if float64(pt.Measured) < float64(b)*(1-tol) {
 				v = append(v, fmt.Sprintf("p=%d: measured %v beats %s bound %v",
 					pt.P, pt.Measured, name, b))

@@ -72,23 +72,45 @@ func MeanCI(xs []float64, confidence float64) (Interval, error) {
 	if n < 2 {
 		return Interval{}, ErrTooFewSamples
 	}
-	mean := stats.Mean(xs)
-	s := stats.StdDev(xs)
+	return meanCIFromMoments(stats.Mean(xs), stats.StdDev(xs), n, confidence), nil
+}
+
+// MeanCISample is MeanCI over a pre-analyzed Sample, reusing its cached
+// single-pass (Welford) moments instead of re-scanning the data. The
+// Welford recurrence can differ from the two-pass mean/deviation in the
+// last ulp; both are valid estimates of the same interval.
+func MeanCISample(s *stats.Sample, confidence float64) (Interval, error) {
+	if confidence <= 0 || confidence >= 1 {
+		return Interval{}, ErrConfidence
+	}
+	if s.N() < 2 {
+		return Interval{}, ErrTooFewSamples
+	}
+	return meanCIFromMoments(s.Mean(), s.StdDev(), s.N(), confidence), nil
+}
+
+func meanCIFromMoments(mean, sd float64, n int, confidence float64) Interval {
 	alpha := 1 - confidence
 	tcrit := dist.StudentT{Nu: float64(n - 1)}.Quantile(1 - alpha/2)
-	half := tcrit * s / math.Sqrt(float64(n))
+	half := tcrit * sd / math.Sqrt(float64(n))
 	return Interval{
 		Lo:         mean - half,
 		Hi:         mean + half,
 		Confidence: confidence,
 		Center:     mean,
-	}, nil
+	}
 }
 
 // MedianCI returns the nonparametric rank-based confidence interval for
 // the median (QuantileCI at p = 0.5).
 func MedianCI(xs []float64, confidence float64) (Interval, error) {
 	return QuantileCI(xs, 0.5, confidence)
+}
+
+// MedianCISample is MedianCI over a pre-analyzed Sample (QuantileCISample
+// at p = 0.5).
+func MedianCISample(s *stats.Sample, confidence float64) (Interval, error) {
+	return QuantileCISample(s, 0.5, confidence)
 }
 
 // QuantileCI returns Le Boudec's distribution-free confidence interval
@@ -109,11 +131,30 @@ func QuantileCI(xs []float64, p, confidence float64) (Interval, error) {
 	if p <= 0 || p >= 1 {
 		return Interval{}, fmt.Errorf("ci: quantile p=%g outside (0,1)", p)
 	}
-	n := len(xs)
-	if n < 6 {
+	if len(xs) < 6 {
 		return Interval{}, ErrTooFewSamples
 	}
-	s := stats.Sorted(xs)
+	return quantileCISorted(stats.Sorted(xs), p, confidence), nil
+}
+
+// QuantileCISample is QuantileCI over a pre-analyzed Sample, reusing its
+// cached sorted view instead of re-sorting. The interval is bit-identical
+// to QuantileCI on the same data.
+func QuantileCISample(s *stats.Sample, p, confidence float64) (Interval, error) {
+	if confidence <= 0 || confidence >= 1 {
+		return Interval{}, ErrConfidence
+	}
+	if p <= 0 || p >= 1 {
+		return Interval{}, fmt.Errorf("ci: quantile p=%g outside (0,1)", p)
+	}
+	if s.N() < 6 {
+		return Interval{}, ErrTooFewSamples
+	}
+	return quantileCISorted(s.Sorted(), p, confidence), nil
+}
+
+func quantileCISorted(s []float64, p, confidence float64) Interval {
+	n := len(s)
 	alpha := 1 - confidence
 	z := dist.NormalQuantile(1 - alpha/2)
 	nf := float64(n)
@@ -131,7 +172,7 @@ func QuantileCI(xs []float64, p, confidence float64) (Interval, error) {
 		Hi:         s[hiRank-1],
 		Confidence: confidence,
 		Center:     stats.Quantile(s, p),
-	}, nil
+	}
 }
 
 // RequiredSamplesNormal returns the number of measurements needed so that

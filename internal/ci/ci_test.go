@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/dist"
+	"repro/internal/stats"
 )
 
 func TestMeanCIKnownValue(t *testing.T) {
@@ -276,5 +277,67 @@ func TestQuantileCICoverageP90(t *testing.T) {
 	cov := float64(hits) / trials
 	if cov < 0.93 {
 		t.Errorf("p90 CI coverage %.3f, want >= ~0.95 (conservative)", cov)
+	}
+}
+
+func TestSampleVariantsMatch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	xs := make([]float64, 120)
+	for i := range xs {
+		xs[i] = math.Exp(0.3 * rng.NormFloat64())
+	}
+	smp := stats.NewSample(xs)
+
+	// Rank-based CIs share the exact same sorted-slice code path, so the
+	// Sample variants must be bit-identical to the slice variants.
+	for _, p := range []float64{0.25, 0.5, 0.9} {
+		a, err := QuantileCI(xs, p, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := QuantileCISample(smp, p, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("p=%g: QuantileCI %v != QuantileCISample %v", p, a, b)
+		}
+	}
+	a, err := MedianCI(xs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MedianCISample(smp, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("MedianCI %v != MedianCISample %v", a, b)
+	}
+
+	// The mean CI's moments come from Welford rather than the two-pass
+	// formulas: equal to within floating-point noise.
+	am, err := MeanCI(xs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := MeanCISample(smp, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]float64{{am.Lo, bm.Lo}, {am.Hi, bm.Hi}, {am.Center, bm.Center}} {
+		if d := math.Abs(pair[0] - pair[1]); d > 1e-9*math.Abs(pair[0]) {
+			t.Errorf("MeanCI %v vs MeanCISample %v differ beyond fp noise", am, bm)
+			break
+		}
+	}
+
+	// Error cases must match the slice variants' thresholds: n < 2 for
+	// the mean, n < 6 for the rank-based quantile.
+	if _, err := MeanCISample(stats.NewSample(xs[:1]), 0.95); err != ErrTooFewSamples {
+		t.Errorf("MeanCISample n=1: err = %v", err)
+	}
+	if _, err := QuantileCISample(stats.NewSample(xs[:5]), 0.5, 0.95); err != ErrTooFewSamples {
+		t.Errorf("QuantileCISample n=5: err = %v", err)
 	}
 }

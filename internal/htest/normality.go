@@ -20,11 +20,19 @@ import (
 // the asymptotic Kolmogorov distribution with Stephens' small-sample
 // modification.
 func KolmogorovSmirnov(xs []float64, cdf func(float64) float64) (TestResult, error) {
-	n := len(xs)
+	if len(xs) < 3 {
+		return TestResult{}, ErrSampleSize
+	}
+	return KolmogorovSmirnovSorted(stats.Sorted(xs), cdf)
+}
+
+// KolmogorovSmirnovSorted is KolmogorovSmirnov for an already-sorted
+// sample, skipping the re-sort. The slice is only read.
+func KolmogorovSmirnovSorted(s []float64, cdf func(float64) float64) (TestResult, error) {
+	n := len(s)
 	if n < 3 {
 		return TestResult{}, ErrSampleSize
 	}
-	s := stats.Sorted(xs)
 	d := 0.0
 	for i, x := range s {
 		f := cdf(x)
@@ -68,16 +76,26 @@ func kolmogorovQ(t float64) float64 {
 // the sample) with the KS statistic and Dallal–Wilkinson's p-value
 // approximation (the same approximation R's nortest uses).
 func Lilliefors(xs []float64) (TestResult, error) {
-	n := len(xs)
+	if len(xs) < 5 {
+		return TestResult{}, ErrSampleSize
+	}
+	return LillieforsSorted(stats.Sorted(xs))
+}
+
+// LillieforsSorted is Lilliefors for an already-sorted sample, skipping
+// the re-sort. The slice is only read. (Summing the moments in sorted
+// rather than observation order can move the statistic by an ulp; the
+// test's decision is unaffected.)
+func LillieforsSorted(s []float64) (TestResult, error) {
+	n := len(s)
 	if n < 5 {
 		return TestResult{}, ErrSampleSize
 	}
-	mean := stats.Mean(xs)
-	sd := stats.StdDev(xs)
+	mean := stats.Mean(s)
+	sd := stats.StdDev(s)
 	if sd == 0 {
 		return TestResult{}, ErrConstant
 	}
-	s := stats.Sorted(xs)
 	d := 0.0
 	for i, x := range s {
 		f := dist.NormalCDF((x - mean) / sd)
@@ -130,16 +148,24 @@ func Lilliefors(xs []float64) (TestResult, error) {
 // AndersonDarling tests composite normality with the A² statistic and
 // Stephens' case-3 (mean and variance estimated) p-value approximation.
 func AndersonDarling(xs []float64) (TestResult, error) {
-	n := len(xs)
+	if len(xs) < 8 {
+		return TestResult{}, ErrSampleSize
+	}
+	return AndersonDarlingSorted(stats.Sorted(xs))
+}
+
+// AndersonDarlingSorted is AndersonDarling for an already-sorted sample,
+// skipping the re-sort. The slice is only read.
+func AndersonDarlingSorted(s []float64) (TestResult, error) {
+	n := len(s)
 	if n < 8 {
 		return TestResult{}, ErrSampleSize
 	}
-	mean := stats.Mean(xs)
-	sd := stats.StdDev(xs)
+	mean := stats.Mean(s)
+	sd := stats.StdDev(s)
 	if sd == 0 {
 		return TestResult{}, ErrConstant
 	}
-	s := stats.Sorted(xs)
 	nf := float64(n)
 	a2 := -nf
 	for i := 0; i < n; i++ {

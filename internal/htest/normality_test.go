@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/dist"
+	"repro/internal/stats"
 )
 
 func TestKolmogorovSmirnovUniform(t *testing.T) {
@@ -277,5 +278,71 @@ func TestDiagnoseIID(t *testing.T) {
 	}
 	if _, err := DiagnoseIID(xs[:10], 5); err != ErrSampleSize {
 		t.Error("tiny sample should error")
+	}
+}
+
+func TestSortedVariantsMatchWrappers(t *testing.T) {
+	// The unsorted entry points delegate to the *Sorted variants through
+	// stats.Sorted, so results must be bit-identical on the same data.
+	rng := rand.New(rand.NewPCG(31, 32))
+	xs := make([]float64, 150)
+	for i := range xs {
+		xs[i] = math.Exp(0.3 * rng.NormFloat64())
+	}
+	sorted := stats.Sorted(xs)
+
+	sw1, err1 := ShapiroWilk(xs)
+	sw2, err2 := ShapiroWilkSorted(sorted)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if sw1 != sw2 {
+		t.Errorf("ShapiroWilk %v != ShapiroWilkSorted %v", sw1, sw2)
+	}
+
+	cdf := dist.Normal{Mu: 1, Sigma: 0.4}.CDF
+	ks1, err1 := KolmogorovSmirnov(xs, cdf)
+	ks2, err2 := KolmogorovSmirnovSorted(sorted, cdf)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if ks1 != ks2 {
+		t.Errorf("KolmogorovSmirnov %v != Sorted %v", ks1, ks2)
+	}
+
+	li1, err1 := Lilliefors(xs)
+	li2, err2 := LillieforsSorted(sorted)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if li1 != li2 {
+		t.Errorf("Lilliefors %v != Sorted %v", li1, li2)
+	}
+
+	ad1, err1 := AndersonDarling(xs)
+	ad2, err2 := AndersonDarlingSorted(sorted)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if ad1 != ad2 {
+		t.Errorf("AndersonDarling %v != Sorted %v", ad1, ad2)
+	}
+
+	for _, alpha := range []float64{0.01, 0.05} {
+		if IsPlausiblyNormal(xs, alpha) != IsPlausiblyNormalSorted(sorted, alpha) {
+			t.Errorf("alpha=%g: IsPlausiblyNormal disagrees with Sorted variant", alpha)
+		}
+	}
+
+	// Size gates of the wrapper apply to both paths.
+	if IsPlausiblyNormal(xs[:2], 0.05) {
+		t.Error("n=2 cannot be plausibly normal")
+	}
+	big := make([]float64, 5001)
+	for i := range big {
+		big[i] = rng.NormFloat64()
+	}
+	if IsPlausiblyNormal(big, 0.05) {
+		t.Error("n>5000 is outside the Shapiro-Wilk gate and must report false")
 	}
 }

@@ -51,7 +51,17 @@ func ShapiroWilk(xs []float64) (TestResult, error) {
 	if n < 3 || n > 5000 {
 		return TestResult{}, ErrSampleSize
 	}
-	x := stats.Sorted(xs)
+	return ShapiroWilkSorted(stats.Sorted(xs))
+}
+
+// ShapiroWilkSorted is ShapiroWilk for an already-sorted sample (e.g. a
+// stats.Sample's cached view), skipping the re-sort. The slice is only
+// read.
+func ShapiroWilkSorted(x []float64) (TestResult, error) {
+	n := len(x)
+	if n < 3 || n > 5000 {
+		return TestResult{}, ErrSampleSize
+	}
 	if x[0] == x[n-1] {
 		return TestResult{}, ErrConstant
 	}
@@ -161,7 +171,17 @@ func ipow(x float64, k int) float64 {
 // rejected on trivial deviations. Errors (tiny or constant samples)
 // report false.
 func IsPlausiblyNormal(xs []float64, alpha float64) bool {
-	res, err := ShapiroWilk(xs)
+	if len(xs) < 3 || len(xs) > 5000 {
+		return false
+	}
+	return IsPlausiblyNormalSorted(stats.Sorted(xs), alpha)
+}
+
+// IsPlausiblyNormalSorted is IsPlausiblyNormal over an already-sorted
+// sample, sharing the one sorted view between the Shapiro–Wilk test and
+// the Q-Q fallback.
+func IsPlausiblyNormalSorted(sorted []float64, alpha float64) bool {
+	res, err := ShapiroWilkSorted(sorted)
 	if err != nil {
 		return false
 	}
@@ -170,5 +190,5 @@ func IsPlausiblyNormal(xs []float64, alpha float64) bool {
 	}
 	// Large samples: fall back to the Q-Q straightness diagnostic the
 	// paper recommends pairing with the test.
-	return len(xs) > 1000 && stats.QQCorrelation(xs) > 0.999
+	return len(sorted) > 1000 && stats.QQCorrelationSorted(sorted) > 0.999
 }

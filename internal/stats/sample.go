@@ -1,0 +1,154 @@
+package stats
+
+import "math"
+
+// Sample is the allocation-lean fast path through this package: it sorts
+// the data exactly once, caches the sorted view, and accumulates the
+// Welford moments in a single pass, so every downstream statistic — the
+// descriptive Summary, quantiles, the IQR, Tukey fences, rank-based
+// confidence intervals (internal/ci), and the normality diagnostics
+// (internal/htest) — reuses the same ordered view instead of re-sorting
+// per call. A full analysis (internal/bench) previously sorted the same
+// sample 4–6 times; through Sample it sorts once.
+//
+// A Sample is immutable after construction and therefore safe for
+// concurrent use; the caller must not mutate the underlying data while
+// the Sample is alive. The zero Sample is empty; use NewSample (or
+// (*Sample).Reset in a loop) to populate one.
+type Sample struct {
+	data   []float64 // caller's data in observation order (not copied)
+	sorted []float64 // ascending copy, built once at construction
+	w      Welford   // single-pass moments over data
+}
+
+// NewSample wraps xs, sorting a copy once and accumulating the moments.
+// The slice itself is retained (not copied) so Data preserves observation
+// order for order-sensitive analyses.
+func NewSample(xs []float64) *Sample {
+	s := new(Sample)
+	s.Reset(xs)
+	return s
+}
+
+// Reset re-points the Sample at xs, re-sorting and re-accumulating. It
+// reuses the sorted buffer when capacities allow, making it the
+// allocation-free way to analyze many samples in a loop. The usual
+// immutability rule applies from the moment Reset returns.
+func (s *Sample) Reset(xs []float64) {
+	s.data = xs
+	if cap(s.sorted) >= len(xs) {
+		s.sorted = s.sorted[:len(xs)]
+	} else {
+		s.sorted = make([]float64, len(xs))
+	}
+	copy(s.sorted, xs)
+	sortFloat64s(s.sorted)
+	s.w = Welford{}
+	for _, x := range xs {
+		s.w.Add(x)
+	}
+}
+
+// Data returns the observations in their original (time) order. Callers
+// must treat it as read-only.
+func (s *Sample) Data() []float64 { return s.data }
+
+// Sorted returns the cached ascending view. Callers must treat it as
+// read-only; mutating it corrupts every subsequent statistic.
+func (s *Sample) Sorted() []float64 { return s.sorted }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.data) }
+
+// Mean returns the arithmetic mean from the cached Welford accumulator
+// (NaN when empty).
+func (s *Sample) Mean() float64 { return s.w.Mean() }
+
+// Variance returns the unbiased sample variance (NaN for n < 2).
+func (s *Sample) Variance() float64 { return s.w.Variance() }
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return s.w.StdDev() }
+
+// CoV returns the coefficient of variation s/x̄.
+func (s *Sample) CoV() float64 { return s.w.CoV() }
+
+// Min returns the smallest observation (NaN when empty).
+func (s *Sample) Min() float64 { return s.w.Min() }
+
+// Max returns the largest observation (NaN when empty).
+func (s *Sample) Max() float64 { return s.w.Max() }
+
+// Quantile returns the type-7 p-quantile from the cached sorted view.
+func (s *Sample) Quantile(p float64) float64 { return Quantile(s.sorted, p) }
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// IQR returns the interquartile range x(75%) − x(25%).
+func (s *Sample) IQR() float64 { return s.Quantile(0.75) - s.Quantile(0.25) }
+
+// Skewness returns the adjusted Fisher–Pearson sample skewness, reusing
+// the cached mean (NaN for n < 3).
+func (s *Sample) Skewness() float64 {
+	n := float64(s.N())
+	if n < 3 {
+		return math.NaN()
+	}
+	m := s.Mean()
+	var m2, m3 float64
+	for _, x := range s.data {
+		d := x - m
+		m2 += d * d
+		m3 += d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	g1 := m3 / math.Pow(m2, 1.5)
+	return g1 * math.Sqrt(n*(n-1)) / (n - 2)
+}
+
+// Summarize bundles the full descriptive summary from the cached views:
+// one sort and two O(n) passes total, however many fields are read.
+func (s *Sample) Summarize() Summary {
+	return Summary{
+		N:        s.N(),
+		Mean:     s.Mean(),
+		StdDev:   s.StdDev(),
+		CoV:      s.CoV(),
+		Min:      s.Min(),
+		Q1:       s.Quantile(0.25),
+		Median:   s.Quantile(0.5),
+		Q3:       s.Quantile(0.75),
+		P95:      s.Quantile(0.95),
+		P99:      s.Quantile(0.99),
+		Max:      s.Max(),
+		Skewness: s.Skewness(),
+	}
+}
+
+// TukeyFences returns the outlier fences [q1 − k·IQR, q3 + k·IQR].
+func (s *Sample) TukeyFences(k float64) (lo, hi float64) {
+	q1 := s.Quantile(0.25)
+	q3 := s.Quantile(0.75)
+	iqr := q3 - q1
+	return q1 - k*iqr, q3 + k*iqr
+}
+
+// TukeyFilter partitions the observations (in original order) into
+// values inside the fences and the removed outliers.
+func (s *Sample) TukeyFilter(k float64) (kept, outliers []float64) {
+	if s.N() == 0 {
+		return nil, nil
+	}
+	lo, hi := s.TukeyFences(k)
+	kept = make([]float64, 0, s.N())
+	for _, x := range s.data {
+		if x < lo || x > hi {
+			outliers = append(outliers, x)
+		} else {
+			kept = append(kept, x)
+		}
+	}
+	return kept, outliers
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// closeRel reports whether a and b agree to within rel (or both NaN).
+func closeRel(a, b, rel float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= rel*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestSampleMatchesPackageFunctions(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	xs := make([]float64, 257)
+	for i := range xs {
+		xs[i] = math.Exp(0.4 * rng.NormFloat64())
+	}
+	s := NewSample(xs)
+
+	sorted := Sorted(xs)
+	for i, v := range s.Sorted() {
+		if v != sorted[i] {
+			t.Fatalf("Sorted()[%d] = %g, Sorted(xs)[%d] = %g", i, v, i, sorted[i])
+		}
+	}
+	for _, p := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.95, 0.99, 1} {
+		if got, want := s.Quantile(p), Quantile(sorted, p); got != want {
+			t.Errorf("Quantile(%g) = %g, package says %g", p, got, want)
+		}
+	}
+	if got, want := s.Median(), Median(xs); got != want {
+		t.Errorf("Median = %g, package says %g", got, want)
+	}
+	if got, want := s.IQR(), IQR(xs); got != want {
+		t.Errorf("IQR = %g, package says %g", got, want)
+	}
+	if got, want := s.Min(), Min(xs); got != want {
+		t.Errorf("Min = %g, package says %g", got, want)
+	}
+	if got, want := s.Max(), Max(xs); got != want {
+		t.Errorf("Max = %g, package says %g", got, want)
+	}
+	// Welford vs the two-pass formulas: equal to within floating-point
+	// noise, not necessarily to the last bit.
+	if !closeRel(s.Mean(), Mean(xs), 1e-12) {
+		t.Errorf("Mean = %g, package says %g", s.Mean(), Mean(xs))
+	}
+	if !closeRel(s.StdDev(), StdDev(xs), 1e-9) {
+		t.Errorf("StdDev = %g, package says %g", s.StdDev(), StdDev(xs))
+	}
+	if !closeRel(s.CoV(), CoV(xs), 1e-9) {
+		t.Errorf("CoV = %g, package says %g", s.CoV(), CoV(xs))
+	}
+	if got, want := s.Skewness(), Skewness(xs); !closeRel(got, want, 1e-9) {
+		t.Errorf("Skewness = %g, package says %g", got, want)
+	}
+
+	// Summarize must agree field-for-field with the package Summarize
+	// (which itself routes through a Sample, so this is exact).
+	if got, want := s.Summarize(), Summarize(xs); got != want {
+		t.Errorf("Summarize:\n  sample  %+v\n  package %+v", got, want)
+	}
+
+	lo1, hi1 := s.TukeyFences(1.5)
+	lo2, hi2 := TukeyFences(xs, 1.5)
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Errorf("TukeyFences = (%g, %g), package says (%g, %g)", lo1, hi1, lo2, hi2)
+	}
+	k1, o1 := s.TukeyFilter(1.5)
+	k2, o2 := TukeyFilter(xs, 1.5)
+	if len(k1) != len(k2) || len(o1) != len(o2) {
+		t.Fatalf("TukeyFilter sizes: sample (%d, %d), package (%d, %d)",
+			len(k1), len(o1), len(k2), len(o2))
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("TukeyFilter kept[%d] differs", i)
+		}
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("TukeyFilter outliers[%d] differs", i)
+		}
+	}
+}
+
+func TestSampleDataPreservesOrder(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	s := NewSample(xs)
+	for i, v := range s.Data() {
+		if v != xs[i] {
+			t.Fatalf("Data()[%d] = %g, want %g (observation order)", i, v, xs[i])
+		}
+	}
+	want := []float64{1, 2, 3}
+	for i, v := range s.Sorted() {
+		if v != want[i] {
+			t.Fatalf("Sorted()[%d] = %g, want %g", i, v, want[i])
+		}
+	}
+}
+
+func TestSampleResetReusesBuffer(t *testing.T) {
+	s := NewSample([]float64{5, 4, 3, 2, 1})
+	buf := s.Sorted()
+	s.Reset([]float64{9, 7, 8})
+	if got := s.Sorted(); &got[0] != &buf[0] {
+		t.Error("Reset to a smaller sample did not reuse the sorted buffer")
+	}
+	if s.Median() != 8 {
+		t.Errorf("median after Reset = %g, want 8", s.Median())
+	}
+	if s.N() != 3 {
+		t.Errorf("N after Reset = %d, want 3", s.N())
+	}
+	// Growing past capacity reallocates but stays correct.
+	s.Reset([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if s.Median() != 5 || s.N() != 9 {
+		t.Errorf("after growing Reset: median %g n %d", s.Median(), s.N())
+	}
+}
+
+func TestSampleEmptyAndNaN(t *testing.T) {
+	var s Sample
+	if s.N() != 0 {
+		t.Errorf("zero Sample N = %d", s.N())
+	}
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Min()) {
+		t.Error("zero Sample moments must be NaN")
+	}
+	kept, out := s.TukeyFilter(1.5)
+	if kept != nil || out != nil {
+		t.Error("zero Sample TukeyFilter must return nils")
+	}
+
+	// NaNs sort to the end, exactly as stats.Sorted orders them.
+	xs := []float64{2, math.NaN(), 1}
+	s.Reset(xs)
+	sorted := Sorted(xs)
+	for i := range sorted {
+		a, b := s.Sorted()[i], sorted[i]
+		if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+			t.Fatalf("NaN sample Sorted()[%d] = %g, Sorted(xs)[%d] = %g", i, a, i, b)
+		}
+	}
+}

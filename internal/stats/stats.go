@@ -10,6 +10,7 @@ package stats
 import (
 	"errors"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -129,8 +130,22 @@ func Max(xs []float64) float64 {
 func Sorted(xs []float64) []float64 {
 	s := make([]float64, len(xs))
 	copy(s, xs)
-	sort.Float64s(s)
+	sortFloat64s(s)
 	return s
+}
+
+// sortFloat64s sorts ascending in place with sort.Float64s's NaN-first
+// contract, taking the faster generic sort when no NaN is present (the
+// common case for measurement data; the scan is O(n) against the sort's
+// O(n log n)).
+func sortFloat64s(xs []float64) {
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			sort.Float64s(xs)
+			return
+		}
+	}
+	slices.Sort(xs)
 }
 
 // Quantile returns the p-quantile (0 <= p <= 1) of the *sorted* slice

@@ -106,23 +106,12 @@ type Summary struct {
 	Skewness float64
 }
 
-// Summarize computes a Summary of xs.
+// Summarize computes a Summary of xs through the Sample fast path: one
+// sort, one Welford pass, one skewness pass.
 func Summarize(xs []float64) Summary {
-	s := Sorted(xs)
-	return Summary{
-		N:        len(xs),
-		Mean:     Mean(xs),
-		StdDev:   StdDev(xs),
-		CoV:      CoV(xs),
-		Min:      Min(xs),
-		Q1:       Quantile(s, 0.25),
-		Median:   Quantile(s, 0.5),
-		Q3:       Quantile(s, 0.75),
-		P95:      Quantile(s, 0.95),
-		P99:      Quantile(s, 0.99),
-		Max:      Max(xs),
-		Skewness: Skewness(xs),
-	}
+	var s Sample
+	s.Reset(xs)
+	return s.Summarize()
 }
 
 // String renders the summary on one line.
@@ -139,6 +128,15 @@ func TukeyFences(xs []float64, k float64) (lo, hi float64) {
 	s := Sorted(xs)
 	q1 := Quantile(s, 0.25)
 	q3 := Quantile(s, 0.75)
+	iqr := q3 - q1
+	return q1 - k*iqr, q3 + k*iqr
+}
+
+// TukeyFencesSorted is TukeyFences for an already-sorted sample (e.g. a
+// Sample's cached view), skipping the re-sort.
+func TukeyFencesSorted(sorted []float64, k float64) (lo, hi float64) {
+	q1 := Quantile(sorted, 0.25)
+	q3 := Quantile(sorted, 0.75)
 	iqr := q3 - q1
 	return q1 - k*iqr, q3 + k*iqr
 }
@@ -208,10 +206,15 @@ type QQPoint struct {
 
 // QQPoints computes normal Q-Q plot coordinates for xs.
 func QQPoints(xs []float64) []QQPoint {
-	s := Sorted(xs)
-	n := len(s)
+	return QQPointsSorted(Sorted(xs))
+}
+
+// QQPointsSorted is QQPoints for an already-sorted sample (e.g. a
+// Sample's cached view), skipping the re-sort.
+func QQPointsSorted(sorted []float64) []QQPoint {
+	n := len(sorted)
 	pts := make([]QQPoint, n)
-	for i, v := range s {
+	for i, v := range sorted {
 		p := (float64(i) + 0.5) / float64(n)
 		pts[i] = QQPoint{Theoretical: dist.NormalQuantile(p), Sample: v}
 	}
@@ -222,7 +225,12 @@ func QQPoints(xs []float64) []QQPoint {
 // simple scalar straightness diagnostic (1 means perfectly normal order
 // statistics).
 func QQCorrelation(xs []float64) float64 {
-	pts := QQPoints(xs)
+	return QQCorrelationSorted(Sorted(xs))
+}
+
+// QQCorrelationSorted is QQCorrelation over a pre-sorted sample.
+func QQCorrelationSorted(sorted []float64) float64 {
+	pts := QQPointsSorted(sorted)
 	if len(pts) < 3 {
 		return math.NaN()
 	}

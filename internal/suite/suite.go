@@ -13,7 +13,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bench"
@@ -51,6 +54,12 @@ type Config struct {
 	RelErr      float64  // target relative CI width (default 0.05)
 	Confidence  float64  // CI level (default 0.95)
 	Seed        uint64
+	// Workers bounds how many configurations are measured concurrently.
+	// Zero selects GOMAXPROCS; 1 is the serial path. Every configuration's
+	// seed is assigned from the canonical sweep order before fan-out, so
+	// the Result is bit-identical for every worker count — parallelism
+	// buys wall-clock time, never reproducibility (Rule 9).
+	Workers int
 	// Resilience, when non-nil, arms bench's fault-tolerant collection
 	// loop for every configuration: retries, the fault-suspect value
 	// ceiling (in µs here, matching the measured unit), and graceful
@@ -128,11 +137,67 @@ func (r *Result) TotalLost() int {
 // Errors.
 var ErrUnknownCollective = errors.New("suite: unknown collective")
 
-// Run executes the suite under ctx. Progress rows are streamed to w as
-// they complete (pass nil to collect silently). Cancellation — Ctrl-C, a
-// wall-clock budget — checkpoints the sweep instead of discarding it:
-// the partial Result holds every completed configuration, is marked
-// Interrupted, and is returned with a nil error.
+// job is one configuration of the sweep with its precomputed seed. The
+// seed table is built from the canonical enumeration order before any
+// fan-out, reproducing exactly the seeds the historical serial seed++
+// walk assigned — which is what makes the parallel sweep bit-identical
+// to the serial one.
+type job struct {
+	coll  string
+	bytes int
+	ranks int
+	seed  uint64
+	group int // index into the (collective, bytes) group list
+}
+
+// jobGroup collects the job indices of one (collective, bytes) model
+// group in rank order.
+type jobGroup struct {
+	coll  string
+	bytes int
+	jobs  []int
+}
+
+// enumerate builds the canonical job list and its model groups.
+func enumerate(cfg Config) ([]job, []jobGroup) {
+	var jobs []job
+	var groups []jobGroup
+	seed := cfg.Seed
+	for _, coll := range cfg.Collectives {
+		for _, bytes := range cfg.Bytes {
+			if coll == Barrier && bytes != cfg.Bytes[0] {
+				continue // barriers carry no payload; measure once
+			}
+			g := jobGroup{coll: coll, bytes: bytes}
+			for _, p := range cfg.Ranks {
+				seed++
+				g.jobs = append(g.jobs, len(jobs))
+				jobs = append(jobs, job{
+					coll: coll, bytes: bytes, ranks: p,
+					seed: seed, group: len(groups),
+				})
+			}
+			groups = append(groups, g)
+		}
+	}
+	return jobs, groups
+}
+
+// jobOut is one job's outcome, written by the worker that ran it.
+type jobOut struct {
+	row  Row
+	done bool  // row is valid (includes interrupted rows, per Rule 4)
+	err  error // hard (non-cancellation) measurement error
+}
+
+// Run executes the suite under ctx on cfg.Workers goroutines. Progress
+// rows are streamed to w in canonical sweep order as they complete
+// (out-of-order completions are buffered; pass nil to collect silently).
+// Cancellation — Ctrl-C, a wall-clock budget — checkpoints the sweep
+// instead of discarding it: the partial Result holds every completed
+// configuration, is marked Interrupted, and is returned with a nil
+// error. For a fixed Config the Result is bit-identical for every
+// worker count.
 func Run(ctx context.Context, cfg Config, w io.Writer) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if ctx == nil {
@@ -143,44 +208,138 @@ func Run(ctx context.Context, cfg Config, w io.Writer) (*Result, error) {
 			return nil, fmt.Errorf("%w: %q", ErrUnknownCollective, c)
 		}
 	}
-	res := &Result{Config: cfg, Models: map[string]model.CollectiveModel{}}
+	jobs, groups := enumerate(cfg)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
 
-	seed := cfg.Seed
-	for _, coll := range cfg.Collectives {
-		for _, bytes := range cfg.Bytes {
-			if coll == Barrier && bytes != cfg.Bytes[0] {
-				continue // barriers carry no payload; measure once
-			}
-			var ps []int
-			var medians []float64
-			for _, p := range cfg.Ranks {
-				seed++
-				row, err := measure(ctx, cfg, coll, p, bytes, seed)
-				if err != nil {
-					if ctx.Err() != nil {
-						// Cancelled before this configuration retained an
-						// analyzable sample: the completed rows stand.
-						res.Interrupted = true
-						return res, nil
+	// runCtx aborts in-flight configurations when a sibling hits a hard
+	// error; outer-ctx cancellation keeps its distinct meaning (clean
+	// interruption with checkpointed rows).
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+
+	outs := make([]jobOut, len(jobs))
+	var next atomic.Int64 // job claim counter: in claim order == canonical order
+	var stopped atomic.Bool
+	completions := make(chan int, len(jobs))
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stopped.Load() || runCtx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				j := jobs[i]
+				row, err := measure(runCtx, cfg, j.coll, j.ranks, j.bytes, j.seed)
+				switch {
+				case err != nil && ctx.Err() != nil:
+					// Cancelled before this configuration retained an
+					// analyzable sample: the completed rows stand.
+					stopped.Store(true)
+				case err != nil && runCtx.Err() != nil:
+					// Aborted by a sibling's hard error; that error wins.
+				case err != nil:
+					outs[i].err = err
+					stopped.Store(true)
+					cancelRun()
+				default:
+					outs[i] = jobOut{row: row, done: true}
+					if row.Stop == bench.StopInterrupted {
+						stopped.Store(true)
 					}
-					return nil, err
 				}
-				res.Rows = append(res.Rows, row)
-				ps = append(ps, p)
-				medians = append(medians, row.MedianUs*1e-6)
-				if w != nil {
-					fmt.Fprintf(w, "%-10s p=%-3d %6dB  n=%-4d median %.4g µs [%.4g, %.4g]%s\n",
-						coll, p, bytes, row.N, row.MedianUs, row.CILoUs, row.CIHiUs, rowFlag(row))
-				}
-				if row.Stop == bench.StopInterrupted {
-					res.Interrupted = true
-					return res, nil
-				}
+				completions <- i
 			}
-			if len(ps) >= 4 {
-				if m, err := model.FitCollective(ps, medians); err == nil {
-					res.Models[fmt.Sprintf("%s/%dB", coll, bytes)] = m
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(completions)
+	}()
+
+	// Ordered progress streaming: a line is printed only once every
+	// earlier job has completed, so w sees canonical sweep order however
+	// the pool interleaves.
+	finished := make([]bool, len(jobs))
+	nextFlush := 0
+	flush := func(gaps bool) {
+		for nextFlush < len(jobs) {
+			if !finished[nextFlush] {
+				if !gaps {
+					return
 				}
+				nextFlush++
+				continue
+			}
+			if o := &outs[nextFlush]; o.done && w != nil {
+				row := o.row
+				fmt.Fprintf(w, "%-10s p=%-3d %6dB  n=%-4d median %.4g µs [%.4g, %.4g]%s\n",
+					row.Collective, row.Ranks, row.Bytes, row.N, row.MedianUs, row.CILoUs, row.CIHiUs, rowFlag(row))
+			}
+			nextFlush++
+		}
+	}
+	for i := range completions {
+		finished[i] = true
+		flush(false)
+	}
+	flush(true) // the pool has drained: flush past never-claimed gaps
+
+	// Reassemble in canonical order. A missing job (never claimed, or
+	// cancelled before retaining a sample) marks the sweep interrupted;
+	// rows themselves are never reordered relative to the serial walk.
+	res := &Result{Config: cfg, Models: map[string]model.CollectiveModel{}}
+	var firstErr error
+	for i := range jobs {
+		o := &outs[i]
+		if o.err != nil && firstErr == nil {
+			firstErr = o.err
+		}
+		if o.done {
+			res.Rows = append(res.Rows, o.row)
+			if o.row.Stop == bench.StopInterrupted {
+				res.Interrupted = true
+			}
+		} else {
+			res.Interrupted = true
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Fit scaling models for every group whose sweep completed cleanly,
+	// exactly the groups the serial walk fitted.
+	for gi, g := range groups {
+		ps := make([]int, 0, len(g.jobs))
+		medians := make([]float64, 0, len(g.jobs))
+		clean := true
+		for _, ji := range g.jobs {
+			o := &outs[ji]
+			if !o.done || o.row.Stop == bench.StopInterrupted {
+				clean = false
+				break
+			}
+			ps = append(ps, o.row.Ranks)
+			medians = append(medians, o.row.MedianUs*1e-6)
+		}
+		if clean && len(ps) >= 4 {
+			if m, err := model.FitCollective(ps, medians); err == nil {
+				res.Models[fmt.Sprintf("%s/%dB", groups[gi].coll, groups[gi].bytes)] = m
 			}
 		}
 	}
@@ -283,14 +442,17 @@ func measure(ctx context.Context, cfg Config, coll string, ranks, bytes int, see
 		Confidence: cfg.Confidence,
 		BatchSize:  10,
 		Resilience: cfg.Resilience,
+		// The suite parallelizes across configurations; keep the
+		// per-configuration analysis serial to avoid oversubscription.
+		Workers: 1,
 	}, run)
 	if err != nil {
 		return Row{}, err
 	}
 	row.N = len(res.Raw)
-	sorted := stats.Sorted(res.Raw)
-	row.MedianUs = stats.Quantile(sorted, 0.5)
-	row.P99Us = stats.Quantile(sorted, 0.99)
+	smp := stats.NewSample(res.Raw)
+	row.MedianUs = smp.Quantile(0.5)
+	row.P99Us = smp.Quantile(0.99)
 	row.CILoUs = res.MedianCI.Lo
 	row.CIHiUs = res.MedianCI.Hi
 	row.Converged = res.Stop == bench.StopConverged

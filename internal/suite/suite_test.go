@@ -215,3 +215,118 @@ func TestSuiteStreamsProgress(t *testing.T) {
 		t.Error("no progress streamed")
 	}
 }
+
+func TestSuiteWorkerCountBitIdentity(t *testing.T) {
+	runWith := func(workers int) (*Result, string, string) {
+		cfg := quickConfig()
+		cfg.Workers = workers
+		var progress strings.Builder
+		res, err := Run(context.Background(), cfg, &progress)
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", workers, err)
+		}
+		var rep strings.Builder
+		if err := res.WriteReport(&rep); err != nil {
+			t.Fatalf("Workers=%d: WriteReport: %v", workers, err)
+		}
+		return res, progress.String(), rep.String()
+	}
+
+	serial, serialProgress, serialReport := runWith(1)
+	for _, workers := range []int{2, 8} {
+		par, progress, report := runWith(workers)
+		if len(par.Rows) != len(serial.Rows) {
+			t.Fatalf("Workers=%d: %d rows, serial has %d", workers, len(par.Rows), len(serial.Rows))
+		}
+		for i := range serial.Rows {
+			if par.Rows[i] != serial.Rows[i] {
+				t.Errorf("Workers=%d: row %d differs from serial:\n  serial   %+v\n  parallel %+v",
+					workers, i, serial.Rows[i], par.Rows[i])
+			}
+		}
+		if len(par.Models) != len(serial.Models) {
+			t.Errorf("Workers=%d: %d models, serial has %d", workers, len(par.Models), len(serial.Models))
+		}
+		for k, m := range serial.Models {
+			if par.Models[k] != m {
+				t.Errorf("Workers=%d: model %s differs from serial", workers, k)
+			}
+		}
+		if progress != serialProgress {
+			t.Errorf("Workers=%d: progress stream not byte-identical to serial", workers)
+		}
+		if report != serialReport {
+			t.Errorf("Workers=%d: rendered report not byte-identical to serial", workers)
+		}
+	}
+}
+
+// cancelAfterWriter cancels a context once n progress lines were
+// written, interrupting a sweep from inside its own progress stream.
+type cancelAfterWriter struct {
+	lines  int
+	cancel context.CancelFunc
+	sb     strings.Builder
+}
+
+func (w *cancelAfterWriter) Write(p []byte) (int, error) {
+	w.sb.Write(p)
+	w.lines -= strings.Count(string(p), "\n")
+	if w.lines <= 0 {
+		w.cancel()
+	}
+	return len(p), nil
+}
+
+func TestSuiteInterruptedUnderParallelism(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Workers = 4
+	cfg.Collectives = []string{Reduce, Bcast, Allreduce, Gather, Scatter}
+	cfg.Ranks = []int{2, 4, 8, 16, 32}
+	// A target the adaptive loop cannot reach keeps every configuration
+	// busy until its 5000-sample budget, so the cancellation triggered by
+	// the first progress line reliably lands mid-sweep.
+	cfg.MinRuns = 200
+	cfg.MaxRuns = 5000
+	cfg.RelErr = 0.001
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &cancelAfterWriter{lines: 1, cancel: cancel}
+	res, err := Run(ctx, cfg, w)
+	if err != nil {
+		t.Fatalf("interrupted sweep must return a partial result, got error: %v", err)
+	}
+	if !res.Interrupted {
+		t.Fatal("Interrupted not set on a sweep cancelled mid-flight")
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no completed rows checkpointed")
+	}
+	if len(res.Rows) >= 25 {
+		t.Fatalf("all %d rows completed; the cancellation did not interrupt the sweep", len(res.Rows))
+	}
+	// The checkpointed rows must be an in-order subsequence of the
+	// canonical sweep and individually valid.
+	jobs, _ := enumerate(cfg.withDefaults())
+	ji := 0
+	for _, r := range res.Rows {
+		for ji < len(jobs) &&
+			(jobs[ji].coll != r.Collective || jobs[ji].ranks != r.Ranks || jobs[ji].bytes != r.Bytes) {
+			ji++
+		}
+		if ji == len(jobs) {
+			t.Fatalf("row %s p=%d not in canonical order", r.Collective, r.Ranks)
+		}
+		ji++
+		if r.Stop != bench.StopInterrupted && r.MedianUs <= 0 {
+			t.Errorf("%s p=%d: checkpointed row has non-positive median", r.Collective, r.Ranks)
+		}
+	}
+	var sb strings.Builder
+	if err := res.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "PARTIAL") {
+		t.Error("report does not label the interrupted sweep as partial")
+	}
+}

@@ -52,7 +52,9 @@ import (
 // Measurement campaign configuration and results (package bench).
 type (
 	// Plan configures a measurement campaign: warmup, fixed or adaptive
-	// sample counts, confidence level, and outlier policy.
+	// sample counts, confidence level, outlier policy, and the analysis
+	// worker count (Plan.Workers, 0 = GOMAXPROCS; results are
+	// worker-count invariant).
 	Plan = bench.Plan
 	// Result is a fully analyzed campaign: summary statistics, CIs of
 	// mean and median, normality diagnostics, and provenance.
@@ -169,6 +171,19 @@ func MAD(xs []float64) float64 { return stats.MAD(xs) }
 // Summarize computes the full descriptive summary.
 func Summarize(xs []float64) Summary { return stats.Summarize(xs) }
 
+// Sample is the allocation-lean fast path through the statistics layer:
+// it sorts the data exactly once at construction and caches the sorted
+// view plus the single-pass (Welford) moments, so quantiles, the
+// Summary, Tukey fences, and the rank-based CIs all reuse one ordered
+// view. A Sample is immutable after construction and safe for
+// concurrent use.
+type Sample = stats.Sample
+
+// NewSample wraps xs in a Sample, sorting a copy once and accumulating
+// the moments. The slice itself is retained (not copied) and must not
+// be mutated while the Sample is in use.
+func NewSample(xs []float64) *Sample { return stats.NewSample(xs) }
+
 // Confidence intervals (package ci).
 type (
 	// Interval is a two-sided confidence interval around a point
@@ -273,13 +288,18 @@ const (
 	BootstrapBCa = bootstrap.BCa
 )
 
-// BootstrapCI computes a resampling CI for an arbitrary statistic.
+// BootstrapCI computes a resampling CI for an arbitrary statistic. The
+// resamples are sharded across all cores with one derived PCG stream
+// per resample, so the interval is bit-identical however many workers
+// run it; the stat must be safe for concurrent calls on distinct
+// slices.
 func BootstrapCI(xs []float64, stat func([]float64) float64, method BootstrapMethod,
 	resamples int, confidence float64, rng *rand.Rand) (Interval, error) {
 	return bootstrap.CI(xs, stat, method, resamples, confidence, rng)
 }
 
-// BootstrapDifferenceCI bootstraps stat(ys) − stat(xs).
+// BootstrapDifferenceCI bootstraps stat(ys) − stat(xs), parallelized
+// with the same worker-count-invariance guarantee as BootstrapCI.
 func BootstrapDifferenceCI(xs, ys []float64, stat func([]float64) float64,
 	resamples int, confidence float64, rng *rand.Rand) (Interval, error) {
 	return bootstrap.DifferenceCI(xs, ys, stat, resamples, confidence, rng)
@@ -547,7 +567,11 @@ var (
 
 // Collective microbenchmark suite (package suite).
 type (
-	// SuiteConfig parametrizes a collective microbenchmark sweep.
+	// SuiteConfig parametrizes a collective microbenchmark sweep,
+	// including SuiteConfig.Workers: how many configurations are
+	// measured concurrently (0 = GOMAXPROCS, 1 = serial). Seeds are
+	// assigned from the canonical sweep order before fan-out, so the
+	// SuiteResult is bit-identical for every worker count.
 	SuiteConfig = suite.Config
 	// SuiteResult is a completed sweep with fitted scaling models.
 	SuiteResult = suite.Result
