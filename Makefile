@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-json figures
+.PHONY: all build test vet race check bench bench-json figures telemetry-smoke durability
 
 all: check
 
@@ -16,8 +16,20 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# check is the CI gate: static analysis plus the race-enabled suite.
-check: vet race
+# telemetry-smoke drives the observability endpoint end to end: real
+# harness activity, a live /metrics scrape, and assertions on the
+# advertised metric names and trace span hierarchy.
+telemetry-smoke:
+	$(GO) test -run TestTelemetrySmoke -count=1 ./internal/telemetry
+
+# durability runs the crash-simulation tests for the campaign journal's
+# write-ahead manifest protocol (fsync ordering, failed-seal refusal).
+durability:
+	$(GO) test -run 'TestCreateManifest' -count=1 ./internal/campaign
+
+# check is the CI gate: static analysis, the race-enabled suite, and the
+# telemetry + durability smoke drives.
+check: vet race telemetry-smoke durability
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -37,6 +37,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/suite"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -53,8 +54,20 @@ func main() {
 		budget  = flag.Duration("budget", 0, "wall-clock campaign budget (e.g. 10m); 0 means unlimited")
 		workers = flag.Int("j", 0, "configurations to measure concurrently (0 = GOMAXPROCS); results are worker-count invariant")
 		verbose = flag.Bool("v", false, "stream per-configuration progress")
+		telAddr = flag.String("telemetry", "", "serve /metrics, /trace, and /debug/pprof on this address (e.g. :8080); also enables span tracing")
 	)
 	flag.Parse()
+
+	if *telAddr != "" {
+		telemetry.Enable(nil)
+		tsrv, err := telemetry.Serve(*telAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpibench: -telemetry: %v\n", err)
+			os.Exit(2)
+		}
+		defer tsrv.Close()
+		fmt.Fprintf(os.Stderr, "mpibench: telemetry on http://%s (/metrics, /trace, /debug/pprof)\n", tsrv.Addr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

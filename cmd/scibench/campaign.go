@@ -40,7 +40,7 @@ const campaignConfigFile = "config.json"
 func cmdCampaign(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
 	dir := fs.String("dir", "", "campaign directory (required)")
-	cc, budget, workers := campaignFlags(fs)
+	cc, budget, workers, telAddr := campaignFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,6 +50,11 @@ func cmdCampaign(args []string) error {
 	if err := writeCampaignConfig(*dir, *cc); err != nil {
 		return err
 	}
+	stopTel, err := startTelemetry(*telAddr, *dir)
+	if err != nil {
+		return err
+	}
+	defer stopTel()
 
 	man, plan, measure, err := campaignSetup(*dir, *cc)
 	if err != nil {
@@ -65,7 +70,7 @@ func cmdCampaign(args []string) error {
 
 func cmdResume(args []string) error {
 	fs := flag.NewFlagSet("resume", flag.ExitOnError)
-	cc, budget, workers := campaignFlags(fs)
+	cc, budget, workers, telAddr := campaignFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,6 +78,11 @@ func cmdResume(args []string) error {
 	if dir == "" {
 		return fmt.Errorf("usage: scibench resume [flags] <campaign-dir>")
 	}
+	stopTel, err := startTelemetry(*telAddr, dir)
+	if err != nil {
+		return err
+	}
+	defer stopTel()
 	recorded, err := readCampaignConfig(dir)
 	if err != nil {
 		return err
@@ -123,7 +133,7 @@ func cmdResume(args []string) error {
 // statistics are computed, never their values, so it is deliberately NOT
 // part of the recorded campaign identity (running a campaign with -j 1
 // and resuming it with -j 8 is not drift).
-func campaignFlags(fs *flag.FlagSet) (*campaignConfig, *time.Duration, *int) {
+func campaignFlags(fs *flag.FlagSet) (*campaignConfig, *time.Duration, *int, *string) {
 	cc := &campaignConfig{}
 	fs.StringVar(&cc.System, "system", "daint", "simulated system: daint|dora|pilatus")
 	fs.IntVar(&cc.Samples, "samples", 200, "sample budget (adaptive max)")
@@ -133,7 +143,41 @@ func campaignFlags(fs *flag.FlagSet) (*campaignConfig, *time.Duration, *int) {
 	fs.DurationVar(&cc.Throttle, "throttle", 0, "wall-clock pause before each observation (pacing)")
 	budget := fs.Duration("budget", 0, "wall-clock campaign budget (e.g. 10m); 0 means unlimited")
 	workers := fs.Int("j", 0, "analysis workers (0 = GOMAXPROCS); results are worker-count invariant")
-	return cc, budget, workers
+	// Telemetry observes the harness but never steers it, so — like -j —
+	// it is deliberately NOT part of the recorded campaign identity.
+	telAddr := fs.String("telemetry", "", "serve /metrics, /trace, and /debug/pprof on this address (e.g. :8080); spans also stream to <dir>/trace.jsonl")
+	return cc, budget, workers, telAddr
+}
+
+// startTelemetry arms span tracing (appending the JSONL trace to
+// <dir>/trace.jsonl, out-of-band of the journal and manifest) and serves
+// the observability endpoint. An empty addr is a no-op; the returned
+// stop function is always safe to call.
+func startTelemetry(addr, dir string) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	sink, err := os.OpenFile(filepath.Join(dir, "trace.jsonl"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	scibench.EnableTelemetryTrace(sink)
+	srv, err := scibench.ServeTelemetry(addr)
+	if err != nil {
+		scibench.DisableTelemetryTrace()
+		sink.Close()
+		return nil, fmt.Errorf("-telemetry: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "telemetry on http://%s (/metrics, /trace, /debug/pprof); trace at %s\n",
+		srv.Addr(), filepath.Join(dir, "trace.jsonl"))
+	return func() {
+		srv.Close()
+		scibench.DisableTelemetryTrace()
+		sink.Close()
+	}, nil
 }
 
 // applyOverrides starts from the recorded config and applies only the

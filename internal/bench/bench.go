@@ -16,11 +16,30 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ci"
 	"repro/internal/htest"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/timer"
+)
+
+// Telemetry: the measurement loop's own behaviour, observable without
+// perturbing it (see internal/telemetry's invariant — these writes never
+// reach a report or an RNG stream). Metrics resolve once; each event is
+// a single atomic add.
+var (
+	telSamples     = telemetry.Default().Counter("bench.samples")
+	telWarmups     = telemetry.Default().Counter("bench.warmups")
+	telRetries     = telemetry.Default().Counter("bench.retries")
+	telLosses      = telemetry.Default().Counter("bench.losses")
+	telPanics      = telemetry.Default().Counter("bench.panics")
+	telWatchdog    = telemetry.Default().Counter("bench.watchdog_trips")
+	telAnalysisUs  = telemetry.Default().Histogram("bench.analysis_us")
+	telIntervalsUs = telemetry.Default().Histogram("bench.analysis.intervals_us")
+	telShiftUs     = telemetry.Default().Histogram("bench.analysis.changepoint_us")
+	telNormalityUs = telemetry.Default().Histogram("bench.analysis.normality_us")
 )
 
 // OutlierPolicy selects how outliers are treated. The paper recommends
@@ -293,6 +312,9 @@ func run(ctx context.Context, plan Plan, measure func() (float64, error)) (Resul
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx, collectSpan := telemetry.StartSpan(ctx, "collection",
+		fmt.Sprintf("min=%d max=%d", p.MinSamples, p.MaxSamples))
+	defer collectSpan.End()
 	rs := p.Resilience
 	var res Result
 	res.ResolutionLost = p.EventsPerSample > 1
@@ -354,11 +376,13 @@ func run(ctx context.Context, plan Plan, measure func() (float64, error)) (Resul
 			if err != nil {
 				return 0, false, err
 			}
+			telSamples.Inc()
 			return v, true, emit(EventSample, v)
 		}
 		for attempt := 0; attempt <= rs.MaxRetries; attempt++ {
 			if attempt > 0 {
 				res.Retries++
+				telRetries.Inc()
 				if err := emit(EventRetry, 0); err != nil {
 					return 0, false, err
 				}
@@ -369,6 +393,7 @@ func run(ctx context.Context, plan Plan, measure func() (float64, error)) (Resul
 			if err != nil {
 				if errors.Is(err, ErrMeasurePanic) {
 					res.Panics++
+					telPanics.Inc()
 					if jerr := emit(EventPanic, 0); jerr != nil {
 						return 0, false, jerr
 					}
@@ -378,9 +403,11 @@ func run(ctx context.Context, plan Plan, measure func() (float64, error)) (Resul
 			if rs.ValueCeiling > 0 && v >= rs.ValueCeiling {
 				continue // fault-suspect observation: discard and retry
 			}
+			telSamples.Inc()
 			return v, true, emit(EventSample, v)
 		}
 		res.SamplesLost++
+		telLosses.Inc()
 		return 0, false, emit(EventLoss, 0)
 	}
 
@@ -422,6 +449,7 @@ func run(ctx context.Context, plan Plan, measure func() (float64, error)) (Resul
 			return res, fmt.Errorf("bench: warmup failed: %w", err)
 		}
 		res.WarmupDiscarded++
+		telWarmups.Inc()
 		if err := emit(EventWarmup, 0); err != nil {
 			return res, err
 		}
@@ -494,7 +522,7 @@ func run(ctx context.Context, plan Plan, measure func() (float64, error)) (Resul
 		xs = kept
 	}
 	res.Raw = xs
-	return analyze(res, xs, p.Confidence, p.Workers)
+	return analyze(ctx, res, xs, p.Confidence, p.Workers)
 }
 
 // Analyze computes the full statistical report for an existing sample
@@ -505,7 +533,7 @@ func Analyze(xs []float64, confidence float64) (Result, error) {
 	if confidence <= 0 || confidence >= 1 {
 		confidence = 0.95
 	}
-	return analyze(Result{Raw: xs, Stop: StopFixed}, xs, confidence, 1)
+	return analyze(context.Background(), Result{Raw: xs, Stop: StopFixed}, xs, confidence, 1)
 }
 
 // analyze computes the statistical report over one shared stats.Sample,
@@ -515,7 +543,12 @@ func Analyze(xs []float64, confidence float64) (Result, error) {
 // (0 = GOMAXPROCS); each computes into its own locals that are merged
 // after the barrier, so the result is bit-identical for every worker
 // count.
-func analyze(res Result, xs []float64, confidence float64, workers int) (Result, error) {
+func analyze(ctx context.Context, res Result, xs []float64, confidence float64, workers int) (Result, error) {
+	_, span := telemetry.StartSpan(ctx, "analysis", fmt.Sprintf("n=%d", len(xs)))
+	defer span.End()
+	t0 := time.Now()
+	defer func() { telAnalysisUs.Observe(telemetry.Us(time.Since(t0))) }()
+
 	res.ShiftP = math.NaN()
 	if len(xs) < 2 {
 		return res, fmt.Errorf("%w: only %d observations retained", ErrTooFewSamples, len(xs))
@@ -527,6 +560,7 @@ func analyze(res Result, xs []float64, confidence float64, workers int) (Result,
 	var meanIV, medianIV ci.Interval
 	var meanOK, medianOK bool
 	intervals := func() {
+		defer observeStage(telIntervalsUs, time.Now())
 		if iv, err := ci.MeanCISample(smp, confidence); err == nil {
 			meanIV, meanOK = iv, true
 		}
@@ -541,6 +575,7 @@ func analyze(res Result, xs []float64, confidence float64, workers int) (Result,
 	var cp htest.ChangePoint
 	var cpOK bool
 	shift := func() {
+		defer observeStage(telShiftUs, time.Now())
 		if len(xs) >= minShiftSamples && !res.Deterministic {
 			if c, err := htest.Pettitt(xs); err == nil {
 				cp, cpOK = c, true
@@ -551,6 +586,7 @@ func analyze(res Result, xs []float64, confidence float64, workers int) (Result,
 	swW, swP := math.NaN(), math.NaN()
 	plausible := false
 	normality := func() {
+		defer observeStage(telNormalityUs, time.Now())
 		if res.Deterministic {
 			return
 		}
@@ -605,6 +641,12 @@ func analyze(res Result, xs []float64, confidence float64, workers int) (Result,
 	res.ShapiroP = swP
 	res.PlausiblyNormal = plausible
 	return res, nil
+}
+
+// observeStage records one analysis stage's wall-clock duration
+// (deferred with time.Now() evaluated at stage entry).
+func observeStage(h *telemetry.Histogram, start time.Time) {
+	h.Observe(telemetry.Us(time.Since(start)))
 }
 
 // PreferredCenter returns the summary the paper's decision tree

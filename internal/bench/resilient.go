@@ -105,6 +105,7 @@ func (r *Resilience) guard(measure func() (float64, error)) (float64, error) {
 	case o := <-done:
 		return o.v, o.err
 	case <-watchdog.C:
+		telWatchdog.Inc()
 		return 0, ErrSampleTimeout
 	}
 }

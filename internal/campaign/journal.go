@@ -8,9 +8,42 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/telemetry"
 )
+
+// Telemetry: journal durability cost, observable without changing a
+// byte of the journal itself (internal/telemetry's invariant).
+var (
+	telRecords = telemetry.Default().Counter("campaign.records")
+	telFsyncUs = telemetry.Default().Histogram("campaign.fsync_us")
+)
+
+// fsyncFile and renameFile are indirection seams for the
+// crash-durability test, which records their call order to verify the
+// write-ahead ordering Create promises. Production behaviour is the
+// plain syscall.
+var (
+	fsyncFile  = func(f *os.File) error { return f.Sync() }
+	renameFile = os.Rename
+)
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry in
+// it survives a crash — without it, POSIX allows the rename itself to be
+// lost even though the file's bytes were flushed.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = fsyncFile(d)
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // On-disk layout of a campaign directory.
 const (
@@ -103,21 +136,51 @@ func Create(dir string, m Manifest) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("campaign: encoding manifest: %w", err)
 	}
-	// Manifest first, atomically: a journal must never exist without
-	// the setup record that makes it interpretable (Rule 9).
+	// Manifest first, atomically AND durably: a journal must never exist
+	// without the setup record that makes it interpretable (Rule 9). The
+	// rename alone is not enough — the temp file's bytes must be fsynced
+	// before the rename (or a crash can publish an empty manifest under
+	// the final name) and the directory must be fsynced after it (or the
+	// rename itself can be lost while the journal's creation survives).
 	tmp := mpath + ".tmp"
-	if err := os.WriteFile(tmp, append(mb, '\n'), 0o644); err != nil {
+	if err := writeFileDurable(tmp, append(mb, '\n')); err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)
 	}
-	if err := os.Rename(tmp, mpath); err != nil {
+	if err := renameFile(tmp, mpath); err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return nil, fmt.Errorf("campaign: syncing directory: %w", err)
 	}
 	f, err := os.OpenFile(filepath.Join(dir, JournalFile),
 		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)
 	}
+	// Make the journal's directory entry durable too, so the on-disk
+	// states a crash can leave are exactly: nothing, manifest only, or
+	// manifest + journal — never a journal without its manifest.
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: syncing directory: %w", err)
+	}
 	return &Journal{f: f, Sync: true}, nil
+}
+
+// writeFileDurable writes data to path and fsyncs the file before
+// returning, so a subsequent rename can never publish incomplete bytes.
+func writeFileDurable(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err = f.Write(data); err == nil {
+		err = fsyncFile(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Load reads a campaign directory without opening it for writing: the
@@ -231,10 +294,13 @@ func (j *Journal) Record(ev bench.Event) error {
 		return fmt.Errorf("campaign: appending record: %w", err)
 	}
 	if j.Sync {
+		t0 := time.Now()
 		if err := j.f.Sync(); err != nil {
 			return fmt.Errorf("campaign: syncing journal: %w", err)
 		}
+		telFsyncUs.Observe(telemetry.Us(time.Since(t0)))
 	}
+	telRecords.Inc()
 	return nil
 }
 

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"path/filepath"
 
 	"repro/internal/bench"
 	"repro/internal/htest"
 	"repro/internal/rules"
+	"repro/internal/telemetry"
 )
 
 // boundaryAlpha is the significance level of the suspend/resume
@@ -19,6 +21,8 @@ const boundaryAlpha = 0.01
 // at any point — Ctrl-C, OOM, power loss — leaves a resumable journal.
 // Interruption surfaces as Result.Stop == bench.StopInterrupted.
 func Run(ctx context.Context, dir string, m Manifest, plan bench.Plan, measure func() (float64, error)) (bench.Result, error) {
+	ctx, span := telemetry.StartSpan(ctx, "campaign", filepath.Base(dir))
+	defer span.End()
 	j, err := Create(dir, m)
 	if err != nil {
 		return bench.Result{}, err
@@ -94,6 +98,8 @@ var ErrReplayDivergence = fmt.Errorf("%w: replayed samples diverge from journal"
 // boundary drift check.
 func Resume(ctx context.Context, dir string, current Manifest, plan bench.Plan,
 	measure func() (float64, error), opt ResumeOptions) (bench.Result, ResumeInfo, error) {
+	ctx, span := telemetry.StartSpan(ctx, "campaign", "resume "+filepath.Base(dir))
+	defer span.End()
 	var info ResumeInfo
 	// Verify the manifest before opening for writing: a refused resume
 	// must leave the journal byte-for-byte untouched (including any torn

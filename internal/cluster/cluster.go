@@ -19,6 +19,15 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/noise"
+	"repro/internal/telemetry"
+)
+
+// Telemetry: simulation volume, observable without perturbing it — the
+// counters never touch the machine's seeded stream, so simulated
+// experiments stay bit-identical with telemetry on or off.
+var (
+	telMachines = telemetry.Default().Counter("cluster.machines")
+	telMessages = telemetry.Default().Counter("cluster.messages")
 )
 
 // Placement selects how ranks map onto nodes (§4.1.2 notes batch
@@ -156,6 +165,7 @@ func New(cfg Config, ranks int, seed uint64) (*Machine, error) {
 	if err := cfg.Faults.Validate(); err != nil {
 		return nil, err
 	}
+	telMachines.Inc()
 	m := &Machine{
 		cfg: cfg,
 		rng: rand.New(rand.NewPCG(seed, 0x5c1beccd)),
@@ -283,6 +293,7 @@ func (m *Machine) GlobalFromLocal(rank int, local time.Duration) time.Duration {
 // stretch everything their node touches, and the loss protocol adds
 // retransmission waits.
 func (m *Machine) msgLatency(from, to, bytes int, at time.Duration) time.Duration {
+	telMessages.Inc()
 	f := m.cfg.Faults
 	if f != nil && (f.CrashedAt(from, at) || f.CrashedAt(to, at)) {
 		// The surviving peer blocks until the runtime declares the

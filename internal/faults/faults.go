@@ -17,6 +17,15 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Telemetry: injected-fault volume, counted at the moment each fault
+// actually fires (internal/telemetry; pure counters, no RNG access).
+var (
+	telRetransmits = telemetry.Default().Counter("faults.retransmits")
+	telCrashWaits  = telemetry.Default().Counter("faults.crash_waits")
 )
 
 // Straggler pins a persistent slowdown onto one node: every message the
@@ -238,6 +247,7 @@ func (s *Schedule) CrashedAt(rank int, at time.Duration) bool {
 
 // CrashWait returns the timeout a peer pays waiting on a crashed rank.
 func (s *Schedule) CrashWait() time.Duration {
+	telCrashWaits.Inc()
 	if s == nil || s.CrashTimeout <= 0 {
 		return 10 * time.Millisecond
 	}
@@ -276,6 +286,9 @@ func (s *Schedule) RetransmitDelay(draw func() float64) (time.Duration, int) {
 		wait += timeout
 		timeout = time.Duration(float64(timeout) * l.backoff())
 		retries++
+	}
+	if retries > 0 {
+		telRetransmits.Add(int64(retries))
 	}
 	return wait, retries
 }

@@ -1,7 +1,5 @@
 package stats
 
-import "math"
-
 // Sample is the allocation-lean fast path through this package: it sorts
 // the data exactly once, caches the sorted view, and accumulates the
 // Welford moments in a single pass, so every downstream statistic — the
@@ -89,23 +87,10 @@ func (s *Sample) Median() float64 { return s.Quantile(0.5) }
 func (s *Sample) IQR() float64 { return s.Quantile(0.75) - s.Quantile(0.25) }
 
 // Skewness returns the adjusted Fisher–Pearson sample skewness, reusing
-// the cached mean (NaN for n < 3).
+// the cached mean (NaN for n < 3). The computation is the same
+// skewnessAbout body the slice-based stats.Skewness uses.
 func (s *Sample) Skewness() float64 {
-	n := float64(s.N())
-	if n < 3 {
-		return math.NaN()
-	}
-	m := s.Mean()
-	var m2, m3 float64
-	for _, x := range s.data {
-		d := x - m
-		m2 += d * d
-		m3 += d * d * d
-	}
-	m2 /= n
-	m3 /= n
-	g1 := m3 / math.Pow(m2, 1.5)
-	return g1 * math.Sqrt(n*(n-1)) / (n - 2)
+	return skewnessAbout(s.data, s.Mean())
 }
 
 // Summarize bundles the full descriptive summary from the cached views:

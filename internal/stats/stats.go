@@ -189,11 +189,17 @@ func IQR(xs []float64) float64 {
 // Skewness returns the adjusted Fisher–Pearson sample skewness of xs
 // (g1 with the small-sample correction), NaN for n < 3.
 func Skewness(xs []float64) float64 {
+	return skewnessAbout(xs, Mean(xs))
+}
+
+// skewnessAbout is the one shared skewness body: the slice path above
+// and the cached-mean Sample path both route through it, so the two
+// implementations cannot drift.
+func skewnessAbout(xs []float64, m float64) float64 {
 	n := float64(len(xs))
 	if n < 3 {
 		return math.NaN()
 	}
-	m := Mean(xs)
 	var m2, m3 float64
 	for _, x := range xs {
 		d := x - m

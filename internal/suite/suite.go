@@ -24,6 +24,18 @@ import (
 	"repro/internal/model"
 	"repro/internal/report"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// Telemetry: worker-pool behaviour, observable without perturbing the
+// sweep (internal/telemetry never touches reports or RNG streams). The
+// occupancy histogram records how many workers were busy at the instant
+// each configuration was claimed — the pool's achieved parallelism.
+var (
+	telWorkersActive = telemetry.Default().Gauge("suite.workers_active")
+	telOccupancy     = telemetry.Default().Histogram("suite.occupancy")
+	telConfigs       = telemetry.Default().Counter("suite.configs")
+	telConfigUs      = telemetry.Default().Histogram("suite.config_us")
 )
 
 // Collective names supported by the suite.
@@ -220,10 +232,14 @@ func Run(ctx context.Context, cfg Config, w io.Writer) (*Result, error) {
 		workers = 1
 	}
 
+	sctx, sweepSpan := telemetry.StartSpan(ctx, "sweep",
+		fmt.Sprintf("%d configurations, %d workers", len(jobs), workers))
+	defer sweepSpan.End()
+
 	// runCtx aborts in-flight configurations when a sibling hits a hard
 	// error; outer-ctx cancellation keeps its distinct meaning (clean
 	// interruption with checkpointed rows).
-	runCtx, cancelRun := context.WithCancel(ctx)
+	runCtx, cancelRun := context.WithCancel(sctx)
 	defer cancelRun()
 
 	outs := make([]jobOut, len(jobs))
@@ -244,7 +260,15 @@ func Run(ctx context.Context, cfg Config, w io.Writer) (*Result, error) {
 					return
 				}
 				j := jobs[i]
-				row, err := measure(runCtx, cfg, j.coll, j.ranks, j.bytes, j.seed)
+				telOccupancy.Observe(float64(telWorkersActive.Add(1)))
+				jctx, span := telemetry.StartSpan(runCtx, "config",
+					fmt.Sprintf("%s p=%d %dB", j.coll, j.ranks, j.bytes))
+				start := time.Now()
+				row, err := measure(jctx, cfg, j.coll, j.ranks, j.bytes, j.seed)
+				span.End()
+				telConfigUs.Observe(telemetry.Us(time.Since(start)))
+				telWorkersActive.Add(-1)
+				telConfigs.Inc()
 				switch {
 				case err != nil && ctx.Err() != nil:
 					// Cancelled before this configuration retained an

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is a running telemetry endpoint. It serves:
+//
+//	/metrics       — expvar-style JSON snapshot of the default registry
+//	/trace         — recent completed spans from the default tracer (JSON)
+//	/debug/pprof/  — net/http/pprof profiling (heap, goroutine, CPU, ...)
+//
+// The endpoint is read-only: it observes the harness, it never steers
+// it, so serving telemetry cannot perturb a measurement's results (the
+// scrape costs wall-clock time only, which the harness never feeds back
+// into reports or RNG streams).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the telemetry endpoint on addr (e.g. ":8080"; ":0" picks
+// a free port — read it back with Addr). The server runs on its own
+// goroutine until Close.
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		std.WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(tracer.Recent())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{ln: ln, srv: &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }

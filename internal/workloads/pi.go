@@ -5,13 +5,22 @@ import (
 	"fmt"
 	"math"
 	"math/big"
-	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/stats"
 )
+
+// piDefaultWorkers is the fixed default term split. It is deliberately a
+// constant, NOT runtime.GOMAXPROCS: the round-robin split in
+// atanInvParallel decides the big-float reduction order, and a
+// host-dependent default would make the rounded digits depend on the
+// machine's core count — exactly the silent harness nondeterminism
+// Rule 9 exists to prevent. Callers who want more parallelism pass
+// workers explicitly; the digits are worker-count invariant regardless
+// (see TestComputePiDigitsWorkerInvariance).
+const piDefaultWorkers = 4
 
 // ComputePiDigits really computes π to the requested number of decimal
 // digits using the Machin formula π/4 = 4·atan(1/5) − atan(1/239) with
@@ -24,7 +33,7 @@ func ComputePiDigits(digits, workers int) (string, error) {
 		return "", errors.New("workloads: digits out of range [1, 100000]")
 	}
 	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = piDefaultWorkers
 	}
 	prec := uint(float64(digits)*3.33) + 64
 

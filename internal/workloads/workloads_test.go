@@ -180,18 +180,47 @@ func TestComputePiDigits(t *testing.T) {
 }
 
 func TestComputePiDigitsWorkerInvariance(t *testing.T) {
-	a, err := ComputePiDigits(200, 1)
+	ref, err := ComputePiDigits(200, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := ComputePiDigits(200, 7)
+	// The full rounded string — every digit, not a truncated prefix —
+	// must be identical regardless of the parallel decomposition: the
+	// guard precision absorbs the reordered big-float reduction.
+	for w := 2; w <= 7; w++ {
+		got, err := ComputePiDigits(200, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Errorf("workers=%d changed the result:\n%s\n%s", w, ref, got)
+		}
+	}
+}
+
+// TestComputePiDigitsDefaultWorkersFixed pins the defaulting bug: an
+// unspecified worker count must resolve to the fixed constant, not to
+// GOMAXPROCS, so the default result can never depend on the host's core
+// count (Rule 9: harness behaviour is part of the experimental setup).
+func TestComputePiDigitsDefaultWorkersFixed(t *testing.T) {
+	def, err := ComputePiDigits(120, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// All but the final guard digits must agree regardless of the
-	// parallel decomposition.
-	if a[:190] != b[:190] {
-		t.Errorf("worker count changed the result:\n%s\n%s", a[:190], b[:190])
+	fixed, err := ComputePiDigits(120, piDefaultWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def != fixed {
+		t.Errorf("default workers diverge from piDefaultWorkers=%d:\n%s\n%s",
+			piDefaultWorkers, def, fixed)
+	}
+	neg, err := ComputePiDigits(120, -3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg != fixed {
+		t.Errorf("negative workers diverge from piDefaultWorkers=%d", piDefaultWorkers)
 	}
 }
 

@@ -46,6 +46,7 @@ import (
 	"repro/internal/rules"
 	"repro/internal/stats"
 	"repro/internal/suite"
+	"repro/internal/telemetry"
 	"repro/internal/timer"
 )
 
@@ -715,3 +716,39 @@ var (
 	// ErrRecorder wraps a journal write failure that aborted collection.
 	ErrRecorder = bench.ErrRecorder
 )
+
+// Harness observability (package telemetry): a lock-cheap metrics
+// registry the measurement layers instrument unconditionally,
+// hierarchical spans emitted as an out-of-band JSONL trace, and an
+// optional HTTP endpoint serving /metrics, /trace, and net/http/pprof.
+// Telemetry never changes report bytes, campaign identity, or RNG
+// positions — the bit-identity guarantees hold with it on or off.
+type (
+	// TelemetryRegistry is a named collection of counters, gauges, and
+	// streaming histograms.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time capture of every metric.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetryServer is a running /metrics + /trace + pprof endpoint.
+	TelemetryServer = telemetry.Server
+	// TraceSpan is one completed interval of harness work (campaign →
+	// sweep → config → collection → analysis).
+	TraceSpan = telemetry.Span
+)
+
+// Telemetry returns the process-wide metrics registry the harness
+// instruments (sample counts, retries, watchdog trips, fsync latency,
+// worker occupancy, analysis-stage durations, ...).
+func Telemetry() *TelemetryRegistry { return telemetry.Default() }
+
+// EnableTelemetryTrace arms span tracing. sink, when non-nil, receives
+// every completed span as one JSON line (the out-of-band JSONL trace);
+// nil keeps spans only in the in-memory ring served by /trace.
+func EnableTelemetryTrace(sink io.Writer) { telemetry.Enable(sink) }
+
+// DisableTelemetryTrace stops span collection and detaches the sink.
+func DisableTelemetryTrace() { telemetry.Disable() }
+
+// ServeTelemetry starts the observability endpoint on addr (":0" picks
+// a free port; read it back with Addr). Close the server when done.
+func ServeTelemetry(addr string) (*TelemetryServer, error) { return telemetry.Serve(addr) }
