@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-json figures telemetry-smoke durability
+.PHONY: all build test vet race check bench bench-smoke bench-json benchgate \
+	coverage coverage-check figures telemetry-smoke durability
 
 all: check
 
@@ -27,20 +28,61 @@ telemetry-smoke:
 durability:
 	$(GO) test -run 'TestCreateManifest' -count=1 ./internal/campaign
 
-# check is the CI gate: static analysis, the race-enabled suite, and the
+# check is the CI gate: static analysis, the plain suite first (clean
+# line numbers for pure-Go failures), then the race pass and the
 # telemetry + durability smoke drives.
-check: vet race telemetry-smoke durability
+check: vet test race telemetry-smoke durability
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# bench-json records the harness benchmarks (suite engine, bootstrap,
-# analysis fast path) as machine-readable JSON next to the repo.
+# BENCH_PKGS is every package that actually defines a benchmark, so the
+# smoke pass doesn't recompile and run empty test binaries for the rest.
+BENCH_PKGS = $(shell grep -rl --include='*_test.go' 'func Benchmark' . | xargs -n1 dirname | sort -u)
+
+# bench-smoke compiles and runs every benchmark once: catches
+# benchmarks that no longer build or crash, without being a perf gate.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x $(BENCH_PKGS)
+
+# The harness benchmarks the committed baseline tracks (suite engine,
+# bootstrap, analysis fast path).
+HARNESS_BENCH = BenchmarkSuiteRun|BenchmarkBootstrapCI|BenchmarkAnalyze|BenchmarkSampleReset|BenchmarkSummarize$$|BenchmarkMedianCI
+BENCH_COUNT ?= 5
+
+# bench-json records the harness benchmarks as a schema v2 sample set
+# (BENCH_COUNT runs per benchmark, raw per-run samples + Rule 9 env +
+# provenance) — the committed baseline cmd/benchgate gates against.
 bench-json:
-	$(GO) test -run '^$$' \
-		-bench 'BenchmarkSuiteRun|BenchmarkBootstrapCI|BenchmarkAnalyze|BenchmarkSampleReset|BenchmarkSummarize$$|BenchmarkMedianCI' \
-		-benchmem . | $(GO) run ./cmd/benchjson > BENCH_harness.json
+	$(GO) run ./cmd/benchjson -count $(BENCH_COUNT) -bench '$(HARNESS_BENCH)' \
+		-o BENCH_harness.json .
 	@echo wrote BENCH_harness.json
+
+# benchgate collects a fresh candidate sample set and gates it against
+# the committed baseline with median CIs and rank tests (Rules 5-8
+# applied to our own perf trajectory). ARGS passes extra benchgate
+# flags, e.g. make benchgate ARGS=-advisory.
+benchgate:
+	$(GO) run ./cmd/benchjson -count $(BENCH_COUNT) -bench '$(HARNESS_BENCH)' \
+		-o BENCH_candidate.json .
+	$(GO) run ./cmd/benchgate -baseline BENCH_harness.json \
+		-candidate BENCH_candidate.json $(ARGS)
+
+coverage:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# coverage-check fails when total coverage drops more than 2 points
+# below the committed COVERAGE watermark (and prints a nudge to raise
+# the watermark when coverage grew).
+coverage-check: coverage
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	floor=$$(cat COVERAGE); \
+	echo "coverage: $${total}% (watermark $${floor}%)"; \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit !(t >= f - 2.0) }' || \
+		{ echo "FAIL: coverage $${total}% is more than 2 points below watermark $${floor}%"; exit 1; }; \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit !(t > f + 0.5) }' && \
+		echo "note: coverage rose above the watermark; consider updating COVERAGE to $${total}" || true
 
 figures:
 	$(GO) run ./cmd/figures all -quick

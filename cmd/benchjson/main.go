@@ -1,117 +1,145 @@
-// Command benchjson converts `go test -bench` text output (read from
-// stdin) into a JSON document on stdout — a machine-readable record of a
-// benchmark run, so performance claims ship with their raw data
-// (Rule 1: the experiments must be reproducible and interpretable).
+// Command benchjson records benchmark runs as a machine-readable
+// `BENCH_*.json` document (schema v2): per-run raw samples for every
+// metric (ns/op, B/op, allocs/op, custom units) plus the Rule 9
+// environment block and provenance, so performance claims ship with
+// the raw data behind them (Rule 1) and the regression gate
+// (cmd/benchgate) has real sample sets to test, not bare means.
 //
-// Usage:
+// Two modes:
 //
-//	go test -bench=. -benchmem ./... | benchjson > BENCH.json
+//	# collector mode: run the benchmarks itself, N repetitions each
+//	benchjson -count 5 -bench 'BenchmarkSuiteRun' -o BENCH_harness.json .
 //
-// Every `Benchmark...` result line becomes one entry with its iteration
-// count, ns/op, and any further value/unit pairs the -benchmem flag or
-// b.ReportMetric added (B/op, allocs/op, custom metrics). The goos /
-// goarch / cpu / pkg header lines are captured as environment metadata.
+//	# pipe mode (legacy): convert existing `go test -bench` output
+//	go test -bench=. -benchmem -count=5 ./... | benchjson > BENCH.json
+//
+// With -count N the tool execs `go test -run '^$' -bench <pattern>
+// -benchmem -count N` over the given packages (default ".") and groups
+// the N repeated result lines per benchmark into sample columns. The
+// paper's §4.2.2 point stands here: one run is an anecdote; the gate
+// needs repetitions to bound medians nonparametrically.
 package main
 
 import (
-	"bufio"
-	"encoding/json"
+	"bytes"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
+
+	"repro/internal/regress"
 )
 
-// Result is one benchmark line: name, iterations, and the measured
-// metrics keyed by unit (always "ns/op"; "B/op", "allocs/op", and custom
-// units when present).
-type Result struct {
-	Name       string             `json:"name"`
-	Package    string             `json:"package,omitempty"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
-}
-
-// Report is the whole run: environment header plus all results.
-type Report struct {
-	Env     map[string]string `json:"env"`
-	Results []Result          `json:"results"`
-}
-
 func main() {
-	rep, err := parse(bufio.NewScanner(os.Stdin))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
-	if len(rep.Results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	var (
+		count     = flag.Int("count", 0, "run benchmarks with `N` repetitions (0 = parse stdin)")
+		benchPat  = flag.String("bench", ".", "benchmark `regexp` passed to go test -bench")
+		benchTime = flag.String("benchtime", "", "go test -benchtime value (e.g. 0.5s, 100x)")
+		out       = flag.String("o", "", "write the report to `file` (atomically) instead of stdout")
+	)
+	flag.Parse()
+	if err := run(*count, *benchPat, *benchTime, *out, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func parse(sc *bufio.Scanner) (Report, error) {
-	rep := Report{Env: map[string]string{}}
-	pkg := ""
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case strings.HasPrefix(line, "goos:"),
-			strings.HasPrefix(line, "goarch:"),
-			strings.HasPrefix(line, "cpu:"):
-			k, v, _ := strings.Cut(line, ":")
-			rep.Env[k] = strings.TrimSpace(v)
-		case strings.HasPrefix(line, "pkg:"):
-			_, v, _ := strings.Cut(line, ":")
-			pkg = strings.TrimSpace(v)
-		case strings.HasPrefix(line, "Benchmark"):
-			r, ok := parseResult(line)
-			if !ok {
-				continue // e.g. a benchmark that only printed a name
-			}
-			r.Package = pkg
-			rep.Results = append(rep.Results, r)
-		}
+func run(count int, benchPat, benchTime, out string, pkgs []string) error {
+	var rep *regress.Report
+	var err error
+	var tool string
+	if count > 0 {
+		rep, err = collect(count, benchPat, benchTime, pkgs)
+		tool = fmt.Sprintf("benchjson -count %d -bench %q", count, benchPat)
+	} else {
+		rep, err = regress.ParseBench(os.Stdin)
+		tool = "benchjson (stdin)"
 	}
-	return rep, sc.Err()
+	if err != nil {
+		return err
+	}
+	rep.Count = maxRuns(rep)
+	// Parsed header values (cpu model etc.) win over the generic
+	// collector-side block.
+	env := regress.CaptureEnv()
+	for k, v := range rep.Env {
+		env[k] = v
+	}
+	rep.Env = env
+	rep.Provenance = &regress.Provenance{
+		Commit:         gitCommit(),
+		Date:           time.Now().UTC().Format(time.RFC3339),
+		EnvFingerprint: regress.EnvFingerprint(env),
+		Tool:           tool,
+	}
+	if out == "" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	return writeAtomic(out, rep)
 }
 
-// parseResult decodes one result line of the form
-//
-//	BenchmarkName-8   1234   5678 ns/op   90 B/op   3 allocs/op
-func parseResult(line string) (Result, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 {
-		return Result{}, false
+// collect execs `go test` and parses its benchmark output, teeing the
+// raw text to stderr so a long -count run shows progress.
+func collect(count int, benchPat, benchTime string, pkgs []string) (*regress.Report, error) {
+	if len(pkgs) == 0 {
+		pkgs = []string{"."}
 	}
-	name := fields[0]
-	// Strip the trailing -GOMAXPROCS suffix go test appends.
-	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
+	args := []string{"test", "-run", "^$", "-bench", benchPat, "-benchmem",
+		"-count", strconv.Itoa(count)}
+	if benchTime != "" {
+		args = append(args, "-benchtime", benchTime)
+	}
+	args = append(args, pkgs...)
+	cmd := exec.Command("go", args...)
+	var stdout bytes.Buffer
+	cmd.Stdout = io.MultiWriter(&stdout, os.Stderr)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	return regress.ParseBench(&stdout)
+}
+
+func maxRuns(rep *regress.Report) int {
+	max := 0
+	for _, r := range rep.Results {
+		if r.Runs() > max {
+			max = r.Runs()
 		}
 	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	return max
+}
+
+// gitCommit returns the current short commit hash, or "" outside a
+// repository.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
 	if err != nil {
-		return Result{}, false
+		return ""
 	}
-	r := Result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
-	// The remainder is value/unit pairs.
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return Result{}, false
-		}
-		r.Metrics[fields[i+1]] = v
+	return strings.TrimSpace(string(out))
+}
+
+// writeAtomic writes via a temp file + rename so a crashed run never
+// leaves a torn baseline.
+func writeAtomic(path string, rep *regress.Report) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
 	}
-	if _, ok := r.Metrics["ns/op"]; !ok {
-		return Result{}, false
+	defer os.Remove(tmp.Name())
+	if err := rep.WriteJSON(tmp); err != nil {
+		tmp.Close()
+		return err
 	}
-	return r, true
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }

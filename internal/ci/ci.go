@@ -175,6 +175,16 @@ func quantileCISorted(s []float64, p, confidence float64) Interval {
 	}
 }
 
+// RequiredSamples is the §4.2.2 sample-size planner: the number of
+// measurements needed so the 1−α confidence interval stays within
+// ±relErr of the estimate, judged from a pilot sample. It is the entry
+// point callers (e.g. the regression gate's power check) should use;
+// today it applies the normal-approximation rule of
+// RequiredSamplesNormal, the paper's analytic planning formula.
+func RequiredSamples(pilot []float64, confidence, relErr float64) (int, error) {
+	return RequiredSamplesNormal(pilot, confidence, relErr)
+}
+
 // RequiredSamplesNormal returns the number of measurements needed so that
 // the 1−α confidence interval of the mean lies within ±e·x̄, computed from
 // a pilot sample as n = (s·t(n−1, α/2) / (e·x̄))² (§4.2.2). The result is

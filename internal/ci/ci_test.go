@@ -205,6 +205,31 @@ func TestRequiredSamplesNormal(t *testing.T) {
 	}
 }
 
+func TestRequiredSamplesEntryPoint(t *testing.T) {
+	// RequiredSamples is the planner entry point (the regression gate's
+	// power check); today it must agree with the normal-approximation
+	// rule exactly.
+	rng := rand.New(rand.NewPCG(7, 8))
+	pilot := make([]float64, 25)
+	for i := range pilot {
+		pilot[i] = 50 + 10*rng.NormFloat64()
+	}
+	a, err := RequiredSamples(pilot, 0.95, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RequiredSamplesNormal(pilot, 0.95, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("RequiredSamples = %d, RequiredSamplesNormal = %d", a, b)
+	}
+	if _, err := RequiredSamples(pilot[:1], 0.95, 0.05); err != ErrTooFewSamples {
+		t.Error("tiny pilot should error through the entry point")
+	}
+}
+
 func TestStoppingRuleConverges(t *testing.T) {
 	rng := rand.New(rand.NewPCG(9, 9))
 	gen := dist.LogNormal{Mu: 0, Sigma: 0.3}

@@ -1,0 +1,109 @@
+package htest
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dist"
+)
+
+// MannWhitneyResult extends TestResult with the U statistics and the
+// rank-biserial correlation, the effect size that belongs to a rank
+// test (Cohen-style standardized mean differences assume the means are
+// the quantity of interest, which §3.1.3 argues against for skewed
+// measurement data).
+type MannWhitneyResult struct {
+	TestResult
+	U1, U2 float64 // U for the first and second sample (U1 + U2 = n1·n2)
+	// RankBiserial is r = 2·U1/(n1·n2) − 1 ∈ [−1, 1]: the difference
+	// between the probability that a random x exceeds a random y and
+	// the converse. 0 means stochastic equality; +1 complete
+	// superiority of xs; −1 of ys.
+	RankBiserial float64
+}
+
+// MannWhitney performs the two-sample Mann–Whitney (Wilcoxon rank-sum)
+// test of the null hypothesis that both samples come from the same
+// distribution — the two-group specialization of the Kruskal–Wallis
+// test §3.2.2 recommends when normality cannot be assumed. Ties are
+// handled with mid-ranks and the tie-corrected variance; the two-sided
+// p-value uses the continuity-corrected normal approximation (the
+// regime practical tools use; exact tables only matter below n ≈ 8).
+//
+// Both samples being entirely one tied value yields p = 1 (no
+// evidence) rather than an error, so constant-but-equal measurement
+// streams compare as indistinguishable.
+func MannWhitney(xs, ys []float64) (MannWhitneyResult, error) {
+	n1, n2 := len(xs), len(ys)
+	if n1 < 2 || n2 < 2 {
+		return MannWhitneyResult{}, ErrSampleSize
+	}
+	type obs struct {
+		v      float64
+		second bool
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range xs {
+		all = append(all, obs{v, false})
+	}
+	for _, v := range ys {
+		all = append(all, obs{v, true})
+	}
+	n := len(all)
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Mid-ranks and the tie-correction term Σ(t³−t).
+	rankSum1 := 0.0
+	tieCorrection := 0.0
+	for i := 0; i < n; {
+		j := i
+		for j < n && all[j].v == all[i].v {
+			j++
+		}
+		r := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for t := i; t < j; t++ {
+			if !all[t].second {
+				rankSum1 += r
+			}
+		}
+		ties := float64(j - i)
+		tieCorrection += ties*ties*ties - ties
+		i = j
+	}
+
+	f1, f2 := float64(n1), float64(n2)
+	nf := float64(n)
+	u1 := rankSum1 - f1*(f1+1)/2
+	u2 := f1*f2 - u1
+	res := MannWhitneyResult{
+		U1:           u1,
+		U2:           u2,
+		RankBiserial: 2*u1/(f1*f2) - 1,
+	}
+
+	mean := f1 * f2 / 2
+	variance := f1 * f2 / 12 * (nf + 1 - tieCorrection/(nf*(nf-1)))
+	if variance <= 0 {
+		// Every observation is the same tied value: the samples are
+		// indistinguishable by rank.
+		res.TestResult = TestResult{Name: "U", Stat: u1, P: 1}
+		return res, nil
+	}
+	// Continuity correction: shrink |U − mean| by ½ before normalizing.
+	d := u1 - mean
+	switch {
+	case d > 0.5:
+		d -= 0.5
+	case d < -0.5:
+		d += 0.5
+	default:
+		d = 0
+	}
+	z := d / math.Sqrt(variance)
+	p := 2 * dist.NormalCDF(-math.Abs(z))
+	if p > 1 {
+		p = 1
+	}
+	res.TestResult = TestResult{Name: "U", Stat: u1, P: p}
+	return res, nil
+}

@@ -1,0 +1,147 @@
+package htest
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestMannWhitneyCompleteSeparation(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{4, 5, 6}
+	res, err := MannWhitney(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U1 != 0 || res.U2 != 9 {
+		t.Errorf("U1, U2 = %g, %g; want 0, 9", res.U1, res.U2)
+	}
+	if res.RankBiserial != -1 {
+		t.Errorf("rank-biserial = %g, want -1 (ys completely above xs)", res.RankBiserial)
+	}
+	// Continuity-corrected normal approximation: z = −4/√5.25 ≈ −1.746.
+	if res.P < 0.07 || res.P > 0.09 {
+		t.Errorf("p = %g, want ≈ 0.081", res.P)
+	}
+}
+
+func TestMannWhitneySymmetry(t *testing.T) {
+	xs := []float64{1.1, 2.3, 3.2, 4.8, 0.9}
+	ys := []float64{2.0, 3.1, 4.4, 5.5}
+	ab, err := MannWhitney(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := MannWhitney(ys, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.U1 != ba.U2 || ab.U2 != ba.U1 {
+		t.Errorf("U not symmetric: (%g,%g) vs (%g,%g)", ab.U1, ab.U2, ba.U1, ba.U2)
+	}
+	if math.Abs(ab.P-ba.P) > 1e-12 {
+		t.Errorf("p not symmetric: %g vs %g", ab.P, ba.P)
+	}
+	if math.Abs(ab.RankBiserial+ba.RankBiserial) > 1e-12 {
+		t.Errorf("rank-biserial not antisymmetric: %g vs %g", ab.RankBiserial, ba.RankBiserial)
+	}
+}
+
+func TestMannWhitneyTies(t *testing.T) {
+	// Heavily tied but distinguishable samples.
+	xs := []float64{1, 1, 1, 2, 2, 2, 2, 3}
+	ys := []float64{2, 2, 3, 3, 3, 4, 4, 4}
+	res, err := MannWhitney(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.P) || res.P <= 0 || res.P > 1 {
+		t.Fatalf("tied-data p = %g out of range", res.P)
+	}
+	if !res.Significant(0.05) {
+		t.Errorf("clear shift with ties not significant: p = %g", res.P)
+	}
+
+	// All observations one tied value: indistinguishable, p = 1.
+	same := []float64{5, 5, 5, 5}
+	res, err = MannWhitney(same, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("all-tied p = %g, want 1", res.P)
+	}
+	if res.RankBiserial != 0 {
+		t.Errorf("all-tied rank-biserial = %g, want 0", res.RankBiserial)
+	}
+}
+
+func TestMannWhitneySampleSize(t *testing.T) {
+	if _, err := MannWhitney([]float64{1}, []float64{2, 3}); !errors.Is(err, ErrSampleSize) {
+		t.Errorf("err = %v, want ErrSampleSize", err)
+	}
+	if _, err := MannWhitney([]float64{1, 2}, nil); !errors.Is(err, ErrSampleSize) {
+		t.Errorf("err = %v, want ErrSampleSize", err)
+	}
+}
+
+// The two-group Kruskal–Wallis test and the Mann–Whitney test are the
+// same rank test (H = z² up to tie handling and continuity); their
+// decisions must agree on clear cases.
+func TestMannWhitneyAgreesWithKruskalWallis(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	for trial := 0; trial < 20; trial++ {
+		shift := float64(trial) * 0.15
+		xs := make([]float64, 25)
+		ys := make([]float64, 25)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64() + shift
+		}
+		mw, err := MannWhitney(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kw, err := KruskalWallis(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare decisions away from the α boundary.
+		const alpha = 0.05
+		mwSig, kwSig := mw.P < alpha, kw.P < alpha
+		boundary := mw.P > alpha/4 && mw.P < alpha*4
+		if mwSig != kwSig && !boundary {
+			t.Errorf("trial %d (shift %.2f): MW p=%g vs KW p=%g disagree",
+				trial, shift, mw.P, kw.P)
+		}
+	}
+}
+
+// Larger true shifts must not yield larger p-values (sanity of the
+// approximation the regression gate rides on).
+func TestMannWhitneyMonotoneInShift(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	base := make([]float64, 40)
+	for i := range base {
+		base[i] = 100 + 5*rng.NormFloat64()
+	}
+	prevP := 1.1
+	for _, shift := range []float64{0, 2, 5, 10, 20} {
+		ys := make([]float64, len(base))
+		for i, v := range base {
+			ys[i] = v + shift
+		}
+		res, err := MannWhitney(base, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P > prevP+1e-9 {
+			t.Errorf("shift %g: p = %g rose above previous %g", shift, res.P, prevP)
+		}
+		prevP = res.P
+	}
+	if prevP > 1e-6 {
+		t.Errorf("20%% shift at n=40: p = %g, want ≪ 0.05", prevP)
+	}
+}

@@ -1,0 +1,79 @@
+package regress
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseReport asserts the BENCH_*.json parser is total: arbitrary
+// bytes either parse into a report that survives a re-encode/re-parse
+// round trip, or return an error — never a panic. Mirrors the journal
+// parser fuzz setup from the campaign package.
+func FuzzParseReport(f *testing.F) {
+	f.Add([]byte(v1Doc))
+	var v2 bytes.Buffer
+	rep, err := ParseBench(strings.NewReader(benchText))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := rep.WriteJSON(&v2); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"schema": 99}`))
+	f.Add([]byte(`{"schema": 2, "results": [{"name":"B","iterations":[1],"samples":{"ns/op":[1]}}]}`))
+	f.Add([]byte(`{"schema": 2, "results": [{"name":"B","iterations":[1,2],"samples":{"ns/op":[1]}}]}`))
+	f.Add([]byte(`{"results": [{"name":"B","iterations":1,"metrics":{"ns/op":1e308}}]}`))
+	f.Add([]byte(`{"results": [{"name":"B","iterations":1,"metrics":{"ns/op":`)) // torn
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := ParseReport(data)
+		if err != nil {
+			return
+		}
+		// Anything that parsed must be valid and must round-trip.
+		if err := rep.Validate(); err != nil {
+			t.Fatalf("parsed report fails Validate: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		back, err := ParseReport(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-parse of re-encoded report: %v", err)
+		}
+		if len(back.Results) != len(rep.Results) {
+			t.Fatalf("round trip changed result count: %d -> %d",
+				len(rep.Results), len(back.Results))
+		}
+	})
+}
+
+// FuzzParseBench asserts the `go test -bench` text parser is total and
+// that whatever it accepts re-parses from its own JSON encoding.
+func FuzzParseBench(f *testing.F) {
+	f.Add(benchText)
+	f.Add("")
+	f.Add("BenchmarkX-8 100 5 ns/op\n")
+	f.Add("BenchmarkX-8 100 5 ns/op\nBenchmarkX-8 90 6 ns/op\n")
+	f.Add("pkg: a\nBenchmarkX 1 2 ns/op\npkg: b\nBenchmarkX 1 3 ns/op\n")
+	f.Add("BenchmarkX-8 100 NaN ns/op\n")
+	f.Add("BenchmarkX-8 -1 5 ns/op\n")
+	f.Add("Benchmark\ngoos: linux\ncpu: weird: colons: here\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		rep, err := ParseBench(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if _, err := ParseReport(buf.Bytes()); err != nil {
+			t.Fatalf("ParseBench output does not re-parse: %v", err)
+		}
+	})
+}

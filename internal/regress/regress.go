@@ -1,0 +1,370 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ci"
+	"repro/internal/htest"
+	"repro/internal/stats"
+)
+
+// Verdict is the gate's per-benchmark conclusion.
+type Verdict string
+
+const (
+	// VerdictPass: no supportable evidence of a slowdown at or above
+	// the effect threshold.
+	VerdictPass Verdict = "PASS"
+	// VerdictRegressed: the candidate's median is significantly higher
+	// (rank test, p < alpha) AND the shift is at least the effect
+	// threshold — noise-level wobble never reaches this verdict.
+	VerdictRegressed Verdict = "REGRESSED"
+	// VerdictImproved: significantly lower median, at or beyond the
+	// threshold.
+	VerdictImproved Verdict = "IMPROVED"
+	// VerdictInconclusive: the comparison cannot support any claim —
+	// too few samples for the rank test, or the sample sizes are below
+	// the §4.2.2 requirement for the requested resolution (an
+	// underpowered non-rejection is not a PASS).
+	VerdictInconclusive Verdict = "INCONCLUSIVE"
+)
+
+// Options configures a gate run. The zero value is usable: 5% effect
+// threshold, α = 0.05, 95% CIs, Tukey k = 1.5.
+type Options struct {
+	// Threshold is the minimum relative median shift treated as a real
+	// effect (0.05 = 5%). Shifts below it never fail the gate, however
+	// significant — the effect-size discipline of §3.2.2.
+	Threshold float64
+	// Alpha is the rank-test significance level (default 0.05).
+	Alpha float64
+	// Confidence is the level for the median CIs (default 0.95).
+	Confidence float64
+	// TukeyK is the outlier-fence multiplier (default 1.5); negative
+	// disables outlier removal. Removed counts are always reported
+	// (§3.1.3).
+	TukeyK float64
+	// Unit is the gated metric (default "ns/op"). Other recorded units
+	// are reported as informational deltas.
+	Unit string
+}
+
+func (o Options) threshold() float64 {
+	if o.Threshold <= 0 {
+		return 0.05
+	}
+	return o.Threshold
+}
+
+func (o Options) alpha() float64 {
+	if o.Alpha <= 0 {
+		return 0.05
+	}
+	return o.Alpha
+}
+
+func (o Options) confidence() float64 {
+	if o.Confidence <= 0 || o.Confidence >= 1 {
+		return 0.95
+	}
+	return o.Confidence
+}
+
+func (o Options) tukeyK() float64 {
+	if o.TukeyK == 0 {
+		return 1.5
+	}
+	return o.TukeyK
+}
+
+func (o Options) unit() string {
+	if o.Unit == "" {
+		return "ns/op"
+	}
+	return o.Unit
+}
+
+// MetricDelta is an informational (non-gated) metric comparison:
+// median baseline vs candidate and the relative shift.
+type MetricDelta struct {
+	Unit      string  `json:"unit"`
+	Baseline  float64 `json:"baseline"`
+	Candidate float64 `json:"candidate"`
+	Delta     float64 `json:"delta"` // relative; NaN encoded as 0 when baseline is 0
+}
+
+// Comparison is one benchmark's full verdict with the statistical
+// evidence behind it, so the reported conclusion carries its basis
+// (Rule 5: report CIs and sample counts, not bare means).
+type Comparison struct {
+	Name    string `json:"name"`
+	Package string `json:"package,omitempty"`
+	Unit    string `json:"unit"`
+
+	Verdict Verdict `json:"verdict"`
+	// Reason is the one-line human-readable basis for the verdict.
+	Reason string `json:"reason"`
+
+	// Sample accounting (after outlier removal; removed counts per
+	// §3.1.3's "report the number of removed outliers").
+	BaselineN        int `json:"baseline_n"`
+	CandidateN       int `json:"candidate_n"`
+	BaselineOutliers int `json:"baseline_outliers"`
+	CandidateOutliers int `json:"candidate_outliers"`
+
+	// Medians and their nonparametric CIs (nil when n < 6, the Le
+	// Boudec minimum).
+	BaselineMedian  float64      `json:"baseline_median"`
+	CandidateMedian float64      `json:"candidate_median"`
+	BaselineCI      *ci.Interval `json:"baseline_ci,omitempty"`
+	CandidateCI     *ci.Interval `json:"candidate_ci,omitempty"`
+
+	// Delta is the relative median shift (candidate − baseline) /
+	// baseline; positive = slower for cost metrics like ns/op.
+	Delta float64 `json:"delta"`
+	// P is the two-sided Mann–Whitney p-value (NaN when the test could
+	// not run).
+	P float64 `json:"p"`
+	// RankBiserial is the rank-test effect size in [−1, 1].
+	RankBiserial float64 `json:"rank_biserial"`
+
+	// RequiredN is the §4.2.2 sample count needed to resolve the
+	// threshold at the configured confidence (0 when not computable);
+	// Underpowered marks comparisons whose sides fall short of it.
+	RequiredN    int  `json:"required_n,omitempty"`
+	Underpowered bool `json:"underpowered"`
+
+	// Secondary holds the non-gated metric deltas (B/op, allocs/op,
+	// custom units), sorted by unit.
+	Secondary []MetricDelta `json:"secondary,omitempty"`
+}
+
+// GateReport is the whole gate run: per-benchmark comparisons plus the
+// cross-cutting caveats (benchmarks present on only one side,
+// environment fingerprint mismatch).
+type GateReport struct {
+	Options ResolvedOptions `json:"options"`
+	Comparisons []Comparison `json:"comparisons"`
+	// MissingInCandidate / MissingInBaseline list benchmark keys found
+	// on only one side (renames, new benchmarks, deletions).
+	MissingInCandidate []string `json:"missing_in_candidate,omitempty"`
+	MissingInBaseline  []string `json:"missing_in_baseline,omitempty"`
+	// EnvMismatch notes a Rule 9 caveat: the two reports carry
+	// different environment fingerprints, so hardware/toolchain drift
+	// may explain any shift.
+	EnvMismatch bool   `json:"env_mismatch"`
+	EnvNote     string `json:"env_note,omitempty"`
+}
+
+// Counts returns the number of comparisons per verdict.
+func (g *GateReport) Counts() map[Verdict]int {
+	m := map[Verdict]int{}
+	for _, c := range g.Comparisons {
+		m[c.Verdict]++
+	}
+	return m
+}
+
+// Regressed reports whether any benchmark regressed — the gate's
+// exit-code condition.
+func (g *GateReport) Regressed() bool {
+	for _, c := range g.Comparisons {
+		if c.Verdict == VerdictRegressed {
+			return true
+		}
+	}
+	return false
+}
+
+// Compare runs the gate: for every benchmark present in both reports
+// it applies the outlier policy, computes median + rank CIs, runs the
+// Mann–Whitney test, checks §4.2.2 power, and issues a verdict.
+// Comparisons are ordered by benchmark key for deterministic output.
+func Compare(baseline, candidate *Report, opt Options) (*GateReport, error) {
+	if err := baseline.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := candidate.Validate(); err != nil {
+		return nil, fmt.Errorf("candidate: %w", err)
+	}
+	g := &GateReport{}
+	g.Options.Threshold = opt.threshold()
+	g.Options.Alpha = opt.alpha()
+	g.Options.Confidence = opt.confidence()
+	g.Options.TukeyK = opt.tukeyK()
+	g.Options.Unit = opt.unit()
+
+	baseIdx := indexByKey(baseline)
+	candIdx := indexByKey(candidate)
+	keys := make([]string, 0, len(baseIdx))
+	for k := range baseIdx {
+		if _, ok := candIdx[k]; ok {
+			keys = append(keys, k)
+		} else {
+			g.MissingInCandidate = append(g.MissingInCandidate, k)
+		}
+	}
+	for k := range candIdx {
+		if _, ok := baseIdx[k]; !ok {
+			g.MissingInBaseline = append(g.MissingInBaseline, k)
+		}
+	}
+	sort.Strings(keys)
+	sort.Strings(g.MissingInCandidate)
+	sort.Strings(g.MissingInBaseline)
+
+	bfp, cfp := EnvFingerprint(baseline.Env), EnvFingerprint(candidate.Env)
+	if bfp != cfp {
+		g.EnvMismatch = true
+		g.EnvNote = fmt.Sprintf("environment fingerprints differ (baseline %s, candidate %s): "+
+			"hardware or toolchain drift may explain shifts (Rule 9)", bfp, cfp)
+	}
+
+	for _, k := range keys {
+		b, c := baseIdx[k], candIdx[k]
+		g.Comparisons = append(g.Comparisons, compareOne(b, c, g.Options))
+	}
+	return g, nil
+}
+
+func indexByKey(rep *Report) map[string]Result {
+	m := make(map[string]Result, len(rep.Results))
+	for _, r := range rep.Results {
+		m[r.Key()] = r
+	}
+	return m
+}
+
+// ResolvedOptions is the Options value after defaulting — recorded in
+// the GateReport so a verdict table carries the thresholds it was
+// judged under.
+type ResolvedOptions struct {
+	Threshold  float64 `json:"threshold"`
+	Alpha      float64 `json:"alpha"`
+	Confidence float64 `json:"confidence"`
+	TukeyK     float64 `json:"tukey_k"`
+	Unit       string  `json:"unit"`
+}
+
+func compareOne(b, c Result, opt ResolvedOptions) Comparison {
+	cmp := Comparison{Name: b.Name, Package: b.Package, Unit: opt.Unit}
+
+	bs, bOut := applyOutlierPolicy(b.Sample(opt.Unit), opt.TukeyK)
+	cs, cOut := applyOutlierPolicy(c.Sample(opt.Unit), opt.TukeyK)
+	cmp.BaselineN, cmp.CandidateN = len(bs), len(cs)
+	cmp.BaselineOutliers, cmp.CandidateOutliers = bOut, cOut
+	cmp.P = math.NaN()
+	cmp.Secondary = secondaryDeltas(b, c, opt.Unit)
+
+	if len(bs) == 0 || len(cs) == 0 {
+		cmp.Verdict = VerdictInconclusive
+		cmp.Reason = fmt.Sprintf("no %s samples on one side", opt.Unit)
+		return cmp
+	}
+	cmp.BaselineMedian = stats.Median(bs)
+	cmp.CandidateMedian = stats.Median(cs)
+	if cmp.BaselineMedian != 0 {
+		cmp.Delta = (cmp.CandidateMedian - cmp.BaselineMedian) / cmp.BaselineMedian
+	}
+	if iv, err := ci.MedianCI(bs, opt.Confidence); err == nil {
+		cmp.BaselineCI = &iv
+	}
+	if iv, err := ci.MedianCI(cs, opt.Confidence); err == nil {
+		cmp.CandidateCI = &iv
+	}
+	// §4.2.2 power check against the threshold the gate must resolve,
+	// judged from the baseline side (the committed reference).
+	if need, err := ci.RequiredSamples(bs, opt.Confidence, opt.Threshold); err == nil {
+		cmp.RequiredN = need
+		cmp.Underpowered = len(bs) < need || len(cs) < need
+	}
+
+	if len(bs) < 2 || len(cs) < 2 {
+		cmp.Verdict = VerdictInconclusive
+		cmp.Reason = fmt.Sprintf("n=%d vs n=%d: too few samples for a rank test (single-run v1 baseline?)",
+			len(bs), len(cs))
+		return cmp
+	}
+	if cmp.BaselineMedian == 0 {
+		cmp.Verdict = VerdictInconclusive
+		cmp.Reason = "baseline median is zero; relative shift undefined"
+		return cmp
+	}
+
+	mw, err := htest.MannWhitney(bs, cs)
+	if err != nil {
+		cmp.Verdict = VerdictInconclusive
+		cmp.Reason = fmt.Sprintf("rank test unavailable: %v", err)
+		return cmp
+	}
+	cmp.P = mw.P
+	cmp.RankBiserial = mw.RankBiserial
+
+	significant := mw.P < opt.Alpha
+	big := math.Abs(cmp.Delta) >= opt.Threshold
+	switch {
+	case significant && big && cmp.Delta > 0:
+		cmp.Verdict = VerdictRegressed
+		cmp.Reason = fmt.Sprintf("median +%.1f%% (≥ %.1f%% threshold), U test p=%.3g < %.2g",
+			100*cmp.Delta, 100*opt.Threshold, mw.P, opt.Alpha)
+	case significant && big:
+		cmp.Verdict = VerdictImproved
+		cmp.Reason = fmt.Sprintf("median %.1f%% (≥ %.1f%% threshold), U test p=%.3g < %.2g",
+			100*cmp.Delta, 100*opt.Threshold, mw.P, opt.Alpha)
+	case significant:
+		cmp.Verdict = VerdictPass
+		cmp.Reason = fmt.Sprintf("significant (p=%.3g) but |Δmedian| %.1f%% < %.1f%% threshold: noise-level wobble",
+			mw.P, 100*math.Abs(cmp.Delta), 100*opt.Threshold)
+	case cmp.Underpowered:
+		cmp.Verdict = VerdictInconclusive
+		cmp.Reason = fmt.Sprintf("not significant (p=%.3g) but underpowered: n=%d/%d < required %d for ±%.1f%% (§4.2.2)",
+			mw.P, len(bs), len(cs), cmp.RequiredN, 100*opt.Threshold)
+	default:
+		cmp.Verdict = VerdictPass
+		cmp.Reason = fmt.Sprintf("no significant shift (p=%.3g, Δmedian %+.1f%%)", mw.P, 100*cmp.Delta)
+	}
+	return cmp
+}
+
+// applyOutlierPolicy removes Tukey-fence outliers (k < 0 disables) and
+// reports how many were removed. Samples too small to estimate fences
+// (n < 4) pass through unfiltered.
+func applyOutlierPolicy(xs []float64, k float64) ([]float64, int) {
+	if k < 0 || len(xs) < 4 {
+		return xs, 0
+	}
+	kept, outliers := stats.TukeyFilter(xs, k)
+	if len(kept) == 0 {
+		// Degenerate fences (shouldn't happen with k >= 0); keep the
+		// data rather than discard the benchmark.
+		return xs, 0
+	}
+	return kept, len(outliers)
+}
+
+// secondaryDeltas compares the non-gated units present on both sides.
+func secondaryDeltas(b, c Result, gated string) []MetricDelta {
+	units := make([]string, 0, len(b.Samples))
+	for u := range b.Samples {
+		if u == gated {
+			continue
+		}
+		if _, ok := c.Samples[u]; ok {
+			units = append(units, u)
+		}
+	}
+	sort.Strings(units)
+	out := make([]MetricDelta, 0, len(units))
+	for _, u := range units {
+		mb := stats.Median(b.Samples[u])
+		mc := stats.Median(c.Samples[u])
+		d := MetricDelta{Unit: u, Baseline: mb, Candidate: mc}
+		if mb != 0 {
+			d.Delta = (mc - mb) / mb
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package regress
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/ci"
+)
+
+// WriteJSON writes the gate report as indented JSON.
+func (g *GateReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// ParseGateJSON decodes a gate report previously written by WriteJSON,
+// for tooling that post-processes verdicts.
+func ParseGateJSON(data []byte) (*GateReport, error) {
+	var g GateReport
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	return &g, nil
+}
+
+// WriteMarkdown renders the per-benchmark verdict table as GitHub-
+// flavored markdown — the artifact the CI job publishes as its job
+// summary. Every row carries its evidence: medians with their
+// nonparametric CIs, the relative shift, the rank-test p-value, and
+// the sample accounting (Rule 5: never a bare mean).
+func (g *GateReport) WriteMarkdown(w io.Writer) error {
+	bw := &errWriter{w: w}
+	counts := g.Counts()
+	fmt.Fprintf(bw, "### benchgate — %d benchmark(s): %d PASS, %d REGRESSED, %d IMPROVED, %d INCONCLUSIVE\n\n",
+		len(g.Comparisons), counts[VerdictPass], counts[VerdictRegressed],
+		counts[VerdictImproved], counts[VerdictInconclusive])
+	fmt.Fprintf(bw, "Gate: |Δmedian| ≥ %.1f%% **and** Mann–Whitney p < %.2g (%.0f%% median CIs, Tukey k=%.1f on %s).\n\n",
+		100*g.Options.Threshold, g.Options.Alpha, 100*g.Options.Confidence,
+		g.Options.TukeyK, g.Options.Unit)
+	if g.EnvMismatch {
+		fmt.Fprintf(bw, "> ⚠️ %s\n\n", g.EnvNote)
+	}
+	fmt.Fprintln(bw, "| benchmark | baseline median | candidate median | Δ | p (U) | n | verdict |")
+	fmt.Fprintln(bw, "|---|---|---|---|---|---|---|")
+	for _, c := range g.Comparisons {
+		fmt.Fprintf(bw, "| %s | %s | %s | %+.1f%% | %s | %d/%d | %s %s |\n",
+			c.Name,
+			medianCell(c.BaselineMedian, c.BaselineCI, c.Unit),
+			medianCell(c.CandidateMedian, c.CandidateCI, c.Unit),
+			100*c.Delta, pCell(c.P), c.BaselineN, c.CandidateN,
+			verdictEmoji(c.Verdict), c.Verdict)
+	}
+	fmt.Fprintln(bw)
+	for _, c := range g.Comparisons {
+		if c.Verdict != VerdictPass {
+			fmt.Fprintf(bw, "- **%s** %s: %s\n", c.Name, c.Verdict, c.Reason)
+		}
+	}
+	writeMissing(bw, "only in baseline (removed?)", g.MissingInCandidate)
+	writeMissing(bw, "only in candidate (new)", g.MissingInBaseline)
+	return bw.err
+}
+
+// WriteText renders a plain-terminal version of the verdict table.
+func (g *GateReport) WriteText(w io.Writer) error {
+	bw := &errWriter{w: w}
+	counts := g.Counts()
+	fmt.Fprintf(bw, "benchgate: %d benchmark(s): %d PASS, %d REGRESSED, %d IMPROVED, %d INCONCLUSIVE\n",
+		len(g.Comparisons), counts[VerdictPass], counts[VerdictRegressed],
+		counts[VerdictImproved], counts[VerdictInconclusive])
+	fmt.Fprintf(bw, "gate: |dmedian| >= %.1f%% and Mann-Whitney p < %.2g (unit %s)\n",
+		100*g.Options.Threshold, g.Options.Alpha, g.Options.Unit)
+	if g.EnvMismatch {
+		fmt.Fprintf(bw, "warning: %s\n", g.EnvNote)
+	}
+	for _, c := range g.Comparisons {
+		fmt.Fprintf(bw, "  %-14s %-40s %12.6g -> %-12.6g %+7.1f%%  p=%-8s n=%d/%d\n",
+			c.Verdict, c.Name, c.BaselineMedian, c.CandidateMedian,
+			100*c.Delta, pCell(c.P), c.BaselineN, c.CandidateN)
+		if c.Verdict != VerdictPass {
+			fmt.Fprintf(bw, "  %-14s   %s\n", "", c.Reason)
+		}
+	}
+	if len(g.MissingInCandidate) > 0 {
+		fmt.Fprintf(bw, "only in baseline: %s\n", strings.Join(g.MissingInCandidate, ", "))
+	}
+	if len(g.MissingInBaseline) > 0 {
+		fmt.Fprintf(bw, "only in candidate: %s\n", strings.Join(g.MissingInBaseline, ", "))
+	}
+	return bw.err
+}
+
+func writeMissing(w io.Writer, label string, keys []string) {
+	if len(keys) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%s: %s\n", label, strings.Join(keys, ", "))
+}
+
+func medianCell(med float64, iv *ci.Interval, unit string) string {
+	if iv == nil {
+		return fmt.Sprintf("%.4g %s", med, unit)
+	}
+	return fmt.Sprintf("%.4g [%.4g, %.4g] %s", med, iv.Lo, iv.Hi, unit)
+}
+
+func pCell(p float64) string {
+	if math.IsNaN(p) {
+		return "—"
+	}
+	return fmt.Sprintf("%.3g", p)
+}
+
+func verdictEmoji(v Verdict) string {
+	switch v {
+	case VerdictPass:
+		return "✅"
+	case VerdictRegressed:
+		return "❌"
+	case VerdictImproved:
+		return "🚀"
+	default:
+		return "❔"
+	}
+}
+
+// errWriter folds repeated Fprintf error checks into one sticky error.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	_, err := e.w.Write(p)
+	e.err = err
+	return len(p), nil
+}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/htest"
 	"repro/internal/model"
 	"repro/internal/qreg"
+	"repro/internal/regress"
 	"repro/internal/report"
 	"repro/internal/rules"
 	"repro/internal/stats"
@@ -212,7 +213,7 @@ func QuantileCI(xs []float64, p, confidence float64) (Interval, error) {
 // RequiredSamples computes the sample size needed for a target relative
 // error at a confidence level, from a normal pilot sample (§4.2.2).
 func RequiredSamples(pilot []float64, confidence, relErr float64) (int, error) {
-	return ci.RequiredSamplesNormal(pilot, confidence, relErr)
+	return ci.RequiredSamples(pilot, confidence, relErr)
 }
 
 // Hypothesis tests (package htest).
@@ -243,6 +244,17 @@ func KruskalWallis(groups ...[]float64) (TestResult, error) {
 
 // EffectSize returns the standardized mean difference (§3.2.2).
 func EffectSize(xs, ys []float64) (float64, error) { return htest.EffectSize(xs, ys) }
+
+// MannWhitneyResult extends TestResult with the U statistics and the
+// rank-biserial effect size.
+type MannWhitneyResult = htest.MannWhitneyResult
+
+// MannWhitney performs the two-sample Wilcoxon rank-sum test (the
+// two-group Kruskal–Wallis specialization of §3.2.2), with mid-ranks,
+// tie-corrected variance, and a continuity-corrected two-sided p.
+func MannWhitney(xs, ys []float64) (MannWhitneyResult, error) {
+	return htest.MannWhitney(xs, ys)
+}
 
 // PairedTTest tests the mean of paired differences (blocked designs).
 func PairedTTest(xs, ys []float64) (TestResult, error) { return htest.PairedTTest(xs, ys) }
@@ -716,6 +728,63 @@ var (
 	// ErrRecorder wraps a journal write failure that aborted collection.
 	ErrRecorder = bench.ErrRecorder
 )
+
+// Performance-regression gate (package regress): the paper's
+// statistics applied to the repo's own benchmarks. A BenchReport is a
+// recorded multi-run sample set (`BENCH_*.json`, schema v2 with raw
+// per-run samples; legacy v1 single-run files still parse);
+// CompareBenchReports turns a baseline/candidate pair into
+// per-benchmark PASS / REGRESSED / IMPROVED / INCONCLUSIVE verdicts
+// backed by median rank CIs, Mann–Whitney tests, and the §4.2.2 power
+// check. cmd/benchjson records reports; cmd/benchgate gates on them.
+type (
+	// BenchReport is one recorded benchmark run set with its Rule 9
+	// environment block and optional provenance.
+	BenchReport = regress.Report
+	// BenchRecord is one benchmark's per-run raw samples.
+	BenchRecord = regress.Result
+	// BenchProvenance documents where a committed baseline came from.
+	BenchProvenance = regress.Provenance
+	// GateOptions configures the gate (effect threshold, alpha,
+	// confidence, Tukey k, gated unit); the zero value is usable.
+	GateOptions = regress.Options
+	// GateReport is a completed gate run: per-benchmark comparisons
+	// plus cross-cutting Rule 9 caveats.
+	GateReport = regress.GateReport
+	// GateComparison is one benchmark's verdict with its evidence.
+	GateComparison = regress.Comparison
+	// GateVerdict is the per-benchmark conclusion.
+	GateVerdict = regress.Verdict
+)
+
+// Gate verdicts.
+const (
+	GatePass         = regress.VerdictPass
+	GateRegressed    = regress.VerdictRegressed
+	GateImproved     = regress.VerdictImproved
+	GateInconclusive = regress.VerdictInconclusive
+)
+
+// ParseBenchReport decodes a BENCH_*.json document (schema v2 or
+// legacy v1).
+func ParseBenchReport(data []byte) (*BenchReport, error) { return regress.ParseReport(data) }
+
+// LoadBenchReport reads and parses a BENCH_*.json file.
+func LoadBenchReport(path string) (*BenchReport, error) { return regress.LoadReport(path) }
+
+// ParseBenchOutput parses `go test -bench` text output into a
+// BenchReport, grouping `-count N` repetitions into per-run samples.
+func ParseBenchOutput(r io.Reader) (*BenchReport, error) { return regress.ParseBench(r) }
+
+// CompareBenchReports runs the regression gate over a baseline and a
+// candidate report.
+func CompareBenchReports(baseline, candidate *BenchReport, opt GateOptions) (*GateReport, error) {
+	return regress.Compare(baseline, candidate, opt)
+}
+
+// BenchEnvFingerprint hashes an environment block into the short
+// identifier provenance records and the gate's Rule 9 drift check use.
+func BenchEnvFingerprint(env map[string]string) string { return regress.EnvFingerprint(env) }
 
 // Harness observability (package telemetry): a lock-cheap metrics
 // registry the measurement layers instrument unconditionally,

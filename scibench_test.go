@@ -272,6 +272,56 @@ func ExampleSummarizeMean() {
 	// harmonic mean: 2.0 Gflop/s
 }
 
+// TestRegressionGateFacade drives the public regression-gate surface:
+// record two bench runs as reports, gate them, and render the verdict.
+func TestRegressionGateFacade(t *testing.T) {
+	mkReport := func(seed uint64, mean float64) *scibench.BenchReport {
+		rng := rand.New(rand.NewPCG(seed, seed))
+		var out strings.Builder
+		out.WriteString("goos: linux\npkg: repro\ncpu: simulated\n")
+		for i := 0; i < 12; i++ {
+			fmt.Fprintf(&out, "BenchmarkGate-8 100 %.0f ns/op\n", mean+0.02*mean*rng.NormFloat64())
+		}
+		rep, err := scibench.ParseBenchOutput(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	base := mkReport(1, 1000)
+	slow := mkReport(2, 1300) // +30% median: a real regression
+	g, err := scibench.CompareBenchReports(base, slow, scibench.GateOptions{Threshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Regressed() {
+		t.Fatalf("gate missed a +30%% shift: %+v", g.Comparisons)
+	}
+	if g.Comparisons[0].Verdict != scibench.GateRegressed {
+		t.Errorf("verdict = %s, want %s", g.Comparisons[0].Verdict, scibench.GateRegressed)
+	}
+	var md strings.Builder
+	if err := g.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "REGRESSED") {
+		t.Error("markdown missing REGRESSED row")
+	}
+
+	// The rank test behind the gate is exported too.
+	mw, err := scibench.MannWhitney(
+		base.Results[0].Sample("ns/op"), slow.Results[0].Sample("ns/op"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mw.Significant(0.05) {
+		t.Errorf("MannWhitney p = %g, want < 0.05", mw.P)
+	}
+	if scibench.BenchEnvFingerprint(base.Env) != scibench.BenchEnvFingerprint(slow.Env) {
+		t.Error("same env block must fingerprint identically")
+	}
+}
+
 // ExampleCompareQuantiles shows the Fig 4 analysis on synthetic data.
 func ExampleCompareQuantiles() {
 	rng := rand.New(rand.NewPCG(7, 7))
