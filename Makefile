@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all build test vet race check bench bench-smoke bench-json benchgate \
-	coverage coverage-check figures telemetry-smoke durability
+	coverage coverage-check figures telemetry-smoke durability shardcheck
 
 all: check
 
@@ -28,10 +28,19 @@ telemetry-smoke:
 durability:
 	$(GO) test -run 'TestCreateManifest' -count=1 ./internal/campaign
 
+# shardcheck drives the distributed-execution stack with real executor
+# processes: one SIGKILLed mid-shard (resume from journal on
+# reassignment), one wedged without heartbeats (stall-killed), and the
+# CLI sharded campaign — every merged report byte-identical to its
+# single-process reference.
+shardcheck:
+	$(GO) test -run 'TestProcess' -count=1 ./internal/shard
+	$(GO) test -run 'TestShardedCampaignSIGKILLByteIdentity' -count=1 ./cmd/scibench
+
 # check is the CI gate: static analysis, the plain suite first (clean
 # line numbers for pure-Go failures), then the race pass and the
-# telemetry + durability smoke drives.
-check: vet test race telemetry-smoke durability
+# telemetry + durability + distributed-execution drives.
+check: vet test race telemetry-smoke durability shardcheck
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

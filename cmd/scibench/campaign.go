@@ -40,12 +40,18 @@ const campaignConfigFile = "config.json"
 func cmdCampaign(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
 	dir := fs.String("dir", "", "campaign directory (required)")
+	shards := fs.Int("shards", 0, "distributed mode: fork this many supervised executor processes")
+	units := fs.Int("units", 8, "sweep units in distributed mode (replications at consecutive seeds)")
+	hbTimeout := fs.Duration("heartbeat-timeout", 5*time.Second, "distributed mode: executor liveness timeout")
 	cc, budget, workers, telAddr := campaignFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dir == "" {
 		return fmt.Errorf("-dir is required")
+	}
+	if *shards > 0 {
+		return runShardedCampaign(*dir, *cc, *units, *shards, *hbTimeout)
 	}
 	if err := writeCampaignConfig(*dir, *cc); err != nil {
 		return err
@@ -218,6 +224,12 @@ func campaignContext(budget time.Duration) (context.Context, context.CancelFunc)
 // configuration: the manifest (campaign identity), the collection plan,
 // and the ping-pong measure closure on the seeded simulated machine.
 func campaignSetup(dir string, cc campaignConfig) (scibench.CampaignManifest, scibench.Plan, func() (float64, error), error) {
+	return campaignSetupNamed(filepath.Base(dir), cc)
+}
+
+// campaignSetupNamed is campaignSetup with an explicit campaign name —
+// shard executors name each unit campaign after its unit ID.
+func campaignSetupNamed(name string, cc campaignConfig) (scibench.CampaignManifest, scibench.Plan, func() (float64, error), error) {
 	var clusterCfg scibench.ClusterConfig
 	switch cc.System {
 	case "daint":
@@ -248,14 +260,7 @@ func campaignSetup(dir string, cc campaignConfig) (scibench.CampaignManifest, sc
 		return float64(d) / float64(time.Microsecond), nil
 	}
 
-	env := scibench.ExperimentEnv{
-		Processor:        "simulated " + cc.System + " (cluster package)",
-		Network:          "simulated interconnect, 2 ranks, ping-pong 64 B",
-		MeasurementSetup: fmt.Sprintf("1 round per observation, journaled write-ahead, seed %d", cc.Seed),
-		InputAndCode:     "scibench campaign (repro module)",
-		NotApplicable:    []string{"memory", "compiler", "runtime", "filesystem", "codeurl"},
-	}
-	man, err := scibench.NewCampaignManifest(filepath.Base(dir), cc.Seed, cc, sched, env)
+	man, err := scibench.NewCampaignManifest(name, cc.Seed, cc, sched, campaignEnv(cc))
 	if err != nil {
 		return scibench.CampaignManifest{}, scibench.Plan{}, nil, err
 	}
@@ -265,6 +270,20 @@ func campaignSetup(dir string, cc campaignConfig) (scibench.CampaignManifest, sc
 		RelErr:     cc.RelErr,
 	}
 	return man, plan, measure, nil
+}
+
+// campaignEnv is the Rule 9 environment block recorded for a campaign
+// configuration. The seed is deliberately excluded: shard units of one
+// sweep differ only by seed and must share one env fingerprint, seeds
+// being pinned per-unit in the manifests instead.
+func campaignEnv(cc campaignConfig) scibench.ExperimentEnv {
+	return scibench.ExperimentEnv{
+		Processor:        "simulated " + cc.System + " (cluster package)",
+		Network:          "simulated interconnect, 2 ranks, ping-pong 64 B",
+		MeasurementSetup: "1 round per observation, journaled write-ahead",
+		InputAndCode:     "scibench campaign (repro module)",
+		NotApplicable:    []string{"memory", "compiler", "runtime", "filesystem", "codeurl"},
+	}
 }
 
 // reportCampaign prints the campaign outcome and exits 3 on a clean

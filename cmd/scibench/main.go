@@ -41,6 +41,29 @@
 //	    to completion. Flags override the recorded setup — which refuses
 //	    the resume unless they match.
 //
+//	scibench campaign -dir DIR -shards N [-units K] [campaign flags]
+//	    Distributed mode: partition a K-unit sweep (unit i = the campaign
+//	    at seed+i) into N shards and fork one supervised executor process
+//	    per shard. Crashed or stalled executors (heartbeat timeout) are
+//	    reassigned and resume their shard from its journals; exhausted
+//	    retries degrade the merged report with explicit losses (exit 4).
+//	    The merged report is byte-identical to a single-process run.
+//
+//	scibench shard -dir DIR -shards N -units K [campaign flags]
+//	    Only build the sweep: write sweep.json and the per-shard
+//	    manifests, to be executed by N separate `scibench exec` runs.
+//
+//	scibench exec [-attempt N] SHARD_DIR
+//	    Run one shard as an executor: a journaled campaign per unit,
+//	    heartbeat liveness file, completed units skipped, interrupted
+//	    units resumed from their journal bit-for-bit.
+//
+//	scibench merge -dir DIR [-ops]
+//	    Verify and merge every shard's journals into one canonical
+//	    report (refusing manifest drift, checking each merge seam for
+//	    regime shifts) and record merged.json; -ops appends the
+//	    operational annex (attempts, env fingerprints, seam p-values).
+//
 //	scibench rules
 //	    Print the twelve rules verbatim.
 package main
@@ -83,6 +106,12 @@ func main() {
 		err = cmdCampaign(os.Args[2:])
 	case "resume":
 		err = cmdResume(os.Args[2:])
+	case "shard":
+		err = cmdShard(os.Args[2:])
+	case "exec":
+		err = cmdExec(os.Args[2:])
+	case "merge":
+		err = cmdMerge(os.Args[2:])
 	default:
 		usage()
 	}
@@ -93,7 +122,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scibench analyze|compare|audit|generate|changepoint|campaign|resume|timer|rules [flags]")
+	fmt.Fprintln(os.Stderr, "usage: scibench analyze|compare|audit|generate|changepoint|campaign|resume|shard|exec|merge|timer|rules [flags]")
 	os.Exit(2)
 }
 

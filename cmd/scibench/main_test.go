@@ -178,6 +178,82 @@ func TestCampaignInterruptResume(t *testing.T) {
 	}
 }
 
+// TestShardedCampaignSIGKILLByteIdentity drives the distributed flow
+// against the real binary: build a 2-shard sweep with `scibench shard`,
+// SIGKILL one executor mid-unit (the crash a scheduler preemption or
+// OOM kill delivers), re-run it as a reassignment attempt that resumes
+// from the journal, merge — and require the merged report byte-equal to
+// the report of `scibench campaign -shards 1` over the same sweep.
+func TestShardedCampaignSIGKILLByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives real processes with wall-clock pacing")
+	}
+	sweepArgs := func(dir string) []string {
+		return []string{"-dir", dir, "-units", "4", "-samples", "30",
+			"-relerr", "0.0001", "-seed", "5", "-throttle", "20ms"}
+	}
+
+	// Reference: the whole sweep in one supervised executor. The sweep
+	// directory basename must match (it names the sweep in the report).
+	refDir := filepath.Join(t.TempDir(), "sweep")
+	ref, err := exec.Command(binPath,
+		append([]string{"campaign", "-shards", "1"}, sweepArgs(refDir)...)...).Output()
+	if err != nil {
+		t.Fatalf("single-executor campaign: %v", err)
+	}
+
+	// Distributed: build the sweep, then run the two shards by hand.
+	dir := filepath.Join(t.TempDir(), "sweep")
+	if out, err := exec.Command(binPath,
+		append([]string{"shard", "-shards", "2"}, sweepArgs(dir)...)...).CombinedOutput(); err != nil {
+		t.Fatalf("scibench shard: %v\n%s", err, out)
+	}
+
+	// Start executor 0 and SIGKILL it once its first unit has journaled
+	// a few durable records — mid-unit, mid-journal.
+	shard0 := filepath.Join(dir, "shard-000")
+	victim := exec.Command(binPath, "exec", shard0)
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	journal := filepath.Join(shard0, "units", "u000-seed-5", "journal.jsonl")
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if fi, err := os.Stat(journal); err == nil && fi.Size() > 300 {
+			break
+		}
+		if time.Now().After(deadline) {
+			victim.Process.Kill()
+			t.Fatal("executor 0 never journaled a record")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = victim.Wait()
+
+	// Reassignment: attempt 2 resumes the torn unit from its journal and
+	// finishes the shard; executor 1 runs clean.
+	if out, err := exec.Command(binPath, "exec", "-attempt", "2", shard0).CombinedOutput(); err != nil {
+		t.Fatalf("reassigned executor: %v\n%s", err, out)
+	}
+	if out, err := exec.Command(binPath, "exec", filepath.Join(dir, "shard-001")).CombinedOutput(); err != nil {
+		t.Fatalf("executor 1: %v\n%s", err, out)
+	}
+
+	got, err := exec.Command(binPath, "merge", "-dir", dir).Output()
+	if err != nil {
+		t.Fatalf("scibench merge: %v", err)
+	}
+	if string(got) != string(ref) {
+		t.Errorf("merged report after SIGKILL differs from single-executor run:\n--- ref\n%s\n--- got\n%s", ref, got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "merged.json")); err != nil {
+		t.Errorf("merge recorded no merged.json: %v", err)
+	}
+}
+
 // TestCampaignRefusesExistingDir covers the Create guard end to end.
 func TestCampaignRefusesExistingDir(t *testing.T) {
 	if testing.Short() {

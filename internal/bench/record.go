@@ -84,6 +84,45 @@ func (s *ResumeState) Samples() []float64 {
 	return xs
 }
 
+// Replayed is the collection state summarized from a journaled event
+// stream: the retained sample plus the loss accounting the stream
+// implies. It is what a merge reader (internal/shard) reconstructs per
+// unit so a merged report carries exactly the accounting a live run
+// would have — losses are data (Rule 4), recomputed from the journal
+// rather than trusted from a sidecar file.
+type Replayed struct {
+	// Samples are the retained observations in collection order.
+	Samples []float64
+	// Warmup, Retries, Losses and Panics mirror the live Result fields
+	// WarmupDiscarded, Retries, SamplesLost and Panics.
+	Warmup  int
+	Retries int
+	Losses  int
+	Panics  int
+	// Calls is the cumulative measure-invocation count at the last
+	// event (the deterministic fast-forward position).
+	Calls int
+}
+
+// ReplayEvents folds a journaled event stream into its collection
+// summary under the plan's effective MinSamples (pass 0 for the
+// default). The fold is the same one Resume uses, so replayed
+// accounting is bit-identical to what the interrupted run held.
+func ReplayEvents(events []Event, minSamples int) Replayed {
+	if minSamples <= 0 {
+		minSamples = 10
+	}
+	st := fold(events, minSamples)
+	return Replayed{
+		Samples: st.samples,
+		Warmup:  st.warmup,
+		Retries: st.retries,
+		Losses:  st.losses,
+		Panics:  st.panics,
+		Calls:   st.calls,
+	}
+}
+
 // foldState is the collection-loop state reconstructed from an event
 // stream: everything run() needs to continue mid-campaign.
 type foldState struct {

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -60,6 +61,16 @@ func FuzzReplay(f *testing.F) {
 		flipped[len(flipped)/3] ^= 0x40
 		f.Add(flipped)
 	}
+	// Shard-merge corpus: the journal shapes a SIGKILLed executor leaves
+	// behind for the merge reader — a second unit's journal appended
+	// after a clean one (two dense seq runs: the second must be dropped
+	// as a tear, never silently concatenated into one campaign), and a
+	// clean journal whose tail died mid-fsync.
+	other := validJournal(f, 3)
+	f.Add(append(append([]byte(nil), valid...), other...))
+	if nl := bytes.IndexByte(other, '\n'); nl > 0 {
+		f.Add(append(append([]byte(nil), valid...), other[:nl/2]...))
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		st := Replay(data)
@@ -86,6 +97,70 @@ func FuzzReplay(f *testing.F) {
 		// the journal contained.
 		_ = st.Events()
 		_ = st.Samples()
+	})
+}
+
+// FuzzManifest throws arbitrary bytes — seeded with standalone and
+// shard-sweep-member manifests — at the campaign loader and the drift
+// checker. Decoding must never panic; any manifest that decodes at all
+// must be drift-free against itself (otherwise shard reassignment would
+// refuse to resume work it wrote moments earlier); and the shard merge
+// reader must agree with the plain loader on whether dir is a campaign.
+func FuzzManifest(f *testing.F) {
+	plain, err := json.Marshal(Manifest{
+		Version: FormatVersion, Name: "fuzz", Seed: 7,
+		ConfigHash: "deadbeef", FaultFingerprint: "feedface",
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	member, err := json.Marshal(Manifest{
+		Version: FormatVersion, Name: "fuzz", Seed: 7,
+		ConfigHash: "deadbeef", FaultFingerprint: "feedface",
+		Sweep: &SweepRef{SweepHash: "0ddba11", UnitID: "u00-cfg-00", Shard: 2},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(plain)
+	f.Add(member)
+	f.Add([]byte(`{"version":99}`))
+	f.Add([]byte(`{"sweep":{"shard":-1}}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{`))
+	journal := validJournal(f, 3)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, ManifestFile), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, JournalFile), journal, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m, st, err := Load(dir)
+		if err != nil {
+			// Undecodable manifest: the merge reader must refuse too,
+			// not fall back to trusting the journal alone.
+			if _, _, _, verr := LoadVerified(dir, Manifest{}); verr == nil {
+				t.Fatal("LoadVerified accepted a dir Load refused")
+			}
+			return
+		}
+		if len(st.Records) != 3 {
+			t.Fatalf("valid journal read back %d records, want 3", len(st.Records))
+		}
+		// Reflexivity: whatever decoded, it cannot drift from itself.
+		if ds := DriftFields(m, m); len(ds) != 0 {
+			t.Fatalf("manifest drifts from itself: %+v", ds)
+		}
+		if _, err := CheckResume(m, m); err != nil {
+			t.Fatalf("CheckResume refuses identical manifests: %v", err)
+		}
+		// And the merge reader, handed the decoded manifest as its
+		// expectation, must accept the same directory.
+		if _, _, _, err := LoadVerified(dir, m); err != nil {
+			t.Fatalf("LoadVerified refuses manifest equal to recorded: %v", err)
+		}
 	})
 }
 

@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/faults"
@@ -51,9 +52,27 @@ type Manifest struct {
 	// Environment is the Rule 9 description of the experimental
 	// environment, stored alongside the data it explains.
 	Environment rules.Environment `json:"environment"`
+	// Sweep, when non-nil, marks this campaign as one unit of a sharded
+	// sweep (internal/shard): which sweep it belongs to and which unit
+	// it measures. SweepHash and UnitID are campaign identity — a
+	// reassigned executor resuming the unit must present the same
+	// membership; the shard index is informational (reassignment keeps
+	// the shard, but identity must not depend on which executor ran it).
+	Sweep *SweepRef `json:"sweep,omitempty"`
 	// CreatedAt records when the campaign started (informational; not
 	// part of the campaign identity).
 	CreatedAt time.Time `json:"created_at"`
+}
+
+// SweepRef identifies the sharded sweep a unit campaign belongs to.
+type SweepRef struct {
+	// SweepHash is the SHA-256 identity of the whole sweep (its
+	// canonical unit list; see internal/shard).
+	SweepHash string `json:"sweep_hash"`
+	// UnitID names this campaign's unit within the sweep.
+	UnitID string `json:"unit_id"`
+	// Shard is the shard index the unit was assigned to (informational).
+	Shard int `json:"shard"`
 }
 
 // NewManifest builds a manifest for a campaign: config is the caller's
@@ -96,23 +115,29 @@ func HashJSON(v any) (string, error) {
 // sample — a Rule 9 violation the audit engine reports.
 var ErrManifestDrift = errors.New("campaign: manifest drift, resume refused")
 
-// CheckResume compares the recorded manifest against the current one
-// and returns one Rule 9 audit finding per drifted identity field plus
-// ErrManifestDrift when resume must be refused. A nil error means the
-// setups match and resume is sound.
-func CheckResume(recorded, current Manifest) ([]rules.Finding, error) {
-	var fs []rules.Finding
-	drift := func(what, rec, cur string) {
-		fs = append(fs, rules.Finding{
-			Rule:     9,
-			Severity: rules.Violation,
-			Message: fmt.Sprintf("resume %s drifted (recorded %s, current %s): "+
-				"the resumed samples would not share the recorded experimental setup", what, rec, cur),
-		})
+// Drift is one mismatched manifest identity field: its human name and
+// the two values that disagree.
+type Drift struct {
+	Field    string
+	Recorded string
+	Current  string
+}
+
+func (d Drift) String() string {
+	return fmt.Sprintf("%s (recorded %s, current %s)", d.Field, d.Recorded, d.Current)
+}
+
+// DriftFields compares the identity fields of two manifests and returns
+// one Drift per mismatch, in declaration order. An empty result means
+// the two manifests describe the same experiment. Version is compared
+// too: a format mismatch is a drift like any other, named explicitly.
+func DriftFields(recorded, current Manifest) []Drift {
+	var ds []Drift
+	drift := func(field, rec, cur string) {
+		ds = append(ds, Drift{Field: field, Recorded: rec, Current: cur})
 	}
 	if recorded.Version != current.Version {
-		return nil, fmt.Errorf("%w: journal format v%d, this build writes v%d",
-			ErrManifestDrift, recorded.Version, current.Version)
+		drift("journal format version", fmt.Sprintf("v%d", recorded.Version), fmt.Sprintf("v%d", current.Version))
 	}
 	if recorded.Seed != current.Seed {
 		drift("RNG seed", fmt.Sprint(recorded.Seed), fmt.Sprint(current.Seed))
@@ -123,10 +148,58 @@ func CheckResume(recorded, current Manifest) ([]rules.Finding, error) {
 	if recorded.FaultFingerprint != current.FaultFingerprint {
 		drift("fault-schedule fingerprint", short(recorded.FaultFingerprint), short(current.FaultFingerprint))
 	}
-	if len(fs) > 0 {
-		return fs, fmt.Errorf("%w: %d Rule 9 finding(s)", ErrManifestDrift, len(fs))
+	switch {
+	case recorded.Sweep == nil && current.Sweep == nil:
+	case recorded.Sweep == nil:
+		drift("sweep membership", "standalone campaign", "sweep unit "+current.Sweep.UnitID)
+	case current.Sweep == nil:
+		drift("sweep membership", "sweep unit "+recorded.Sweep.UnitID, "standalone campaign")
+	default:
+		if recorded.Sweep.SweepHash != current.Sweep.SweepHash {
+			drift("sweep hash", short(recorded.Sweep.SweepHash), short(current.Sweep.SweepHash))
+		}
+		if recorded.Sweep.UnitID != current.Sweep.UnitID {
+			drift("sweep unit", recorded.Sweep.UnitID, current.Sweep.UnitID)
+		}
 	}
-	return nil, nil
+	return ds
+}
+
+// driftFindings converts drifted fields to Rule 9 audit findings.
+func driftFindings(ds []Drift, action string) []rules.Finding {
+	fs := make([]rules.Finding, 0, len(ds))
+	for _, d := range ds {
+		fs = append(fs, rules.Finding{
+			Rule:     9,
+			Severity: rules.Violation,
+			Message: fmt.Sprintf("%s %s drifted (recorded %s, current %s): "+
+				"the samples would not share the recorded experimental setup", action, d.Field, d.Recorded, d.Current),
+		})
+	}
+	return fs
+}
+
+// driftError builds the ErrManifestDrift-wrapping error that names
+// exactly which fields mismatched, so a refused resume (or merge) tells
+// the operator what to fix rather than issuing a generic refusal.
+func driftError(ds []Drift) error {
+	names := make([]string, len(ds))
+	for i, d := range ds {
+		names[i] = d.String()
+	}
+	return fmt.Errorf("%w: mismatched field(s): %s", ErrManifestDrift, strings.Join(names, "; "))
+}
+
+// CheckResume compares the recorded manifest against the current one
+// and returns one Rule 9 audit finding per drifted identity field plus
+// ErrManifestDrift naming every mismatched field when resume must be
+// refused. A nil error means the setups match and resume is sound.
+func CheckResume(recorded, current Manifest) ([]rules.Finding, error) {
+	ds := DriftFields(recorded, current)
+	if len(ds) == 0 {
+		return nil, nil
+	}
+	return driftFindings(ds, "resume"), driftError(ds)
 }
 
 func short(h string) string {

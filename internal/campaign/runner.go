@@ -219,6 +219,16 @@ func replayOne(measure func() (float64, error)) (v float64, err error) {
 // max(3, 5%) samples of it. A shift elsewhere is ordinary mid-campaign
 // contamination, already covered by Result.ShiftDetected.
 func BoundaryShift(xs []float64, boundary int, alpha float64) (htest.ChangePoint, bool, error) {
+	return BoundaryShiftWin(xs, boundary, alpha, 0)
+}
+
+// BoundaryShiftWin is BoundaryShift with an explicit localization
+// window: a significant change-point within win samples of boundary
+// counts as boundary drift. win <= 0 selects the default max(3, 5% of
+// the stream). Callers whose seams have coarser natural resolution — a
+// shard merge, where contamination is unit-granular because executors
+// run whole units — pass the unit width.
+func BoundaryShiftWin(xs []float64, boundary int, alpha float64, win int) (htest.ChangePoint, bool, error) {
 	cp, err := htest.Pettitt(xs)
 	if err != nil {
 		return htest.ChangePoint{}, false, err
@@ -226,9 +236,11 @@ func BoundaryShift(xs []float64, boundary int, alpha float64) (htest.ChangePoint
 	if !cp.Significant(alpha) {
 		return cp, false, nil
 	}
-	win := len(xs) / 20
-	if win < 3 {
-		win = 3
+	if win <= 0 {
+		win = len(xs) / 20
+		if win < 3 {
+			win = 3
+		}
 	}
 	drift := cp.Index >= boundary-win && cp.Index < boundary+win
 	return cp, drift, nil

@@ -109,9 +109,9 @@ type Comparison struct {
 
 	// Sample accounting (after outlier removal; removed counts per
 	// §3.1.3's "report the number of removed outliers").
-	BaselineN        int `json:"baseline_n"`
-	CandidateN       int `json:"candidate_n"`
-	BaselineOutliers int `json:"baseline_outliers"`
+	BaselineN         int `json:"baseline_n"`
+	CandidateN        int `json:"candidate_n"`
+	BaselineOutliers  int `json:"baseline_outliers"`
 	CandidateOutliers int `json:"candidate_outliers"`
 
 	// Medians and their nonparametric CIs (nil when n < 6, the Le
@@ -141,12 +141,33 @@ type Comparison struct {
 	Secondary []MetricDelta `json:"secondary,omitempty"`
 }
 
+// Caveats lists everything that weakens this comparison's verdict as
+// evidence — the Rule 9 disclosures a reader needs before acting on a
+// REGRESSED row: environment drift between the two collections (the
+// shared-runner false-positive mode narrated in EXPERIMENTS.md), Tukey
+// outliers silently absent from the medians (§3.1.3), and an n below
+// the §4.2.2 requirement for the gated threshold. envMismatch is the
+// report-level fingerprint verdict (it applies to every row).
+func (c Comparison) Caveats(envMismatch bool) []string {
+	var cv []string
+	if envMismatch {
+		cv = append(cv, "env drift")
+	}
+	if c.BaselineOutliers > 0 || c.CandidateOutliers > 0 {
+		cv = append(cv, fmt.Sprintf("outliers removed %d/%d", c.BaselineOutliers, c.CandidateOutliers))
+	}
+	if c.Underpowered && c.RequiredN > 0 {
+		cv = append(cv, fmt.Sprintf("underpowered n<%d", c.RequiredN))
+	}
+	return cv
+}
+
 // GateReport is the whole gate run: per-benchmark comparisons plus the
 // cross-cutting caveats (benchmarks present on only one side,
 // environment fingerprint mismatch).
 type GateReport struct {
-	Options ResolvedOptions `json:"options"`
-	Comparisons []Comparison `json:"comparisons"`
+	Options     ResolvedOptions `json:"options"`
+	Comparisons []Comparison    `json:"comparisons"`
 	// MissingInCandidate / MissingInBaseline list benchmark keys found
 	// on only one side (renames, new benchmarks, deletions).
 	MissingInCandidate []string `json:"missing_in_candidate,omitempty"`

@@ -280,6 +280,79 @@ func TestOutlierPolicyReported(t *testing.T) {
 	}
 }
 
+// TestSharedRunnerFalseRegressedCarriesCaveats pins the scenario the
+// EXPERIMENTS.md benchgate entry narrates: on a shared CI runner, two
+// back-to-back collections of UNCHANGED code measured +13% with p=0.02
+// — a statistically sound verdict on a lying environment (Rule 9).
+// The gate cannot un-measure that, but the markdown verdict table must
+// carry the evidence against itself: the REGRESSED row's caveat cell
+// names the environment drift (and the Tukey removals thinning its
+// medians), so no reader — human or bot — trusts the ❌ bare.
+func TestSharedRunnerFalseRegressedCarriesCaveats(t *testing.T) {
+	// Baseline: a quiet collection. Candidate: same code minutes later
+	// under a noisy neighbour — ~13% slower, internally tight, plus one
+	// wild descheduling outlier the Tukey fence removes.
+	base := reportFrom(
+		map[string]string{"cpu": "shared-runner", "load": "idle"},
+		map[string][]float64{"BenchmarkSuiteRun": {1.60e6, 1.61e6, 1.62e6, 1.63e6, 1.64e6}})
+	cand := reportFrom(
+		map[string]string{"cpu": "shared-runner", "load": "noisy-neighbor"},
+		map[string][]float64{"BenchmarkSuiteRun": {1.82e6, 1.83e6, 1.84e6, 1.85e6, 1.86e6, 9.5e6}})
+	g, err := Compare(base, cand, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Comparisons[0]
+	if c.Verdict != VerdictRegressed {
+		t.Fatalf("fixture must reproduce the false REGRESSED: got %s (%s)", c.Verdict, c.Reason)
+	}
+	if !g.EnvMismatch {
+		t.Fatal("environment fingerprints must differ in this fixture")
+	}
+	if c.CandidateOutliers != 1 {
+		t.Fatalf("candidate outliers = %d, want 1 (the descheduling spike)", c.CandidateOutliers)
+	}
+	cv := c.Caveats(g.EnvMismatch)
+	if len(cv) == 0 {
+		t.Fatal("the false-REGRESSED row carries no caveats")
+	}
+	var md bytes.Buffer
+	if err := g.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	out := md.String()
+	if !strings.Contains(out, "| caveats |") {
+		t.Error("markdown table has no caveat column")
+	}
+	row := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "| BenchmarkSuiteRun") {
+			row = line
+		}
+	}
+	for _, want := range []string{"REGRESSED", "env drift", "outliers removed 0/1"} {
+		if !strings.Contains(row, want) {
+			t.Errorf("verdict row missing %q: %s", want, row)
+		}
+	}
+	// A clean row on a clean run stays unannotated: the caveat cell is a
+	// statement either way.
+	same := reportFrom(testEnv, map[string][]float64{"BenchmarkClean": {100, 101, 99, 100, 102, 101}})
+	g2, err := Compare(same, same, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var md2 bytes.Buffer
+	if err := g2.WriteMarkdown(&md2); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(md2.String(), "\n") {
+		if strings.Contains(line, "BenchmarkClean") && !strings.Contains(line, "| — |") {
+			t.Errorf("clean row's caveat cell not —: %s", line)
+		}
+	}
+}
+
 func TestSecondaryDeltas(t *testing.T) {
 	mk := func(ns, bop float64) *Report {
 		return &Report{

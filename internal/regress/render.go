@@ -44,15 +44,15 @@ func (g *GateReport) WriteMarkdown(w io.Writer) error {
 	if g.EnvMismatch {
 		fmt.Fprintf(bw, "> ⚠️ %s\n\n", g.EnvNote)
 	}
-	fmt.Fprintln(bw, "| benchmark | baseline median | candidate median | Δ | p (U) | n | verdict |")
-	fmt.Fprintln(bw, "|---|---|---|---|---|---|---|")
+	fmt.Fprintln(bw, "| benchmark | baseline median | candidate median | Δ | p (U) | n | verdict | caveats |")
+	fmt.Fprintln(bw, "|---|---|---|---|---|---|---|---|")
 	for _, c := range g.Comparisons {
-		fmt.Fprintf(bw, "| %s | %s | %s | %+.1f%% | %s | %d/%d | %s %s |\n",
+		fmt.Fprintf(bw, "| %s | %s | %s | %+.1f%% | %s | %d/%d | %s %s | %s |\n",
 			c.Name,
 			medianCell(c.BaselineMedian, c.BaselineCI, c.Unit),
 			medianCell(c.CandidateMedian, c.CandidateCI, c.Unit),
 			100*c.Delta, pCell(c.P), c.BaselineN, c.CandidateN,
-			verdictEmoji(c.Verdict), c.Verdict)
+			verdictEmoji(c.Verdict), c.Verdict, caveatCell(c.Caveats(g.EnvMismatch)))
 	}
 	fmt.Fprintln(bw)
 	for _, c := range g.Comparisons {
@@ -106,6 +106,15 @@ func medianCell(med float64, iv *ci.Interval, unit string) string {
 		return fmt.Sprintf("%.4g %s", med, unit)
 	}
 	return fmt.Sprintf("%.4g [%.4g, %.4g] %s", med, iv.Lo, iv.Hi, unit)
+}
+
+// caveatCell renders a row's Rule 9 caveat list; a clean row shows "—"
+// so absence of caveats is a statement, not an empty cell.
+func caveatCell(cv []string) string {
+	if len(cv) == 0 {
+		return "—"
+	}
+	return strings.Join(cv, "; ")
 }
 
 func pCell(p float64) string {

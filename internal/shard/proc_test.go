@@ -1,0 +1,202 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/campaign"
+)
+
+// TestMain doubles as the executor entry point for the multi-process
+// tests: when SHARD_EXEC_DIR is set, the test binary re-execs as a real
+// shard executor (optionally crashing itself with SIGKILL mid-unit or
+// hanging without heartbeats) instead of running the test suite.
+func TestMain(m *testing.M) {
+	if dir := os.Getenv("SHARD_EXEC_DIR"); dir != "" {
+		procExecMain(dir)
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// crashMarker is the sentinel an executor writes just before injecting
+// its crash, so the fault fires exactly once per shard: the reassigned
+// attempt sees the marker and runs clean.
+func crashMarker(dir string) string { return filepath.Join(dir, "crash.marker") }
+
+func procExecMain(dir string) {
+	attempt, _ := strconv.Atoi(os.Getenv("SHARD_ATTEMPT"))
+	if os.Getenv("SHARD_HANG") == "1" {
+		if _, err := os.Stat(crashMarker(dir)); os.IsNotExist(err) {
+			// A genuinely wedged executor: no heartbeat ever, no exit.
+			// The supervisor must stall-kill this process.
+			_ = os.WriteFile(crashMarker(dir), []byte("hang"), 0o644)
+			select {}
+		}
+	}
+	var r UnitRunner = testRunner{}
+	if s := os.Getenv("SHARD_KILL_AT"); s != "" {
+		if _, err := os.Stat(crashMarker(dir)); os.IsNotExist(err) {
+			at, _ := strconv.Atoi(s)
+			r = &killRunner{inner: r, at: at, marker: crashMarker(dir)}
+		}
+	}
+	_, err := ExecShard(context.Background(), dir, r, ExecOptions{
+		Attempt:   attempt,
+		Heartbeat: 20 * time.Millisecond,
+		Progress:  os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "executor:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// killRunner SIGKILLs its own process (no cleanup, no deferred
+// truncation — the hardest crash there is) immediately before measure
+// call `at`, counted across the whole shard.
+type killRunner struct {
+	inner  UnitRunner
+	at     int
+	marker string
+	calls  int
+}
+
+func (k *killRunner) Setup(u Unit) (campaign.Manifest, bench.Plan, func() (float64, error), error) {
+	man, plan, measure, err := k.inner.Setup(u)
+	if err != nil {
+		return man, plan, measure, err
+	}
+	wrapped := func() (float64, error) {
+		k.calls++
+		if k.calls == k.at {
+			_ = os.WriteFile(k.marker, []byte("killed"), 0o644)
+			_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		}
+		return measure()
+	}
+	return man, plan, wrapped, nil
+}
+
+// procStart builds a StartFunc that re-execs this test binary as a
+// real executor process, with extra per-shard environment (keyed by
+// shard directory basename) for fault injection.
+func procStart(t *testing.T, extra map[string][]string) StartFunc {
+	t.Helper()
+	return func(shardDir string, attempt int) (Handle, error) {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(),
+			"SHARD_EXEC_DIR="+shardDir,
+			fmt.Sprintf("SHARD_ATTEMPT=%d", attempt))
+		cmd.Env = append(cmd.Env, extra[filepath.Base(shardDir)]...)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		return procHandle{cmd}, nil
+	}
+}
+
+// TestProcessSIGKILLResumeByteIdentity is the acceptance scenario: 3
+// executor processes, one SIGKILLed mid-shard (mid-unit, mid-journal),
+// its shard reassigned and resumed from the journal — and the merged
+// report is byte-identical to the single-process run.
+func TestProcessSIGKILLResumeByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test")
+	}
+	const units = 8
+	ref := func() []byte {
+		dir := t.TempDir()
+		sw := buildSweep(t, dir, units, 1)
+		return execAll(t, dir, sw)
+	}()
+
+	dir := t.TempDir()
+	buildSweep(t, dir, units, 3)
+	// Shard 1 holds units 2-4 (42 measure calls); kill at call 20 —
+	// inside its second unit, after some samples are journaled.
+	start := procStart(t, map[string][]string{
+		ShardDirName(1): {"SHARD_KILL_AT=20"},
+	})
+	statuses, err := Supervise(context.Background(), dir, start, Options{
+		HeartbeatTimeout: 5 * time.Second,
+		Poll:             20 * time.Millisecond,
+		Retries:          2,
+		Backoff:          10 * time.Millisecond,
+		Log:              os.Stderr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range statuses {
+		if st.Lost {
+			t.Fatalf("shard %d lost: %+v", st.Shard, st)
+		}
+	}
+	if statuses[1].Attempts != 2 || statuses[1].Crashes != 1 {
+		t.Fatalf("SIGKILLed shard should have crashed once and been reassigned: %+v", statuses[1])
+	}
+	// The injected crash must have left a mid-unit journal (otherwise
+	// this test would not exercise resume).
+	if _, err := os.Stat(crashMarker(filepath.Join(dir, ShardDirName(1)))); err != nil {
+		t.Fatalf("crash never fired: %v", err)
+	}
+	got := mergedReport(t, dir)
+	if !bytes.Equal(got, ref) {
+		t.Errorf("merged report after SIGKILL + reassignment differs from single-process run:\n--- ref\n%s\n--- got\n%s", ref, got)
+	}
+}
+
+// TestProcessStallDetectedAndReassigned: an executor that wedges before
+// its first heartbeat is stall-killed by the supervisor and its shard
+// reassigned; the merged report is still byte-identical.
+func TestProcessStallDetectedAndReassigned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test")
+	}
+	const units = 4
+	ref := func() []byte {
+		dir := t.TempDir()
+		sw := buildSweep(t, dir, units, 1)
+		return execAll(t, dir, sw)
+	}()
+
+	dir := t.TempDir()
+	buildSweep(t, dir, units, 2)
+	start := procStart(t, map[string][]string{
+		ShardDirName(0): {"SHARD_HANG=1"},
+	})
+	statuses, err := Supervise(context.Background(), dir, start, Options{
+		HeartbeatTimeout: 500 * time.Millisecond,
+		Poll:             20 * time.Millisecond,
+		Retries:          2,
+		Backoff:          10 * time.Millisecond,
+		Log:              os.Stderr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range statuses {
+		if st.Lost {
+			t.Fatalf("shard %d lost: %+v", st.Shard, st)
+		}
+	}
+	if statuses[0].Stalls != 1 || statuses[0].Attempts != 2 {
+		t.Fatalf("hung executor should have been stall-killed once: %+v", statuses[0])
+	}
+	got := mergedReport(t, dir)
+	if !bytes.Equal(got, ref) {
+		t.Errorf("merged report after stall + reassignment differs from single-process run:\n--- ref\n%s\n--- got\n%s", ref, got)
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"repro/internal/regress"
 	"repro/internal/report"
 	"repro/internal/rules"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/suite"
 	"repro/internal/telemetry"
@@ -785,6 +786,101 @@ func CompareBenchReports(baseline, candidate *BenchReport, opt GateOptions) (*Ga
 // BenchEnvFingerprint hashes an environment block into the short
 // identifier provenance records and the gate's Rule 9 drift check use.
 func BenchEnvFingerprint(env map[string]string) string { return regress.EnvFingerprint(env) }
+
+// Distributed campaign execution (package shard): partition a sweep's
+// canonical config order into shard manifests, run each shard as an
+// independent journaled executor process (heartbeat liveness, crash and
+// stall detection, reassignment with resume-from-journal), and merge
+// the shard journals into one report byte-identical to the
+// single-process run. Exhausted-retry shards surface as explicit
+// losses, never as silently shorter samples (Rule 4).
+type (
+	// ShardUnit is one entry of a sweep's canonical config order: ID,
+	// pre-assigned seed, config hash, and the raw config an executor
+	// rebuilds the measurement from.
+	ShardUnit = shard.Unit
+	// ShardSweep is the partitioned sweep: the full unit table, its
+	// hash, and the shard count.
+	ShardSweep = shard.SweepManifest
+	// ShardManifest pins one shard's slice of the sweep.
+	ShardManifest = shard.Manifest
+	// ShardUnitRunner rebuilds a unit's campaign (manifest, plan,
+	// measure closure) from its recorded config.
+	ShardUnitRunner = shard.UnitRunner
+	// ShardExecOptions tunes one executor run (attempt number,
+	// heartbeat interval, progress writer).
+	ShardExecOptions = shard.ExecOptions
+	// ShardSuperviseOptions tunes the supervisor: heartbeat timeout,
+	// poll interval, retry budget, backoff.
+	ShardSuperviseOptions = shard.Options
+	// ShardStatus is the supervisor's per-shard outcome accounting.
+	ShardStatus = shard.ShardStatus
+	// ShardStartFunc launches one executor attempt for a shard.
+	ShardStartFunc = shard.StartFunc
+	// ShardMergeReport is the deterministic merge of all shard journals
+	// with its per-seam drift checks and loss accounting.
+	ShardMergeReport = shard.MergeReport
+)
+
+// ErrShardDrift reports a shard or sweep manifest that does not match
+// the sweep claiming it; the merge is refused (Rule 9).
+var ErrShardDrift = shard.ErrShardDrift
+
+// ShardDirName is the canonical directory name of shard i inside a
+// sweep directory ("shard-000", "shard-001", ...).
+func ShardDirName(i int) string { return shard.ShardDirName(i) }
+
+// NewShardSweep builds a sweep manifest over the given canonical unit
+// order, partitioned into the given number of shards.
+func NewShardSweep(name string, units []ShardUnit, faultFingerprint string, env ExperimentEnv, shards int) (ShardSweep, error) {
+	return shard.NewSweep(name, units, faultFingerprint, env, shards)
+}
+
+// CreateShardSweep materializes a sweep directory: sweep.json plus one
+// shard-NNN/ directory per shard, each with its shard manifest.
+func CreateShardSweep(dir string, s ShardSweep) error { return shard.Create(dir, s) }
+
+// LoadShardSweep reads a sweep directory back, re-verifying its hash.
+func LoadShardSweep(dir string) (ShardSweep, error) { return shard.LoadSweep(dir) }
+
+// ExecShard runs one shard to completion as an executor: per-unit
+// journaled campaigns, heartbeats, resume-from-journal on reassignment,
+// completed units skipped.
+func ExecShard(ctx context.Context, shardDir string, r ShardUnitRunner, opt ShardExecOptions) error {
+	_, err := shard.ExecShard(ctx, shardDir, r, opt)
+	return err
+}
+
+// SuperviseShards runs every shard of a sweep under supervision: stall
+// and crash detection via heartbeats, reassignment with exponential
+// backoff, explicit loss after the retry budget.
+func SuperviseShards(ctx context.Context, sweepDir string, start ShardStartFunc, opt ShardSuperviseOptions) ([]ShardStatus, error) {
+	return shard.Supervise(ctx, sweepDir, start, opt)
+}
+
+// ShardExecutorCommand builds a StartFunc that forks argv with
+// "-attempt=N" and the shard directory appended — the local-process
+// executor launcher.
+func ShardExecutorCommand(stdout, stderr io.Writer, argv ...string) ShardStartFunc {
+	return shard.Command(stdout, stderr, argv...)
+}
+
+// MergeShards merges every shard's journals into one deterministic
+// report, refusing drifted manifests and checking every merge seam for
+// regime shifts (Rule 6).
+func MergeShards(sweepDir string) (*ShardMergeReport, error) { return shard.Merge(sweepDir) }
+
+// WriteMergedShardManifest records the merge outcome (per-shard env
+// fingerprints, seam checks, loss accounting) as merged.json in the
+// sweep directory.
+func WriteMergedShardManifest(sweepDir string, r *ShardMergeReport) error {
+	return shard.WriteMerged(sweepDir, r)
+}
+
+// HashCampaignConfig hashes a config value the way campaign manifests
+// do — the hash a ShardUnit must carry for its executor-built manifest
+// to verify.
+func HashCampaignConfig(v any) (string, error) { return campaign.HashJSON(v) }
 
 // Harness observability (package telemetry): a lock-cheap metrics
 // registry the measurement layers instrument unconditionally,
