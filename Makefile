@@ -1,7 +1,8 @@
 GO ?= go
 
 .PHONY: all build test vet race check bench bench-smoke bench-json benchgate \
-	coverage coverage-check figures telemetry-smoke durability shardcheck
+	coverage coverage-check figures telemetry-smoke durability shardcheck \
+	remotecheck
 
 all: check
 
@@ -37,10 +38,19 @@ shardcheck:
 	$(GO) test -run 'TestProcess' -count=1 ./internal/shard
 	$(GO) test -run 'TestShardedCampaignSIGKILLByteIdentity' -count=1 ./cmd/scibench
 
+# remotecheck drives the cross-machine transport: two loopback workers
+# under injected loss/delay/duplication, a mid-shard partition forcing a
+# fenced reassignment with resume-from-shipped-journal, and the CLI
+# worker-loss campaign — every merged report byte-identical to its
+# single-process reference.
+remotecheck:
+	$(GO) test -run 'TestLoopbackTwoWorkersFaultyByteIdentity|TestPartitionReassignmentByteIdentity|TestAllWorkersUnreachableDegrades|TestZombieFencing' -count=1 ./internal/remote
+	$(GO) test -run 'TestRemoteCampaignWorkerLossByteIdentity' -count=1 ./cmd/scibench
+
 # check is the CI gate: static analysis, the plain suite first (clean
 # line numbers for pure-Go failures), then the race pass and the
 # telemetry + durability + distributed-execution drives.
-check: vet test race telemetry-smoke durability shardcheck
+check: vet test race telemetry-smoke durability shardcheck remotecheck
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -43,12 +43,20 @@ func cmdCampaign(args []string) error {
 	shards := fs.Int("shards", 0, "distributed mode: fork this many supervised executor processes")
 	units := fs.Int("units", 8, "sweep units in distributed mode (replications at consecutive seeds)")
 	hbTimeout := fs.Duration("heartbeat-timeout", 5*time.Second, "distributed mode: executor liveness timeout")
+	remoteAddr := fs.String("remote", "", "distributed mode: serve a coordinator on this address and run shards on registered `scibench worker` agents instead of local processes")
+	minWorkers := fs.Int("min-workers", 1, "distributed -remote mode: wait for this many workers before starting")
 	cc, budget, workers, telAddr := campaignFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dir == "" {
 		return fmt.Errorf("-dir is required")
+	}
+	if *remoteAddr != "" {
+		if *shards <= 0 {
+			return fmt.Errorf("-remote requires -shards N")
+		}
+		return runRemoteCampaign(*dir, *cc, *units, *shards, *hbTimeout, *remoteAddr, *minWorkers)
 	}
 	if *shards > 0 {
 		return runShardedCampaign(*dir, *cc, *units, *shards, *hbTimeout)

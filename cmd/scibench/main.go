@@ -58,6 +58,25 @@
 //	    heartbeat liveness file, completed units skipped, interrupted
 //	    units resumed from their journal bit-for-bit.
 //
+//	scibench campaign -dir DIR -shards N -remote ADDR [-min-workers M]
+//	    Cross-machine mode: serve a coordinator on ADDR, wait for M
+//	    `scibench worker` agents to register, and run the shards on them.
+//	    Shard manifests are hash-pinned over the wire; journal chunks
+//	    ship back CRC-framed with resumable offsets, so a reconnecting
+//	    worker re-ships only the missing suffix and completed
+//	    observations are never re-measured. Workers that crash, stall,
+//	    or partition are fenced (late chunks refused) and their shards
+//	    reassigned to other workers; each worker's Rule 9 host
+//	    environment is fingerprinted and the merge stratifies cross-host
+//	    seams. The merged report is byte-identical to a single-process
+//	    run.
+//
+//	scibench worker -coordinator URL [-listen ADDR] [-work DIR]
+//	    Run a worker agent: register with a coordinator, execute
+//	    assigned shards locally (journaled, resumable), ship journals
+//	    back. -fault-drop/-fault-delay/-fault-dup inject seeded
+//	    transport faults for partition-tolerance rehearsal.
+//
 //	scibench merge -dir DIR [-ops]
 //	    Verify and merge every shard's journals into one canonical
 //	    report (refusing manifest drift, checking each merge seam for
@@ -112,6 +131,8 @@ func main() {
 		err = cmdExec(os.Args[2:])
 	case "merge":
 		err = cmdMerge(os.Args[2:])
+	case "worker":
+		err = cmdWorker(os.Args[2:])
 	default:
 		usage()
 	}
@@ -122,7 +143,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scibench analyze|compare|audit|generate|changepoint|campaign|resume|shard|exec|merge|timer|rules [flags]")
+	fmt.Fprintln(os.Stderr, "usage: scibench analyze|compare|audit|generate|changepoint|campaign|resume|shard|exec|merge|worker|timer|rules [flags]")
 	os.Exit(2)
 }
 

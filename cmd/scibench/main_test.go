@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -251,6 +253,131 @@ func TestShardedCampaignSIGKILLByteIdentity(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(dir, "merged.json")); err != nil {
 		t.Errorf("merge recorded no merged.json: %v", err)
+	}
+}
+
+// TestRemoteCampaignWorkerLossByteIdentity drives the cross-machine
+// flow end to end with real processes: a coordinator campaign over two
+// worker agents on loopback (one with injected drops and duplication on
+// its link), one worker SIGKILLed mid-sweep so its shard stalls, is
+// fenced, and is reassigned to the survivor — and the merged report
+// must still be byte-identical to the single-process run.
+func TestRemoteCampaignWorkerLossByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives real processes with wall-clock pacing")
+	}
+	sweepArgs := func(dir string) []string {
+		return []string{"-dir", dir, "-units", "4", "-samples", "30",
+			"-relerr", "0.0001", "-seed", "5", "-throttle", "20ms"}
+	}
+	refDir := filepath.Join(t.TempDir(), "sweep")
+	ref, err := exec.Command(binPath,
+		append([]string{"campaign", "-shards", "1"}, sweepArgs(refDir)...)...).Output()
+	if err != nil {
+		t.Fatalf("single-executor campaign: %v", err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "sweep")
+	var coordOut strings.Builder
+	coord := exec.Command(binPath, append([]string{"campaign", "-shards", "2",
+		"-remote", "127.0.0.1:0", "-min-workers", "2", "-heartbeat-timeout", "2s"},
+		sweepArgs(dir)...)...)
+	coord.Stdout = &coordOut
+	stderr, err := coord.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+
+	// The coordinator picks a free port; read it off its stderr banner.
+	urlCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "coordinator on http://"); i >= 0 {
+				urlCh <- strings.Fields(line[i+len("coordinator on "):])[0]
+			}
+			fmt.Fprintln(os.Stderr, "coord:", line)
+		}
+	}()
+	var coordURL string
+	select {
+	case coordURL = <-urlCh:
+	case <-time.After(15 * time.Second):
+		t.Fatal("coordinator never printed its address")
+	}
+
+	worker := func(name string, chaos ...string) *exec.Cmd {
+		args := append([]string{"worker", "-coordinator", coordURL,
+			"-work", filepath.Join(t.TempDir(), name)}, chaos...)
+		w := exec.Command(binPath, args...)
+		w.Stderr = os.Stderr
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	victim := worker("wa")
+	defer victim.Process.Kill()
+	survivor := worker("wb", "-fault-drop", "0.05", "-fault-dup", "0.08", "-fault-seed", "13")
+	defer survivor.Process.Kill()
+
+	// SIGKILL the first worker once the mirror shows both shards are
+	// mid-flight (each worker holds one shard; whichever the victim held
+	// must stall, be fenced, and land on the survivor).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		n := 0
+		for _, sh := range []string{"shard-000", "shard-001"} {
+			if fi, err := os.Stat(filepath.Join(dir, sh, "heartbeat.json")); err == nil && fi.Size() > 0 {
+				n++
+			}
+		}
+		if n == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("shards never started shipping heartbeats")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = victim.Wait()
+
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("remote campaign failed: %v\n%s", err, coordOut.String())
+	}
+	if coordOut.String() != string(ref) {
+		t.Errorf("remote merged report differs from single-process run:\n--- ref\n%s\n--- got\n%s",
+			ref, coordOut.String())
+	}
+	// Both shards carry host provenance; the reassigned one completed on
+	// a later attempt.
+	reassigned := false
+	for _, sh := range []string{"shard-000", "shard-001"} {
+		var done struct{ Attempt int }
+		raw, err := os.ReadFile(filepath.Join(dir, sh, "done.json"))
+		if err != nil {
+			t.Fatalf("%s: %v", sh, err)
+		}
+		if err := json.Unmarshal(raw, &done); err != nil {
+			t.Fatal(err)
+		}
+		if done.Attempt > 1 {
+			reassigned = true
+		}
+		if _, err := os.Stat(filepath.Join(dir, sh, "host.json")); err != nil {
+			t.Errorf("%s: no host record: %v", sh, err)
+		}
+	}
+	if !reassigned {
+		t.Error("no shard was reassigned — the kill landed after the sweep finished; lower the pacing")
 	}
 }
 

@@ -1,0 +1,76 @@
+package campaign
+
+import (
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestReadFileChunk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	data := []byte("0123456789")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ReadFileChunk(path, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c.Data) != "0123" || c.Off != 0 || c.Size != 10 || c.EOF {
+		t.Fatalf("first chunk: %+v", c)
+	}
+	if c.CRC != crc32.ChecksumIEEE([]byte("0123")) {
+		t.Fatal("chunk CRC mismatch")
+	}
+	c, err = ReadFileChunk(path, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c.Data) != "89" || !c.EOF {
+		t.Fatalf("tail chunk: %+v", c)
+	}
+	// Probing at exactly EOF is legal (the resume handshake does it);
+	// past EOF is the caller's bug.
+	c, err = ReadFileChunk(path, 10, 4)
+	if err != nil || len(c.Data) != 0 || !c.EOF {
+		t.Fatalf("EOF probe: %+v err=%v", c, err)
+	}
+	if _, err := ReadFileChunk(path, 11, 4); err == nil {
+		t.Fatal("offset past EOF accepted")
+	}
+}
+
+func TestValidPrefixDropsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	man := testManifest(t, 1, testConfig{System: "vp", Samples: 3}, nil)
+	j2, err := Create(dir, man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := j2.Record(bench.Event{Kind: bench.EventSample, Value: float64(i), Calls: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j, err := os.ReadFile(filepath.Join(dir, JournalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := ValidPrefix(j)
+	if whole != int64(len(j)) {
+		t.Fatalf("clean journal prefix %d, want %d", whole, len(j))
+	}
+	// A torn tail (partial last record) must be excluded from the
+	// durable prefix — it is exactly what the shipper's truncate floor
+	// tells the mirror to drop.
+	torn := append(append([]byte(nil), j...), []byte(`{"seq":4,"val`)...)
+	if got := ValidPrefix(torn); got != whole {
+		t.Fatalf("torn journal prefix %d, want %d", got, whole)
+	}
+}

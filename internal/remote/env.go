@@ -1,0 +1,32 @@
+package remote
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/campaign"
+	"repro/internal/rules"
+)
+
+// HostEnv captures the Rule 9 record of the machine a worker measures
+// on: the facts that distinguish one host from another in a distributed
+// sweep. It is deliberately host-deterministic — the same machine
+// always produces the same fingerprint, so stratification groups are
+// stable across attempts and restarts.
+func HostEnv() rules.Environment {
+	host, _ := os.Hostname()
+	return rules.Environment{
+		Processor:        fmt.Sprintf("%s/%s, %d logical CPU(s)", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+		RuntimeLibs:      runtime.Version(),
+		MeasurementSetup: fmt.Sprintf("scibench worker on %s, journaled write-ahead", host),
+		InputAndCode:     "scibench worker (repro module)",
+		NotApplicable:    []string{"memory", "network", "compiler", "filesystem", "codeurl"},
+	}
+}
+
+// Fingerprint hashes an environment the same way the merge fingerprints
+// recorded unit environments.
+func Fingerprint(env rules.Environment) (string, error) {
+	return campaign.HashJSON(env)
+}

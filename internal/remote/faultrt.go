@@ -1,0 +1,117 @@
+package remote
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrPartitioned is the failure a partitioned FaultTransport returns.
+var ErrPartitioned = errors.New("remote: injected network partition")
+
+// FaultTransport is a seeded, deterministic network-fault injector
+// wrapped around an http.RoundTripper — the transport-layer sibling of
+// internal/faults' cluster schedules. Each request consumes one draw
+// from a splitmix64 stream, so the same seed over the same request
+// sequence injects the same drops, delays, and duplications; Partition
+// and Heal are explicit switches for the scenario a probability cannot
+// script (the link dies mid-shard and comes back).
+type FaultTransport struct {
+	// Next is the wrapped transport (default http.DefaultTransport).
+	Next http.RoundTripper
+	// DropProb fails the request outright (the message never arrives).
+	DropProb float64
+	// DelayProb delays a request by Delay before sending.
+	DelayProb float64
+	Delay     time.Duration
+	// DupProb sends the request twice back-to-back — the duplicated
+	// delivery that chunk idempotency must absorb.
+	DupProb float64
+
+	seed uint64
+	ctr  atomic.Uint64
+
+	mu          sync.Mutex
+	partitioned bool
+
+	// Drops and Dups count injected faults (for test assertions).
+	Drops atomic.Int64
+	Dups  atomic.Int64
+}
+
+// NewFaultTransport seeds a fault injector.
+func NewFaultTransport(seed uint64, next http.RoundTripper) *FaultTransport {
+	return &FaultTransport{Next: next, seed: seed}
+}
+
+// Partition makes every request fail until Heal — both directions of
+// this client's traffic are dead.
+func (t *FaultTransport) Partition() {
+	t.mu.Lock()
+	t.partitioned = true
+	t.mu.Unlock()
+}
+
+// Heal ends the partition.
+func (t *FaultTransport) Heal() {
+	t.mu.Lock()
+	t.partitioned = false
+	t.mu.Unlock()
+}
+
+// Partitioned reports the current link state.
+func (t *FaultTransport) Partitioned() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.partitioned
+}
+
+// draw returns the next deterministic uniform in [0, 1).
+func (t *FaultTransport) draw() float64 {
+	n := t.ctr.Add(1)
+	return float64(mix64(t.seed^n)>>11) / (1 << 53)
+}
+
+// RoundTrip injects the scheduled faults around the real round trip.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Partitioned() {
+		return nil, fmt.Errorf("%w: %s", ErrPartitioned, req.URL.Path)
+	}
+	next := t.Next
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	if t.DropProb > 0 && t.draw() < t.DropProb {
+		t.Drops.Add(1)
+		return nil, fmt.Errorf("remote: injected drop: %s", req.URL.Path)
+	}
+	if t.DelayProb > 0 && t.draw() < t.DelayProb {
+		time.Sleep(t.Delay)
+	}
+	if t.DupProb > 0 && t.draw() < t.DupProb && req.Body != nil {
+		// Replay the request once before the "real" delivery; the caller
+		// sees only the second response, like a network that duplicated
+		// the datagram.
+		body, err := io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		t.Dups.Add(1)
+		first := req.Clone(req.Context())
+		first.Body = io.NopCloser(bytes.NewReader(body))
+		if resp, err := next.RoundTrip(first); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		second := req.Clone(req.Context())
+		second.Body = io.NopCloser(bytes.NewReader(body))
+		return next.RoundTrip(second)
+	}
+	return next.RoundTrip(req)
+}

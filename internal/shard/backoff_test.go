@@ -1,0 +1,32 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+// TestReassignBackoffSeeded: reassignment jitter is a pure function of
+// (seed, shard, attempt) — the same campaign seed replays the same
+// supervision schedule, different seeds decorrelate.
+func TestReassignBackoffSeeded(t *testing.T) {
+	opt := Options{Backoff: 100 * time.Millisecond, Seed: 42}
+	a := ReassignBackoff(opt, 3, 2)
+	if b := ReassignBackoff(opt, 3, 2); b != a {
+		t.Fatalf("same inputs, different backoff: %s vs %s", a, b)
+	}
+	if a < 100*time.Millisecond || a >= 150*time.Millisecond {
+		t.Errorf("attempt-2 backoff %s outside [base, 1.5·base)", a)
+	}
+	if c := ReassignBackoff(opt, 3, 3); c < 200*time.Millisecond || c >= 300*time.Millisecond {
+		t.Errorf("attempt-3 backoff %s did not double the base before jitter", c)
+	}
+	other := opt
+	other.Seed = 43
+	diff := false
+	for shard := 0; shard < 8 && !diff; shard++ {
+		diff = ReassignBackoff(opt, shard, 2) != ReassignBackoff(other, shard, 2)
+	}
+	if !diff {
+		t.Error("eight shards, two seeds, identical jitter everywhere — backoff is not seeded")
+	}
+}

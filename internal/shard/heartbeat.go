@@ -36,6 +36,15 @@ func ReadHeartbeat(shardDir string) (hb Heartbeat, ok bool) {
 	return hb, true
 }
 
+// WriteHeartbeat publishes a heartbeat into a shard directory with the
+// same atomic temp+rename discipline the in-process beater uses. It is
+// the mirroring half of remote supervision: a coordinator forwards a
+// worker's heartbeat into its local mirror of the shard, and the
+// supervisor's Seq-advance poll works across the wire unchanged.
+func WriteHeartbeat(shardDir string, hb Heartbeat) error {
+	return writeJSON(filepath.Join(shardDir, HeartbeatFile), hb)
+}
+
 // beater publishes heartbeats for one executor attempt. It resumes the
 // sequence from any heartbeat left by a previous attempt and ticks on a
 // fixed interval until Stop.

@@ -58,13 +58,58 @@ type UnitReport struct {
 
 // ShardReport summarizes one shard in the merged manifest: its env
 // fingerprint is the Rule 9 record of which environment its executor
-// measured in.
+// measured in; Host/HostFingerprint name the machine when the shard ran
+// under a remote worker (absent for single-machine runs).
 type ShardReport struct {
-	Index          int    `json:"index"`
-	Units          int    `json:"units"`
-	Completed      bool   `json:"completed"`
-	Attempt        int    `json:"attempt,omitempty"` // completing attempt
-	EnvFingerprint string `json:"env_fingerprint,omitempty"`
+	Index           int    `json:"index"`
+	Units           int    `json:"units"`
+	Completed       bool   `json:"completed"`
+	Attempt         int    `json:"attempt,omitempty"` // completing attempt
+	EnvFingerprint  string `json:"env_fingerprint,omitempty"`
+	Host            string `json:"host,omitempty"`
+	HostFingerprint string `json:"host_fingerprint,omitempty"`
+}
+
+// HostFile records, inside a shard directory, which machine's worker
+// completed the shard — written by the remote coordinator, absent for
+// local executors. It feeds merge-time stratification, never the
+// canonical report bytes.
+const HostFile = "host.json"
+
+// HostRecord is the per-shard host provenance (host.json).
+type HostRecord struct {
+	Hostname       string `json:"hostname"`
+	EnvFingerprint string `json:"env_fingerprint"`
+	WorkerID       string `json:"worker_id,omitempty"`
+	Addr           string `json:"addr,omitempty"`
+	Attempt        int    `json:"attempt,omitempty"`
+}
+
+// WriteHost records host provenance into a shard directory.
+func WriteHost(shardDir string, h HostRecord) error {
+	return writeJSON(filepath.Join(shardDir, HostFile), h)
+}
+
+// LoadHost reads a shard's host provenance; ok is false when the shard
+// ran locally (no record).
+func LoadHost(shardDir string) (HostRecord, bool) {
+	var h HostRecord
+	if err := readJSON(filepath.Join(shardDir, HostFile), &h); err != nil {
+		return HostRecord{}, false
+	}
+	return h, true
+}
+
+// HostStratum groups the shards one host measured — the stratification
+// unit for cross-host comparisons (Kalibera & Jones: treat per-host
+// heterogeneity as a blocking factor, not noise).
+type HostStratum struct {
+	HostFingerprint string  `json:"host_fingerprint"`
+	Host            string  `json:"host,omitempty"`
+	Shards          []int   `json:"shards"`
+	Units           int     `json:"units"`
+	Samples         int     `json:"samples"`
+	MedianDev       float64 `json:"median_dev"` // median |v/median(unit)−1| within the stratum
 }
 
 // SeamCheck is the Rule 6 contamination check at one merge seam: a
@@ -79,6 +124,11 @@ type SeamCheck struct {
 	P        float64 `json:"p"`
 	Drift    bool    `json:"drift"`
 	Checked  bool    `json:"checked"`
+	// CrossHost marks a seam whose two shards ran on different hosts. A
+	// shift there is stratified (expected between-machines variation,
+	// reported per stratum) rather than flagged as contamination — the
+	// same shift between same-host shards keeps its Rule 6 alarm.
+	CrossHost bool `json:"cross_host,omitempty"`
 }
 
 // MergeReport is a merged sweep: per-unit analyses in canonical order,
@@ -88,6 +138,7 @@ type MergeReport struct {
 	Units    []UnitReport
 	Shards   []ShardReport
 	Seams    []SeamCheck
+	Strata   []HostStratum // one per distinct host fingerprint, ≥2 hosts only
 	Findings []rules.Finding
 
 	UnitsMeasured int
@@ -128,6 +179,10 @@ func Merge(sweepDir string) (*MergeReport, error) {
 			sr.Completed = true
 			sr.Attempt = d.Attempt
 		}
+		if h, ok := LoadHost(dir); ok {
+			sr.Host = h.Hostname
+			sr.HostFingerprint = h.EnvFingerprint
+		}
 		for _, u := range want.Units {
 			ur, err := mergeUnit(dir, sw, want.Index, u)
 			if err != nil {
@@ -150,6 +205,7 @@ func Merge(sweepDir string) (*MergeReport, error) {
 	}
 	rep.account()
 	rep.checkSeams()
+	rep.buildStrata()
 	return rep, nil
 }
 
@@ -311,6 +367,8 @@ func (r *MergeReport) checkSeams() {
 		left, right := r.Shards[i].Index, r.Shards[i+1].Index
 		b, ok := start[right]
 		sc := SeamCheck{Left: left, Right: right, Boundary: b}
+		lh, rh := r.hostKey(i), r.hostKey(i+1)
+		sc.CrossHost = lh != rh && lh != "" && rh != ""
 		win := lastLen[left]
 		if firstLen[right] > win {
 			win = firstLen[right]
@@ -320,7 +378,22 @@ func (r *MergeReport) checkSeams() {
 				sc.Checked = true
 				sc.P = cp.P
 				sc.Drift = drift
-				if drift {
+				switch {
+				case drift && sc.CrossHost:
+					// Different machines legitimately differ; the shift is
+					// stratified instead of alarmed — the merged per-unit
+					// numbers stay valid (per-unit seeds and medians), but
+					// any comparison pooling across this seam must block by
+					// host stratum.
+					r.Findings = append(r.Findings, rules.Finding{
+						Rule:     9,
+						Severity: rules.Pass,
+						Message: fmt.Sprintf("shift at the merge seam between shard %d (host %s) and shard %d "+
+							"(host %s) (sample %d, p ≈ %.3g): the shards ran on different hosts; stratifying by "+
+							"host fingerprint — compare per-host strata rather than pooling across this seam",
+							left, short(lh), right, short(rh), cp.Index, cp.P),
+					})
+				case drift:
 					r.Findings = append(r.Findings, rules.Finding{
 						Rule:     6,
 						Severity: rules.Warning,
@@ -332,6 +405,76 @@ func (r *MergeReport) checkSeams() {
 			}
 		}
 		r.Seams = append(r.Seams, sc)
+	}
+}
+
+// hostKey identifies the machine that measured shard position i (index
+// into r.Shards): the host fingerprint when a remote worker recorded
+// one, the executor env fingerprint otherwise. Empty means unknown.
+func (r *MergeReport) hostKey(i int) string {
+	if r.Shards[i].HostFingerprint != "" {
+		return r.Shards[i].HostFingerprint
+	}
+	return r.Shards[i].EnvFingerprint
+}
+
+// buildStrata groups shards by host fingerprint and summarizes each
+// stratum's deviation stream. Strata stay empty unless at least two
+// distinct hosts measured the sweep — single-machine sweeps have
+// nothing to stratify.
+func (r *MergeReport) buildStrata() {
+	keys := map[string]*HostStratum{}
+	var order []string
+	for i := range r.Shards {
+		k := r.hostKey(i)
+		if k == "" {
+			continue
+		}
+		st, ok := keys[k]
+		if !ok {
+			st = &HostStratum{HostFingerprint: k, Host: r.Shards[i].Host}
+			keys[k] = st
+			order = append(order, k)
+		}
+		st.Shards = append(st.Shards, r.Shards[i].Index)
+		st.Units += r.Shards[i].Units
+	}
+	if len(order) < 2 {
+		return
+	}
+	devs := map[string][]float64{}
+	for i := range r.Units {
+		u := &r.Units[i]
+		if len(u.samples) == 0 {
+			continue
+		}
+		k := ""
+		for j := range r.Shards {
+			if r.Shards[j].Index == u.Shard {
+				k = r.hostKey(j)
+				break
+			}
+		}
+		if k == "" {
+			continue
+		}
+		med := median(u.samples)
+		if med == 0 {
+			med = 1
+		}
+		for _, v := range u.samples {
+			d := v/med - 1
+			if d < 0 {
+				d = -d
+			}
+			devs[k] = append(devs[k], d)
+		}
+	}
+	for _, k := range order {
+		st := keys[k]
+		st.Samples = len(devs[k])
+		st.MedianDev = median(devs[k])
+		r.Strata = append(r.Strata, *st)
 	}
 }
 
@@ -358,6 +501,7 @@ type MergedManifest struct {
 	FaultFingerprint string           `json:"fault_fingerprint"`
 	Shards           []ShardReport    `json:"shards"`
 	Seams            []SeamCheck      `json:"seams,omitempty"`
+	Strata           []HostStratum    `json:"strata,omitempty"`
 	UnitsMeasured    int              `json:"units_measured"`
 	UnitsLost        int              `json:"units_lost"`
 	Stop             bench.StopReason `json:"stop,omitempty"`
@@ -372,6 +516,7 @@ func WriteMerged(sweepDir string, r *MergeReport) error {
 		FaultFingerprint: r.Sweep.FaultFingerprint,
 		Shards:           r.Shards,
 		Seams:            r.Seams,
+		Strata:           r.Strata,
 		UnitsMeasured:    r.UnitsMeasured,
 		UnitsLost:        r.UnitsLost,
 		Stop:             r.Stop,
@@ -431,23 +576,44 @@ func (r *MergeReport) WriteReport(w io.Writer) error {
 func (r *MergeReport) WriteOps(w io.Writer) error {
 	ew := &errWriter{w: w}
 	ew.printf("distribution: %d shard(s)\n", len(r.Shards))
-	ew.printf("| shard | units | completed | attempt | env fingerprint |\n")
-	ew.printf("|---|---|---|---|---|\n")
+	ew.printf("| shard | units | completed | attempt | env fingerprint | host |\n")
+	ew.printf("|---|---|---|---|---|---|\n")
 	for _, s := range r.Shards {
 		done := "yes"
 		if !s.Completed {
 			done = "NO (lost)"
 		}
-		ew.printf("| %d | %d | %s | %d | %s |\n", s.Index, s.Units, done, s.Attempt, short(s.EnvFingerprint))
+		host := s.Host
+		if host == "" {
+			host = "local"
+		}
+		ew.printf("| %d | %d | %s | %d | %s | %s |\n", s.Index, s.Units, done, s.Attempt,
+			short(s.EnvFingerprint), host)
 	}
 	for _, sc := range r.Seams {
 		switch {
 		case !sc.Checked:
 			ew.printf("seam %d|%d: not checked (too few samples)\n", sc.Left, sc.Right)
+		case sc.Drift && sc.CrossHost:
+			ew.printf("seam %d|%d: shift at sample %d (p ≈ %.3g) across a host boundary — stratified\n",
+				sc.Left, sc.Right, sc.Boundary, sc.P)
 		case sc.Drift:
 			ew.printf("seam %d|%d: REGIME SHIFT at sample %d (p ≈ %.3g)\n", sc.Left, sc.Right, sc.Boundary, sc.P)
 		default:
 			ew.printf("seam %d|%d: no shift (p ≈ %.3g)\n", sc.Left, sc.Right, sc.P)
+		}
+	}
+	if len(r.Strata) > 0 {
+		ew.printf("host strata: %d\n", len(r.Strata))
+		ew.printf("| host | fingerprint | shards | units | samples | median dev |\n")
+		ew.printf("|---|---|---|---|---|---|\n")
+		for _, st := range r.Strata {
+			host := st.Host
+			if host == "" {
+				host = "?"
+			}
+			ew.printf("| %s | %s | %v | %d | %d | %.4g |\n", host, short(st.HostFingerprint),
+				st.Shards, st.Units, st.Samples, st.MedianDev)
 		}
 	}
 	for _, f := range r.Findings {

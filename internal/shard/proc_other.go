@@ -1,0 +1,20 @@
+//go:build !unix
+
+package shard
+
+import (
+	"os"
+	"os/exec"
+)
+
+// setProcGroup is a no-op where process groups are unavailable.
+func setProcGroup(*exec.Cmd) {}
+
+// killProc kills the executor process itself; descendants are the
+// platform's problem.
+func killProc(p *os.Process) error {
+	if p == nil {
+		return nil
+	}
+	return p.Kill()
+}

@@ -1,0 +1,27 @@
+//go:build unix
+
+package shard
+
+import (
+	"os"
+	"os/exec"
+	"syscall"
+)
+
+// setProcGroup puts the executor in its own process group so a kill
+// reaches every process it forked, not just the leader.
+func setProcGroup(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+}
+
+// killProc SIGKILLs the executor's whole process group, falling back to
+// the single process if the group is already gone.
+func killProc(p *os.Process) error {
+	if p == nil {
+		return nil
+	}
+	if err := syscall.Kill(-p.Pid, syscall.SIGKILL); err == nil {
+		return nil
+	}
+	return p.Kill()
+}

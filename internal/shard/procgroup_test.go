@@ -1,0 +1,64 @@
+//go:build unix
+
+package shard
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestCommandKillsProcessGroup: a shard executor that forks children
+// must not leave them running when the supervisor kills the attempt.
+// Command puts each attempt in its own process group and kills the
+// group, so the grandchild dies with its parent.
+func TestCommandKillsProcessGroup(t *testing.T) {
+	dir := t.TempDir()
+	pidFile := filepath.Join(dir, "grandchild.pid")
+	// The executor forks a long sleep, records its PID, and then hangs —
+	// the exact shape of a benchmark harness holding a measured child
+	// when the coordinator loses patience.
+	script := fmt.Sprintf("sleep 300 & echo $! > %s; wait", pidFile)
+	start := Command(io.Discard, io.Discard, "sh", "-c", script, "--")
+
+	h, err := start(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pid int
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if raw, err := os.ReadFile(pidFile); err == nil {
+			if pid, err = strconv.Atoi(strings.TrimSpace(string(raw))); err == nil && pid > 0 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("executor never forked its grandchild")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if err := h.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	// The grandchild must be gone — not merely orphaned to init and
+	// still holding the benchmark's resources.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		err := syscall.Kill(pid, 0)
+		if err == syscall.ESRCH {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("grandchild %d still alive after group kill (signal probe: %v)", pid, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -42,7 +42,8 @@ type Options struct {
 	// floor 10ms).
 	Poll time.Duration
 	// Retries is the reassignment budget per shard beyond the first
-	// attempt (default 2). A shard that exhausts it is reported lost —
+	// attempt (default 2; negative means no retries). A shard that
+	// exhausts it is reported lost —
 	// explicitly, in its ShardStatus and in the merged report's loss
 	// accounting — never silently dropped.
 	Retries int
@@ -50,9 +51,41 @@ type Options struct {
 	// subsequent one (default 100ms) — the same doubling schedule the
 	// resilient collection loop uses for sample retries.
 	Backoff time.Duration
+	// Seed derives the reassignment jitter deterministically (campaign
+	// seed by convention). Jitter spreads concurrent reassignments in
+	// [1, 1.5)× the exponential base so shards that stall together do
+	// not restart together, and because it is seeded, a test replays
+	// the exact reassignment schedule instead of sampling the clock.
+	Seed uint64
 	// Log, when non-nil, receives one line per supervision event
 	// (start, stall, reassignment, loss).
 	Log io.Writer
+}
+
+// ReassignBackoff is the delay before reassignment attempt (attempt ≥ 2)
+// of one shard: Backoff doubled per prior reassignment, plus a jitter
+// fraction in [0, 0.5) of that base derived from (Seed, shard, attempt)
+// via the splitmix64 finalizer. Same inputs, same schedule — the
+// supervisor's retry timing is part of the experiment, so it is seeded
+// like everything else.
+func ReassignBackoff(opt Options, shardIdx, attempt int) time.Duration {
+	opt = opt.withDefaults()
+	base := opt.Backoff << (attempt - 2)
+	h := smix64(opt.Seed ^ uint64(shardIdx)*0x9e3779b97f4a7c15 ^ uint64(attempt))
+	frac := float64(h>>11) / (1 << 53)
+	return base + time.Duration(frac*float64(base)/2)
+}
+
+// smix64 is the splitmix64 finalizer (the seed-stream discipline the
+// sharded bootstrap established).
+func smix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 func (o Options) withDefaults() Options {
@@ -64,6 +97,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Poll < 10*time.Millisecond {
 		o.Poll = 10 * time.Millisecond
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
 	}
 	if o.Retries < 0 {
 		o.Retries = 0
@@ -130,7 +166,7 @@ func superviseShard(ctx context.Context, dir string, idx int, start StartFunc, o
 		}
 		if attempt > 1 {
 			telRetries.Inc()
-			backoff := opt.Backoff << (attempt - 2)
+			backoff := ReassignBackoff(opt, idx, attempt)
 			logf(opt, "shard %d: reassigning (attempt %d/%d) after %s backoff: %s\n",
 				idx, attempt, 1+opt.Retries, backoff, st.Err)
 			select {
@@ -221,13 +257,18 @@ func runAttempt(ctx context.Context, dir string, attempt int, start StartFunc, o
 // shard directory appended — the single-machine executor launcher
 // behind `scibench campaign -shards N` (argv = self, "exec"). The
 // attempt flag carries reassignment provenance into the executor's
-// heartbeat file.
+// heartbeat file. On unix the executor is started in its own process
+// group and Kill takes down the whole group: an executor that forked
+// measurement children must not leave them running (and beating) after
+// the supervisor declares it dead, or a "killed" shard would keep
+// mutating its journal.
 func Command(stdout, stderr io.Writer, argv ...string) StartFunc {
 	return func(shardDir string, attempt int) (Handle, error) {
 		args := append(append([]string{}, argv[1:]...), fmt.Sprintf("-attempt=%d", attempt), shardDir)
 		cmd := exec.Command(argv[0], args...)
 		cmd.Stdout = stdout
 		cmd.Stderr = stderr
+		setProcGroup(cmd)
 		if err := cmd.Start(); err != nil {
 			return nil, err
 		}
@@ -238,7 +279,7 @@ func Command(stdout, stderr io.Writer, argv ...string) StartFunc {
 type procHandle struct{ cmd *exec.Cmd }
 
 func (h procHandle) Wait() error { return h.cmd.Wait() }
-func (h procHandle) Kill() error { return h.cmd.Process.Kill() }
+func (h procHandle) Kill() error { return killProc(h.cmd.Process) }
 
 func logf(opt Options, format string, args ...any) {
 	if opt.Log != nil {

@@ -28,6 +28,7 @@ import (
 	"context"
 	"io"
 	"math/rand/v2"
+	"net/http"
 
 	"repro/internal/bench"
 	"repro/internal/bootstrap"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/qreg"
 	"repro/internal/regress"
+	"repro/internal/remote"
 	"repro/internal/report"
 	"repro/internal/rules"
 	"repro/internal/shard"
@@ -881,6 +883,60 @@ func WriteMergedShardManifest(sweepDir string, r *ShardMergeReport) error {
 // do — the hash a ShardUnit must carry for its executor-built manifest
 // to verify.
 func HashCampaignConfig(v any) (string, error) { return campaign.HashJSON(v) }
+
+// Cross-machine shard execution (package remote): an HTTP/JSON
+// transport that plugs remote worker processes into the shard
+// supervisor's StartFunc seam. Workers register with a coordinator,
+// receive hash-pinned shard manifests, run the journaled executor
+// locally, and ship journal chunks back with CRC framing and resumable
+// offsets; the coordinator mirrors each shard's files locally, fences
+// stale attempts so a zombie worker's late chunks are refused, and
+// reassigns lost workers' shards — so the merged report stays
+// byte-identical to the single-process run under crashes, stalls, and
+// network partitions. Each worker's Rule 9 host environment is
+// fingerprinted and recorded per shard; the merge stratifies cross-host
+// seams by host rather than pooling across them.
+type (
+	// RemoteCoordinator accepts worker registrations for one sweep and
+	// exposes the StartFunc the shard supervisor launches attempts
+	// through.
+	RemoteCoordinator = remote.Coordinator
+	// RemoteCoordinatorOptions tunes the coordinator (listen address,
+	// per-request timeout, assignment retry budget, seed).
+	RemoteCoordinatorOptions = remote.CoordinatorOptions
+	// RemoteWorker is a running worker agent: it executes assigned
+	// shards locally and ships their journals back.
+	RemoteWorker = remote.Worker
+	// RemoteWorkerOptions tunes a worker (coordinator URL, listen
+	// address, work dir, unit runner, ship interval).
+	RemoteWorkerOptions = remote.WorkerOptions
+	// RemoteFaultTransport is a seeded, deterministic network-fault
+	// injector (drops, delays, duplication, partitions) wrapped around
+	// an HTTP transport — for rehearsing partition tolerance.
+	RemoteFaultTransport = remote.FaultTransport
+)
+
+// NewRemoteCoordinator starts a coordinator serving the sweep in
+// sweepDir. Close it when the campaign is done.
+func NewRemoteCoordinator(sweepDir string, opt RemoteCoordinatorOptions) (*RemoteCoordinator, error) {
+	return remote.NewCoordinator(sweepDir, opt)
+}
+
+// StartRemoteWorker starts a worker agent and registers it with its
+// coordinator. Close it to cancel its jobs and stop serving.
+func StartRemoteWorker(opt RemoteWorkerOptions) (*RemoteWorker, error) {
+	return remote.StartWorker(opt)
+}
+
+// RemoteHostEnv captures this machine's Rule 9 host environment — the
+// record each worker registers and the merge stratifies by.
+func RemoteHostEnv() ExperimentEnv { return remote.HostEnv() }
+
+// NewRemoteFaultTransport seeds a deterministic fault injector around
+// next (nil for the default HTTP transport).
+func NewRemoteFaultTransport(seed uint64, next http.RoundTripper) *RemoteFaultTransport {
+	return remote.NewFaultTransport(seed, next)
+}
 
 // Harness observability (package telemetry): a lock-cheap metrics
 // registry the measurement layers instrument unconditionally,
