@@ -2,7 +2,7 @@ GO ?= go
 
 .PHONY: all build test vet race check bench bench-smoke bench-json benchgate \
 	coverage coverage-check figures telemetry-smoke durability shardcheck \
-	remotecheck
+	remotecheck scalecheck profile-cluster
 
 all: check
 
@@ -65,8 +65,8 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x $(BENCH_PKGS)
 
 # The harness benchmarks the committed baseline tracks (suite engine,
-# bootstrap, analysis fast path).
-HARNESS_BENCH = BenchmarkSuiteRun|BenchmarkBootstrapCI|BenchmarkAnalyze|BenchmarkSampleReset|BenchmarkSummarize$$|BenchmarkMedianCI
+# bootstrap, analysis fast path, collective scaling at P=1k/64k/1M).
+HARNESS_BENCH = BenchmarkSuiteRun|BenchmarkBootstrapCI|BenchmarkAnalyze|BenchmarkSampleReset|BenchmarkSummarize$$|BenchmarkMedianCI|BenchmarkCollective
 BENCH_COUNT ?= 5
 
 # bench-json records the harness benchmarks as a schema v2 sample set
@@ -86,6 +86,24 @@ benchgate:
 		-o BENCH_candidate.json .
 	$(GO) run ./cmd/benchgate -baseline BENCH_harness.json \
 		-candidate BENCH_candidate.json $(ARGS)
+
+# scalecheck is the million-rank smoke: the 2^20-rank summary-mode
+# Allreduce must complete as a single sweep with allocations independent
+# of P, and the batch/worker-invariance goldens must hold. No race
+# detector — at this scale it would multiply memory and run time without
+# adding coverage beyond the dedicated race pass in `check`.
+scalecheck:
+	$(GO) test -run 'TestMillionRankSummarySmoke|TestSummaryAllocsFlat|TestCollectiveBatchWorkerInvariance' \
+		-count=1 ./internal/cluster
+	$(GO) test -run '^$$' -bench 'BenchmarkCollective.*/p=1048576' -benchtime 1x -benchmem .
+
+# profile-cluster captures CPU + allocation profiles of the collective
+# hot loop (million-rank Allreduce). Inspect with:
+#   go tool pprof cluster.cpu.pprof
+profile-cluster:
+	$(GO) test -run '^$$' -bench 'BenchmarkCollectiveAllreduce/p=1048576' -benchtime 3x \
+		-cpuprofile cluster.cpu.pprof -memprofile cluster.mem.pprof .
+	@echo "wrote cluster.cpu.pprof and cluster.mem.pprof"
 
 coverage:
 	$(GO) test -coverprofile=cover.out ./...

@@ -236,6 +236,50 @@ func BenchmarkClusterPingPong(b *testing.B) {
 	}
 }
 
+// --- Collective scaling benchmarks (million-rank engine) ---------------
+
+// benchCollective sweeps one collective across three orders of magnitude
+// of rank count. Auto result mode means P=1k materializes exact per-rank
+// times while P=64k and P=1M return fixed-size summaries — B/op must be
+// flat across the two summary sizes (the engine's allocation-flat
+// contract, pinned by TestSummaryAllocsFlat and gated by benchgate).
+func benchCollective(b *testing.B, run func(*scibench.Cluster) scibench.Collective) {
+	for _, p := range []int{1 << 10, 1 << 16, 1 << 20} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			cfg := scibench.PizDaint()
+			// The preset's 42k cores cap P; scale the node count while
+			// keeping the per-node noise character.
+			cfg.Nodes = 1 << 17
+			m, err := scibench.NewCluster(cfg, p, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			run(m) // warm the machine's scratch-buffer pool
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = run(m)
+			}
+		})
+	}
+}
+
+func BenchmarkCollectiveReduce(b *testing.B) {
+	benchCollective(b, func(m *scibench.Cluster) scibench.Collective { return m.Reduce(8, nil) })
+}
+
+func BenchmarkCollectiveBcast(b *testing.B) {
+	benchCollective(b, func(m *scibench.Cluster) scibench.Collective { return m.Bcast(8, nil) })
+}
+
+func BenchmarkCollectiveBarrier(b *testing.B) {
+	benchCollective(b, func(m *scibench.Cluster) scibench.Collective { return m.Barrier(nil) })
+}
+
+func BenchmarkCollectiveAllreduce(b *testing.B) {
+	benchCollective(b, func(m *scibench.Cluster) scibench.Collective { return m.Allreduce(8, nil) })
+}
+
 // --- Ablation benchmarks (design choices called out in DESIGN.md) ------
 
 // BenchmarkAblationSync compares the two clock-synchronization schemes

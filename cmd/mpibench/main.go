@@ -10,7 +10,8 @@
 //	mpibench [-system daint|dora|pilatus] [-collectives reduce,bcast,...]
 //	         [-ranks 2,4,8,16,32] [-bytes 8,1024] [-relerr 0.05]
 //	         [-seed 1] [-faults straggler,burst] [-ceiling 0]
-//	         [-budget 0] [-j 0] [-v]
+//	         [-budget 0] [-j 0] [-mode auto] [-summary-threshold 0]
+//	         [-coll-workers 0] [-v]
 //
 // -j measures up to N configurations concurrently (0 = GOMAXPROCS); the
 // report is bit-identical for every worker count because per-
@@ -53,6 +54,9 @@ func main() {
 		ceiling = flag.Float64("ceiling", 0, "resilient collection: discard+retry observations at or above this value (µs); 0 disables")
 		budget  = flag.Duration("budget", 0, "wall-clock campaign budget (e.g. 10m); 0 means unlimited")
 		workers = flag.Int("j", 0, "configurations to measure concurrently (0 = GOMAXPROCS); results are worker-count invariant")
+		mode    = flag.String("mode", "auto", "collective result mode: auto|perrank|summary (summary keeps million-rank sweeps allocation-flat)")
+		sumThr  = flag.Int("summary-threshold", 0, "rank count at which auto mode switches to summary results (0 = engine default)")
+		collJ   = flag.Int("coll-workers", 0, "worker goroutines per collective level (0 = serial); output is bit-identical for every value")
 		verbose = flag.Bool("v", false, "stream per-configuration progress")
 		telAddr = flag.String("telemetry", "", "serve /metrics, /trace, and /debug/pprof on this address (e.g. :8080); also enables span tracing")
 	)
@@ -99,6 +103,12 @@ func main() {
 		// Rule 9: injected faults are part of the experimental setup.
 		fmt.Fprintf(os.Stderr, "mpibench: injecting faults: %s\n", sched)
 	}
+	if clusterCfg.ResultMode, err = cluster.ParseResultMode(*mode); err != nil {
+		fmt.Fprintf(os.Stderr, "mpibench: -mode: %v\n", err)
+		os.Exit(2)
+	}
+	clusterCfg.SummaryThreshold = *sumThr
+	clusterCfg.CollectiveWorkers = *collJ
 
 	cfg := suite.Config{
 		Cluster: clusterCfg,

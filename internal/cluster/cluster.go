@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/noise"
+	"repro/internal/rng"
 	"repro/internal/telemetry"
 )
 
@@ -103,6 +104,19 @@ type Config struct {
 	// flows from the machine's seeded stream, so faulty experiments
 	// reproduce bit-for-bit.
 	Faults *faults.Schedule
+
+	// Collective engine controls (see collective_engine.go). ResultMode
+	// selects per-rank vs summary collective results; ModeAuto switches
+	// to summaries at SummaryThreshold ranks (default 65536).
+	// CollectiveWorkers evaluates each tree level with that many
+	// goroutines and CollectiveBatch sets the per-worker chunk size —
+	// both are pure throughput knobs: per-rank RNG streams make
+	// collective output bit-identical for a fixed seed regardless of
+	// batch size or worker count.
+	ResultMode        ResultMode
+	SummaryThreshold  int
+	CollectiveWorkers int
+	CollectiveBatch   int
 }
 
 // proc is one simulated process (MPI rank analogue).
@@ -117,14 +131,26 @@ type proc struct {
 
 // Machine is an instantiated simulated system with a fixed number of
 // ranks. Machines are not safe for concurrent use: experiments drive
-// them sequentially, exactly like a benchmark driving one job.
+// them sequentially, exactly like a benchmark driving one job (the
+// collective engine's internal workers synchronize per tree level and
+// never outlive a call).
 type Machine struct {
 	cfg    Config
 	rng    *rand.Rand
-	procs  []*proc
+	seed   uint64
+	procs  []proc // flat: a million-rank machine is one slab, not 2^20 heap objects
 	topo   TopologyConfig
 	now    time.Duration // global (true) simulated time
 	fstats FaultStats
+
+	// Collective engine state (collective_engine.go): per-rank RNG
+	// streams reseeded per invocation, reusable O(P) scratch buffers,
+	// and per-worker fault accounting.
+	collSeq    uint64
+	streams    []rng.Stream
+	forceExact int
+	bufPool    [][]time.Duration
+	wstats     []FaultStats
 }
 
 // FaultStats counts the fault events the machine absorbed — the
@@ -167,8 +193,9 @@ func New(cfg Config, ranks int, seed uint64) (*Machine, error) {
 	}
 	telMachines.Inc()
 	m := &Machine{
-		cfg: cfg,
-		rng: rand.New(rand.NewPCG(seed, 0x5c1beccd)),
+		cfg:  cfg,
+		rng:  rand.New(rand.NewPCG(seed, 0x5c1beccd)),
+		seed: seed,
 	}
 
 	// Per-node characteristics.
@@ -188,7 +215,7 @@ func New(cfg Config, ranks int, seed uint64) (*Machine, error) {
 		}
 	}
 
-	m.procs = make([]*proc, ranks)
+	m.procs = make([]proc, ranks)
 	for r := 0; r < ranks; r++ {
 		var node int
 		if cfg.Placement == Scattered {
@@ -196,7 +223,8 @@ func New(cfg Config, ranks int, seed uint64) (*Machine, error) {
 		} else {
 			node = r / cfg.CoresPerNode
 		}
-		p := &proc{rank: r, node: node, speed: speeds[node], daemon: daemons[node]}
+		p := &m.procs[r]
+		p.rank, p.node, p.speed, p.daemon = r, node, speeds[node], daemons[node]
 		if cfg.ClockOffsetMax > 0 {
 			p.clockOffset = time.Duration(m.rng.Int64N(2*int64(cfg.ClockOffsetMax))) -
 				cfg.ClockOffsetMax
@@ -204,7 +232,6 @@ func New(cfg Config, ranks int, seed uint64) (*Machine, error) {
 		if cfg.ClockDriftPPM > 0 {
 			p.clockDrift = (2*m.rng.Float64() - 1) * cfg.ClockDriftPPM * 1e-6
 		}
-		m.procs[r] = p
 	}
 	return m, nil
 }
@@ -248,7 +275,7 @@ func (m *Machine) NodeOf(rank int) int { return m.procs[rank].node }
 // granularity — the asynchronous clock model behind §4.2.1's "parallel
 // time" discussion.
 func (m *Machine) LocalTime(rank int, global time.Duration) time.Duration {
-	p := m.procs[rank]
+	p := &m.procs[rank]
 	t := p.clockOffset + time.Duration(float64(global)*(1+p.clockDrift))
 	t += m.cfg.Faults.ClockShift(rank, global)
 	if g := m.cfg.ClockGranularity; g > 0 {
@@ -265,7 +292,7 @@ func (m *Machine) LocalTime(rank int, global time.Duration) time.Duration {
 // exactly the silent §4.2.1 skew that synchronizing before an NTP
 // adjustment produces.
 func (m *Machine) GlobalFromLocal(rank int, local time.Duration) time.Duration {
-	p := m.procs[rank]
+	p := &m.procs[rank]
 	g := time.Duration(float64(local-p.clockOffset) / (1 + p.clockDrift))
 	f := m.cfg.Faults
 	if f == nil {
@@ -294,14 +321,24 @@ func (m *Machine) GlobalFromLocal(rank int, local time.Duration) time.Duration {
 // retransmission waits.
 func (m *Machine) msgLatency(from, to, bytes int, at time.Duration) time.Duration {
 	telMessages.Inc()
+	return m.msgLatencySrc(m.rng, &m.fstats, from, to, bytes, at)
+}
+
+// msgLatencySrc is msgLatency with an explicit draw source and fault
+// accounting sink. Point-to-point paths pass the machine's shared
+// stream; the collective engine passes the RECEIVER's per-rank stream
+// and a per-worker FaultStats, which is what makes level-batched and
+// multi-worker evaluation bit-identical to serial evaluation (telemetry
+// message counts are added per level there, not here).
+func (m *Machine) msgLatencySrc(src noise.Source, fs *FaultStats, from, to, bytes int, at time.Duration) time.Duration {
 	f := m.cfg.Faults
 	if f != nil && (f.CrashedAt(from, at) || f.CrashedAt(to, at)) {
 		// The surviving peer blocks until the runtime declares the
 		// transfer dead. No latency is drawn: nothing was delivered.
-		m.fstats.CrashTimeouts++
+		fs.CrashTimeouts++
 		return f.CrashWait()
 	}
-	pf, pt := m.procs[from], m.procs[to]
+	pf, pt := &m.procs[from], &m.procs[to]
 	var lat float64
 	interNode := pf.node != pt.node
 	if !interNode {
@@ -310,14 +347,14 @@ func (m *Machine) msgLatency(from, to, bytes int, at time.Duration) time.Duratio
 			lat = float64(m.cfg.LatFloor) / 4
 		}
 		// Intra-node transfers still jitter a little.
-		lat *= math.Exp(m.cfg.LatSigma / 2 * m.rng.NormFloat64())
+		lat *= math.Exp(m.cfg.LatSigma / 2 * src.NormFloat64())
 	} else {
 		lat = float64(m.cfg.LatFloor) + float64(m.hopExtra(pf.node, pt.node)) +
-			float64(m.cfg.LatBody)*math.Exp(m.cfg.LatSigma*m.rng.NormFloat64())
-		if m.cfg.TailProb > 0 && m.rng.Float64() < m.cfg.TailProb {
-			u := m.rng.Float64()
+			float64(m.cfg.LatBody)*math.Exp(m.cfg.LatSigma*src.NormFloat64())
+		if m.cfg.TailProb > 0 && src.Float64() < m.cfg.TailProb {
+			u := src.Float64()
 			for u == 0 {
-				u = m.rng.Float64()
+				u = src.Float64()
 			}
 			alpha := m.cfg.TailAlpha
 			if alpha <= 0 {
@@ -340,15 +377,15 @@ func (m *Machine) msgLatency(from, to, bytes int, at time.Duration) time.Duratio
 	}
 	d := time.Duration(lat)
 	if f != nil && interNode {
-		if wait, retries := f.RetransmitDelay(m.rng.Float64); retries > 0 {
-			m.fstats.Retransmits += retries
-			m.fstats.LostMessages++
+		if wait, retries := f.RetransmitDelay(src); retries > 0 {
+			fs.Retransmits += retries
+			fs.LostMessages++
 			d += wait
 		}
 	}
 	// Receiver-side daemon interference can delay delivery processing.
 	if pt.daemon != nil {
-		d = pt.daemon.Perturb(m.rng, at+d, d)
+		d = pt.daemon.Perturb(src, at+d, d)
 	}
 	if d < 0 {
 		d = 0
@@ -363,7 +400,7 @@ func (m *Machine) ComputeTime(rank int, flops float64, at time.Duration) time.Du
 	if m.cfg.FlopsPerSec <= 0 {
 		return 0
 	}
-	p := m.procs[rank]
+	p := &m.procs[rank]
 	d := time.Duration(flops / (m.cfg.FlopsPerSec * p.speed) * float64(time.Second))
 	if m.cfg.CPUNoise != nil {
 		d = m.cfg.CPUNoise.Perturb(m.rng, at, d)
@@ -379,16 +416,16 @@ func (m *Machine) ComputeTime(rank int, flops float64, at time.Duration) time.Du
 	return d
 }
 
-// opCost returns one noisy reduction-operator application on rank r.
-func (m *Machine) opCost(rank int, at time.Duration) time.Duration {
+// opCostSrc returns one noisy reduction-operator application on rank r,
+// drawing from src (the rank's own stream inside collectives).
+func (m *Machine) opCostSrc(src noise.Source, rank int, at time.Duration) time.Duration {
 	d := m.cfg.ReduceOpCost
 	if d <= 0 {
 		return 0
 	}
-	p := m.procs[rank]
-	d = time.Duration(float64(d) / p.speed)
+	d = time.Duration(float64(d) / m.procs[rank].speed)
 	if m.cfg.CPUNoise != nil {
-		d = m.cfg.CPUNoise.Perturb(m.rng, at, d)
+		d = m.cfg.CPUNoise.Perturb(src, at, d)
 	}
 	return d
 }

@@ -9,86 +9,100 @@ import (
 // (SKaMPI-style coverage): allreduce, gather, scatter, allgather and
 // alltoall. All use the same rendezvous cost model as Reduce, so their
 // relative costs follow the textbook algorithmics (reduce+bcast,
-// binomial trees, rings, pairwise exchange).
+// binomial trees, rings, pairwise exchange), and all evaluate
+// level-wise on per-rank streams (collective_engine.go).
 
 // Allreduce simulates reduce-to-root followed by a binomial broadcast of
 // the result (the simple MPI algorithm for small payloads). Per-rank
-// completion is when the rank holds the final value.
+// completion is when the rank holds the final value. At 2^20 ranks this
+// is the tentpole single-sweep path: 20 reduction levels and 20
+// broadcast levels, each one batched pass, with a fixed-size summary
+// result.
 func (m *Machine) Allreduce(bytes int, skew []time.Duration) CollectiveResult {
 	p := len(m.procs)
-	res := CollectiveResult{PerRank: make([]time.Duration, p)}
 	if p == 1 {
-		return res
+		return m.unitResult()
 	}
-	red := m.Reduce(bytes, skew)
-	// Broadcast starts at the root's completion.
-	bc := m.Bcast(bytes, nil)
-	for r := 0; r < p; r++ {
-		res.PerRank[r] = red.Root + bc.PerRank[r]
+	m.beginCollective()
+	fin := m.grab(p)
+	defer m.release(fin)
+	root := m.reduceLevels(bytes, skew, fin)
+
+	// Broadcast starts at the root's completion; it is a separate
+	// invocation so its draws are independent of the reduction's.
+	m.beginCollective()
+	bcFin := m.grab(p)
+	defer m.release(bcFin)
+	m.bcastLevels(bytes, nil, bcFin)
+
+	for r := 1; r < p; r++ {
+		fin[r] = root + bcFin[r]
 	}
-	res.Root = red.Root // rank 0 has the value at reduce completion
-	res.PerRank[0] = red.Root
-	return res
+	fin[0] = root // rank 0 has the value at reduce completion
+	return m.finishResult(fin, root)
 }
 
 // Gather simulates a binomial-tree gather of `bytes` per rank to rank 0;
 // inner nodes forward their whole accumulated subtree payload, so
 // message sizes grow toward the root (the real cost structure of
-// MPI_Gather).
+// MPI_Gather). The subtree size under child c in round j is a closed
+// form — 2^j ranks plus the extras folded into [c, c+2^j) — so the
+// level-wise sweep needs no sequential bookkeeping.
 func (m *Machine) Gather(bytes int, skew []time.Duration) CollectiveResult {
 	p := len(m.procs)
-	res := CollectiveResult{PerRank: make([]time.Duration, p)}
 	if p == 1 {
-		return res
+		return m.unitResult()
 	}
-	start := make([]time.Duration, p)
+	m.beginCollective()
+	fin := m.grab(p)
+	defer m.release(fin)
+	acc := m.grab(p)
+	defer m.release(acc)
 	if skew != nil {
-		copy(start, skew)
+		copy(acc, skew)
 	}
 	pow2 := 1 << (bits.Len(uint(p)) - 1)
 	extra := p - pow2
 
-	finish := func(r int, at time.Duration) {
-		if at > res.PerRank[r] {
-			res.PerRank[r] = at
+	recv := func(dst, src, nbytes int, fs *FaultStats) {
+		sendReady := acc[src] + m.cfg.SendOverhead
+		begin := max(sendReady, acc[dst])
+		arrive := begin + m.msgLatencySrc(&m.streams[dst], fs, src, dst, nbytes, begin)
+		if arrive > fin[src] {
+			fin[src] = arrive
+		}
+		if arrive > acc[dst] {
+			acc[dst] = arrive
 		}
 	}
-	ready := make([]time.Duration, pow2)
-	subtree := make([]int, pow2) // ranks accumulated below (incl. self)
-	for i := range subtree {
-		subtree[i] = 1
-	}
-	for r := pow2 - 1; r >= 0; r-- {
-		cur := start[r]
-		recv := func(src int, srcReady time.Duration, srcCount int) {
-			sendReady := srcReady + m.cfg.SendOverhead
-			begin := max(sendReady, cur)
-			arrive := begin + m.msgLatency(src, r, bytes*srcCount, begin)
-			finish(src, arrive)
-			if arrive > cur {
-				cur = arrive
+
+	m.runLevel(extra, func(i int, fs *FaultStats) { recv(i, i+pow2, bytes, fs) })
+	var step, half int
+	level := func(k int, fs *FaultStats) {
+		r := k * step
+		c := r + half
+		// Ranks accumulated below c: its 2^j-wide binomial subtree
+		// plus any extras folded into it during the fold level.
+		count := half
+		if folded := extra - c; folded > 0 {
+			if folded > half {
+				folded = half
 			}
+			count += folded
 		}
-		if r < extra {
-			recv(r+pow2, start[r+pow2], 1)
-			subtree[r]++
-		}
-		limit := bits.TrailingZeros(uint(r))
-		if r == 0 {
-			limit = bits.Len(uint(pow2)) - 1
-		}
-		for j := 0; j < limit; j++ {
-			c := r + 1<<j
-			if c < pow2 {
-				recv(c, ready[c], subtree[c])
-				subtree[r] += subtree[c]
-			}
-		}
-		ready[r] = cur
-		finish(r, cur)
+		recv(r, c, bytes*count, fs)
 	}
-	res.Root = res.PerRank[0]
-	return res
+	for j := 0; 1<<j < pow2; j++ {
+		step = 1 << (j + 1)
+		half = 1 << j
+		m.runLevel(pow2/step, level)
+	}
+	for r := 0; r < pow2; r++ {
+		if acc[r] > fin[r] {
+			fin[r] = acc[r]
+		}
+	}
+	return m.finishResult(fin, fin[0])
 }
 
 // Scatter simulates a binomial-tree scatter from rank 0: inner nodes
@@ -96,108 +110,137 @@ func (m *Machine) Gather(bytes int, skew []time.Duration) CollectiveResult {
 // sizes each level.
 func (m *Machine) Scatter(bytes int, skew []time.Duration) CollectiveResult {
 	p := len(m.procs)
-	res := CollectiveResult{PerRank: make([]time.Duration, p)}
 	if p == 1 {
-		return res
+		return m.unitResult()
 	}
-	have := make([]time.Duration, p)
+	m.beginCollective()
+	fin := m.grab(p)
+	defer m.release(fin)
+	have := m.grab(p)
+	defer m.release(have)
 	for r := 1; r < p; r++ {
 		have[r] = -1
 	}
 	if skew != nil {
 		have[0] = skew[0]
 	}
-	for k := 0; 1<<k < p; k++ {
-		for r := 0; r < 1<<k && r < p; r++ {
-			dst := r + 1<<k
-			if dst >= p || have[r] < 0 {
-				continue
-			}
-			// Payload: everything for dst's subtree (ranks dst..min(dst+2^k, p)-1).
-			count := min(1<<k, p-dst)
-			sendAt := have[r] + m.cfg.SendOverhead
-			if skew != nil && skew[r] > sendAt {
-				sendAt = skew[r]
-			}
-			arrive := sendAt + m.msgLatency(r, dst, bytes*count, sendAt)
-			if skew != nil && skew[dst] > arrive {
-				arrive = skew[dst]
-			}
-			have[dst] = arrive
-			if arrive > res.PerRank[dst] {
-				res.PerRank[dst] = arrive
-			}
-			if sendAt > res.PerRank[r] {
-				res.PerRank[r] = sendAt
-			}
+	var width int
+	level := func(r int, fs *FaultStats) {
+		dst := r + width
+		if have[r] < 0 {
+			return
+		}
+		// Payload: everything for dst's subtree (ranks dst..min(dst+2^k, p)-1).
+		count := min(width, p-dst)
+		sendAt := have[r] + m.cfg.SendOverhead
+		if skew != nil && skew[r] > sendAt {
+			sendAt = skew[r]
+		}
+		arrive := sendAt + m.msgLatencySrc(&m.streams[dst], fs, r, dst, bytes*count, sendAt)
+		if skew != nil && skew[dst] > arrive {
+			arrive = skew[dst]
+		}
+		have[dst] = arrive
+		if arrive > fin[dst] {
+			fin[dst] = arrive
+		}
+		if sendAt > fin[r] {
+			fin[r] = sendAt
 		}
 	}
+	for k := 0; 1<<k < p; k++ {
+		width = 1 << k
+		n := width
+		if n > p-width {
+			n = p - width
+		}
+		m.runLevel(n, level)
+	}
+	res := m.finishResult(fin, 0)
 	res.Root = res.Max()
 	return res
 }
 
 // Allgather simulates the ring algorithm: p−1 steps, each rank passing
 // the next block to its right neighbour — bandwidth-optimal for large
-// payloads, Θ(p) latency.
+// payloads, Θ(p) latency. Every rank receives exactly once per step, so
+// each step is one batched level.
 func (m *Machine) Allgather(bytes int, skew []time.Duration) CollectiveResult {
 	p := len(m.procs)
-	res := CollectiveResult{PerRank: make([]time.Duration, p)}
 	if p == 1 {
-		return res
+		return m.unitResult()
 	}
-	cur := make([]time.Duration, p)
+	m.beginCollective()
+	fin := m.grab(p)
+	defer m.release(fin)
+	cur := m.grab(p)
+	next := m.grab(p)
+	defer m.release(cur)
+	defer m.release(next)
 	if skew != nil {
 		copy(cur, skew)
 	}
-	next := make([]time.Duration, p)
-	for step := 0; step < p-1; step++ {
-		for r := 0; r < p; r++ {
-			src := (r - 1 + p) % p
-			sendAt := cur[src] + m.cfg.SendOverhead
-			arrive := sendAt + m.msgLatency(src, r, bytes, sendAt)
-			next[r] = max(cur[r], arrive)
+	level := func(r int, fs *FaultStats) {
+		src := r - 1
+		if src < 0 {
+			src += p
 		}
+		sendAt := cur[src] + m.cfg.SendOverhead
+		arrive := sendAt + m.msgLatencySrc(&m.streams[r], fs, src, r, bytes, sendAt)
+		next[r] = max(cur[r], arrive)
+	}
+	for step := 0; step < p-1; step++ {
+		m.runLevel(p, level)
 		cur, next = next, cur
 	}
-	copy(res.PerRank, cur)
+	copy(fin, cur)
+	res := m.finishResult(fin, 0)
 	res.Root = res.Max()
 	return res
 }
 
 // Alltoall simulates the pairwise-exchange algorithm: p−1 rounds, in
 // round k rank r exchanges blocks with rank r XOR k (for power-of-two p)
-// or (r+k) mod p otherwise.
+// or (r+k) mod p otherwise. Each round's receives are one batched level.
 func (m *Machine) Alltoall(bytes int, skew []time.Duration) CollectiveResult {
 	p := len(m.procs)
-	res := CollectiveResult{PerRank: make([]time.Duration, p)}
 	if p == 1 {
-		return res
+		return m.unitResult()
 	}
-	cur := make([]time.Duration, p)
+	m.beginCollective()
+	fin := m.grab(p)
+	defer m.release(fin)
+	cur := m.grab(p)
+	next := m.grab(p)
+	defer m.release(cur)
+	defer m.release(next)
 	if skew != nil {
 		copy(cur, skew)
 	}
-	next := make([]time.Duration, p)
 	pow2 := p&(p-1) == 0
-	for k := 1; k < p; k++ {
-		for r := 0; r < p; r++ {
-			var partner int
-			if pow2 {
-				partner = r ^ k
-			} else {
-				partner = (r + k) % p
-			}
-			// The exchange completes when the later party's message
-			// lands at the other side.
-			sendAt := cur[r] + m.cfg.SendOverhead
-			partnerSend := cur[partner] + m.cfg.SendOverhead
-			begin := max(sendAt, partnerSend) // rendezvous pairing
-			arrive := begin + m.msgLatency(partner, r, bytes, begin)
-			next[r] = max(cur[r], arrive)
+	var round int
+	level := func(r int, fs *FaultStats) {
+		var partner int
+		if pow2 {
+			partner = r ^ round
+		} else {
+			partner = (r + round) % p
 		}
+		// The exchange completes when the later party's message
+		// lands at the other side.
+		sendAt := cur[r] + m.cfg.SendOverhead
+		partnerSend := cur[partner] + m.cfg.SendOverhead
+		begin := max(sendAt, partnerSend) // rendezvous pairing
+		arrive := begin + m.msgLatencySrc(&m.streams[r], fs, partner, r, bytes, begin)
+		next[r] = max(cur[r], arrive)
+	}
+	for k := 1; k < p; k++ {
+		round = k
+		m.runLevel(p, level)
 		cur, next = next, cur
 	}
-	copy(res.PerRank, cur)
+	copy(fin, cur)
+	res := m.finishResult(fin, 0)
 	res.Root = res.Max()
 	return res
 }

@@ -36,6 +36,7 @@ func newSyncResult(abs []time.Duration) SyncResult {
 // timed operation right after a barrier (§4.2.1): the residual skew is
 // the spread of barrier exit times.
 func (m *Machine) BarrierSync() SyncResult {
+	defer m.ExactPerRank()() // skews need every rank's exit time
 	res := m.Barrier(nil)
 	return newSyncResult(res.PerRank)
 }
@@ -65,6 +66,7 @@ func (m *Machine) NaiveClockSync(window time.Duration) SyncResult {
 // translated instant. The residual skew reflects offset-estimation error,
 // clock drift over the window, and clock granularity.
 func (m *Machine) DelayWindowSync(window time.Duration, pingRounds int) SyncResult {
+	defer m.ExactPerRank()() // the broadcast's per-rank arrivals gate each start
 	p := len(m.procs)
 	if pingRounds < 1 {
 		pingRounds = 1

@@ -269,12 +269,20 @@ func (s *Schedule) ClockShift(rank int, at time.Duration) time.Duration {
 	return shift
 }
 
-// RetransmitDelay rolls the loss protocol for one message using draw, a
-// uniform [0,1) source (the machine's seeded stream), and returns the
+// FloatSource is a uniform [0,1) draw source. Taking an interface
+// rather than a func() float64 lets hot paths pass their existing
+// stream (the machine's *rand.Rand or a per-rank *rng.Stream) without
+// allocating a bound-method closure per message.
+type FloatSource interface {
+	Float64() float64
+}
+
+// RetransmitDelay rolls the loss protocol for one message using src, a
+// uniform [0,1) source (a seeded deterministic stream), and returns the
 // total retransmission wait added to the message's delivery plus the
 // number of retransmissions performed. A nil receiver or absent Loss
 // model returns (0, 0) without consuming draws.
-func (s *Schedule) RetransmitDelay(draw func() float64) (time.Duration, int) {
+func (s *Schedule) RetransmitDelay(src FloatSource) (time.Duration, int) {
 	if s == nil || s.Loss == nil || s.Loss.Prob <= 0 {
 		return 0, 0
 	}
@@ -282,7 +290,7 @@ func (s *Schedule) RetransmitDelay(draw func() float64) (time.Duration, int) {
 	var wait time.Duration
 	timeout := l.timeout()
 	retries := 0
-	for retries < l.maxRetries() && draw() < l.Prob {
+	for retries < l.maxRetries() && src.Float64() < l.Prob {
 		wait += timeout
 		timeout = time.Duration(float64(timeout) * l.backoff())
 		retries++

@@ -88,7 +88,7 @@ func TestRetransmitDelayDeterministic(t *testing.T) {
 	s := &Schedule{Loss: &Loss{Prob: 0.5, Timeout: 10 * time.Microsecond, Backoff: 2, MaxRetries: 3}}
 	roll := func(seed uint64) (time.Duration, int) {
 		rng := rand.New(rand.NewPCG(seed, 7))
-		return s.RetransmitDelay(rng.Float64)
+		return s.RetransmitDelay(rng)
 	}
 	w1, r1 := roll(42)
 	w2, r2 := roll(42)
@@ -99,7 +99,7 @@ func TestRetransmitDelayDeterministic(t *testing.T) {
 	rng := rand.New(rand.NewPCG(1, 1))
 	sawRetry := false
 	for i := 0; i < 200; i++ {
-		w, r := s.RetransmitDelay(rng.Float64)
+		w, r := s.RetransmitDelay(rng)
 		if r > 0 {
 			sawRetry = true
 			want := time.Duration(0)
@@ -121,7 +121,7 @@ func TestRetransmitDelayDeterministic(t *testing.T) {
 	}
 	// No loss model: no draws consumed, zero delay.
 	var empty *Schedule
-	if w, r := empty.RetransmitDelay(func() float64 { t.Fatal("must not draw"); return 0 }); w != 0 || r != 0 {
+	if w, r := empty.RetransmitDelay(mustNotDraw{t}); w != 0 || r != 0 {
 		t.Error("nil schedule must be free")
 	}
 }
@@ -204,3 +204,8 @@ func TestScheduleString(t *testing.T) {
 		}
 	}
 }
+
+// mustNotDraw fails the test if any draw is consumed.
+type mustNotDraw struct{ t *testing.T }
+
+func (m mustNotDraw) Float64() float64 { m.t.Fatal("must not draw"); return 0 }

@@ -11,9 +11,17 @@ package noise
 
 import (
 	"math"
-	"math/rand/v2"
 	"time"
 )
+
+// Source is the randomness a noise model may consume. Both
+// *math/rand/v2.Rand (the machine's shared stream) and *rng.Stream (the
+// per-rank value streams the collective engine uses) satisfy it, so one
+// model works under either draw discipline.
+type Source interface {
+	Float64() float64
+	NormFloat64() float64
+}
 
 // Model perturbs a nominal duration. Implementations must be
 // deterministic given the rng stream, so seeded experiments reproduce
@@ -21,14 +29,14 @@ import (
 type Model interface {
 	// Perturb returns the observed duration for a nominal duration d
 	// occurring at simulated time now.
-	Perturb(rng *rand.Rand, now, d time.Duration) time.Duration
+	Perturb(rng Source, now, d time.Duration) time.Duration
 }
 
 // None is the identity model (a perfectly quiet machine).
 type None struct{}
 
 // Perturb returns d unchanged.
-func (None) Perturb(_ *rand.Rand, _, d time.Duration) time.Duration { return d }
+func (None) Perturb(_ Source, _, d time.Duration) time.Duration { return d }
 
 // Gaussian adds zero-mean normal noise with relative standard deviation
 // Rel (e.g. 0.01 for 1%), truncated so durations stay positive.
@@ -37,7 +45,7 @@ type Gaussian struct {
 }
 
 // Perturb applies the multiplicative Gaussian factor.
-func (g Gaussian) Perturb(rng *rand.Rand, _, d time.Duration) time.Duration {
+func (g Gaussian) Perturb(rng Source, _, d time.Duration) time.Duration {
 	f := 1 + g.Rel*rng.NormFloat64()
 	if f < 0.01 {
 		f = 0.01
@@ -54,7 +62,7 @@ type LogNormal struct {
 }
 
 // Perturb applies the log-normal slowdown.
-func (l LogNormal) Perturb(rng *rand.Rand, _, d time.Duration) time.Duration {
+func (l LogNormal) Perturb(rng Source, _, d time.Duration) time.Duration {
 	return time.Duration(float64(d) * math.Exp(l.Sigma*rng.NormFloat64()))
 }
 
@@ -68,7 +76,7 @@ type ParetoTail struct {
 }
 
 // Perturb adds the occasional Pareto-distributed delay.
-func (p ParetoTail) Perturb(rng *rand.Rand, _, d time.Duration) time.Duration {
+func (p ParetoTail) Perturb(rng Source, _, d time.Duration) time.Duration {
 	if rng.Float64() >= p.Prob {
 		return d
 	}
@@ -92,7 +100,7 @@ type Periodic struct {
 }
 
 // Perturb delays events that fall into the periodic interference window.
-func (p Periodic) Perturb(_ *rand.Rand, now, d time.Duration) time.Duration {
+func (p Periodic) Perturb(_ Source, now, d time.Duration) time.Duration {
 	if p.Period <= 0 || p.Window <= 0 {
 		return d
 	}
@@ -112,7 +120,7 @@ type Mixture struct {
 }
 
 // Perturb dispatches to one randomly chosen component.
-func (m Mixture) Perturb(rng *rand.Rand, now, d time.Duration) time.Duration {
+func (m Mixture) Perturb(rng Source, now, d time.Duration) time.Duration {
 	if len(m.Models) == 0 {
 		return d
 	}
@@ -138,7 +146,7 @@ func (m Mixture) Perturb(rng *rand.Rand, now, d time.Duration) time.Duration {
 type Stack []Model
 
 // Perturb chains all component models.
-func (s Stack) Perturb(rng *rand.Rand, now, d time.Duration) time.Duration {
+func (s Stack) Perturb(rng Source, now, d time.Duration) time.Duration {
 	for _, m := range s {
 		d = m.Perturb(rng, now, d)
 	}
@@ -152,7 +160,7 @@ type Shift struct {
 }
 
 // Perturb adds the constant shift.
-func (s Shift) Perturb(_ *rand.Rand, _, d time.Duration) time.Duration {
+func (s Shift) Perturb(_ Source, _, d time.Duration) time.Duration {
 	return d + s.Delta
 }
 
@@ -167,7 +175,7 @@ type Once struct {
 
 // Perturb applies Inner for the first Count events only. Once is
 // stateful and must not be shared across concurrent processes.
-func (o *Once) Perturb(rng *rand.Rand, now, d time.Duration) time.Duration {
+func (o *Once) Perturb(rng Source, now, d time.Duration) time.Duration {
 	if o.seen < o.Count {
 		o.seen++
 		return o.Inner.Perturb(rng, now, d)

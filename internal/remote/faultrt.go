@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/rng"
 )
 
 // ErrPartitioned is the failure a partitioned FaultTransport returns.
@@ -74,7 +76,7 @@ func (t *FaultTransport) Partitioned() bool {
 // draw returns the next deterministic uniform in [0, 1).
 func (t *FaultTransport) draw() float64 {
 	n := t.ctr.Add(1)
-	return float64(mix64(t.seed^n)>>11) / (1 << 53)
+	return float64(rng.Mix64(t.seed^n)>>11) / (1 << 53)
 }
 
 // RoundTrip injects the scheduled faults around the real round trip.

@@ -31,6 +31,8 @@ import (
 
 	"repro/internal/rules"
 	"repro/internal/shard"
+
+	"repro/internal/rng"
 )
 
 // ProtocolVersion identifies the wire protocol; a version mismatch at
@@ -279,18 +281,6 @@ func safeID(id string) bool {
 	return true
 }
 
-// mix64 is the splitmix64 finalizer — the same bit mixer the sharded
-// bootstrap uses to derive independent streams from one seed.
-func mix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
-
 // hash64 folds a string into the jitter seed.
 func hash64(s string) uint64 {
 	var h uint64 = 1469598103934665603
@@ -323,6 +313,6 @@ func SeededBackoff(seed uint64, key string, try int, base, ceiling time.Duration
 	if d > ceiling {
 		d = ceiling
 	}
-	frac := float64(mix64(seed^hash64(key)^uint64(try))>>11) / (1 << 53)
+	frac := float64(rng.Mix64(seed^hash64(key)^uint64(try))>>11) / (1 << 53)
 	return d + time.Duration(frac*float64(d)/2)
 }

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+
+	"repro/internal/rng"
 )
 
 // Telemetry: supervisor-side fault accounting.
@@ -71,21 +73,9 @@ type Options struct {
 func ReassignBackoff(opt Options, shardIdx, attempt int) time.Duration {
 	opt = opt.withDefaults()
 	base := opt.Backoff << (attempt - 2)
-	h := smix64(opt.Seed ^ uint64(shardIdx)*0x9e3779b97f4a7c15 ^ uint64(attempt))
+	h := rng.Mix64(opt.Seed ^ uint64(shardIdx)*0x9e3779b97f4a7c15 ^ uint64(attempt))
 	frac := float64(h>>11) / (1 << 53)
 	return base + time.Duration(frac*float64(base)/2)
-}
-
-// smix64 is the splitmix64 finalizer (the seed-stream discipline the
-// sharded bootstrap established).
-func smix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+func TestSketchExactSmallSamples(t *testing.T) {
+	s := NewQuantileSketch(0.5)
+	for _, x := range []float64{5, 1, 3} {
+		s.Add(x)
+	}
+	if got := s.Quantile(0.5); got != 3 {
+		t.Errorf("median of {1,3,5} = %g, want 3", got)
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("min/max = %g/%g, want 1/5", s.Min(), s.Max())
+	}
+	if s.Count() != 3 {
+		t.Errorf("count = %d, want 3", s.Count())
+	}
+}
+
+func TestSketchEmpty(t *testing.T) {
+	s := NewQuantileSketch()
+	if !math.IsNaN(s.Quantile(0.5)) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Mean()) {
+		t.Error("empty sketch must return NaN")
+	}
+}
+
+func TestSketchUntrackedQuantile(t *testing.T) {
+	s := NewQuantileSketch(0.5)
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i))
+	}
+	if !math.IsNaN(s.Quantile(0.33)) {
+		t.Error("untracked quantile must return NaN, not interpolate")
+	}
+	if s.Quantile(0) != 0 || s.Quantile(1) != 99 {
+		t.Error("p=0/1 must map to min/max")
+	}
+}
+
+// TestSketchAccuracy checks P² estimates against exact quantiles for
+// uniform, normal, and heavy-tailed (lognormal) streams — the shapes
+// per-rank completion times actually take.
+func TestSketchAccuracy(t *testing.T) {
+	const n = 100000
+	gens := map[string]func(*rand.Rand) float64{
+		"uniform":   func(r *rand.Rand) float64 { return r.Float64() },
+		"normal":    func(r *rand.Rand) float64 { return 10 + 2*r.NormFloat64() },
+		"lognormal": func(r *rand.Rand) float64 { return math.Exp(0.5 * r.NormFloat64()) },
+	}
+	for name, gen := range gens {
+		r := rand.New(rand.NewPCG(42, 7))
+		s := NewQuantileSketch()
+		xs := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			x := gen(r)
+			s.Add(x)
+			xs = append(xs, x)
+		}
+		sort.Float64s(xs)
+		for _, p := range s.Targets() {
+			exact := xs[int(p*float64(n))]
+			got := s.Quantile(p)
+			// Tolerance: 2% of the exact value plus a small absolute
+			// floor for near-zero quantiles.
+			tol := 0.02*math.Abs(exact) + 0.01
+			if math.Abs(got-exact) > tol {
+				t.Errorf("%s q%.2f: sketch %g, exact %g (tol %g)", name, p, got, exact, tol)
+			}
+		}
+		if got, want := s.Mean(), Mean(xs); math.Abs(got-want) > 1e-9*math.Abs(want) {
+			t.Errorf("%s mean: sketch %g, exact %g", name, got, want)
+		}
+	}
+}
+
+func TestSketchDeterministic(t *testing.T) {
+	run := func() []float64 {
+		r := rand.New(rand.NewPCG(9, 9))
+		s := NewQuantileSketch()
+		for i := 0; i < 5000; i++ {
+			s.Add(r.NormFloat64())
+		}
+		out := []float64{s.Min(), s.Max(), s.Mean(), s.StdDev()}
+		for _, p := range s.Targets() {
+			out = append(out, s.Quantile(p))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sketch not deterministic at output %d: %g != %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSketchReset(t *testing.T) {
+	s := NewQuantileSketch(0.5)
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i))
+	}
+	s.Reset()
+	if s.Count() != 0 || !math.IsNaN(s.Quantile(0.5)) {
+		t.Fatal("Reset did not clear state")
+	}
+	for _, x := range []float64{2, 4, 6} {
+		s.Add(x)
+	}
+	if got := s.Quantile(0.5); got != 4 {
+		t.Errorf("median after reset = %g, want 4", got)
+	}
+}
+
+func TestSketchAddAllocationFree(t *testing.T) {
+	s := NewQuantileSketch()
+	r := rand.New(rand.NewPCG(1, 1))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Add(xs[i%len(xs)])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Add allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func BenchmarkSketchAdd(b *testing.B) {
+	s := NewQuantileSketch()
+	r := rand.New(rand.NewPCG(1, 1))
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(xs[i&4095])
+	}
+}

@@ -84,6 +84,10 @@ func RunHPL(m *cluster.Machine, cfg HPLConfig) (HPLResult, error) {
 	ranks := cfg.Ranks()
 	panels := cfg.N / cfg.NB
 
+	// The panel pipeline gates each rank's update on its own broadcast
+	// arrival, so summary-mode collectives are not enough here.
+	defer m.ExactPerRank()()
+
 	eng := new(desim.Engine)
 	// free[r] is the simulated time when rank r finished all assigned
 	// work so far; the event engine orders the per-panel dependencies.

@@ -562,7 +562,27 @@ type (
 	ClusterConfig = cluster.Config
 	// Collective is a simulated collective operation's result.
 	Collective = cluster.CollectiveResult
+	// CollectiveResultMode selects exact per-rank vs fixed-size summary
+	// collective results (ClusterConfig.ResultMode).
+	CollectiveResultMode = cluster.ResultMode
+	// CollectiveSummary is the streaming quantile sketch a summary-mode
+	// Collective carries instead of O(P) per-rank times.
+	CollectiveSummary = stats.QuantileSketch
 )
+
+// Collective result modes: auto switches to summaries at
+// ClusterConfig.SummaryThreshold ranks (default 2^16).
+const (
+	CollectiveModeAuto    = cluster.ModeAuto
+	CollectiveModePerRank = cluster.ModePerRank
+	CollectiveModeSummary = cluster.ModeSummary
+)
+
+// ParseCollectiveResultMode parses "auto", "perrank"/"exact" or
+// "summary" (CLI -mode flags).
+func ParseCollectiveResultMode(s string) (CollectiveResultMode, error) {
+	return cluster.ParseResultMode(s)
+}
 
 // NewCluster instantiates a simulated machine with `ranks` processes.
 func NewCluster(cfg ClusterConfig, ranks int, seed uint64) (*Cluster, error) {
