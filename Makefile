@@ -1,8 +1,8 @@
 GO ?= go
 
 .PHONY: all build test vet race check bench bench-smoke bench-json benchgate \
-	coverage coverage-check figures telemetry-smoke durability shardcheck \
-	remotecheck scalecheck profile-cluster
+	coverage coverage-check figures telemetry-smoke durability journalcheck \
+	shardcheck remotecheck scalecheck profile-cluster
 
 all: check
 
@@ -29,6 +29,19 @@ telemetry-smoke:
 durability:
 	$(GO) test -run 'TestCreateManifest' -count=1 ./internal/campaign
 
+# journalcheck drives the journal encodings' crash story: torn-tail and
+# bit-flip recovery at every offset for both formats, failed-append
+# rewind, v1↔v2 conversion with replay verification, in-process and
+# real-process (SIGKILL) resumes proving v1 and v2 reports
+# byte-identical, plus brief fuzzing of the v2 decoder.
+journalcheck:
+	$(GO) test -run 'TestJournal|TestConvertJournal|TestRunResumeBitIdenticalAcrossFormats|TestReplay' \
+		-count=1 ./internal/campaign
+	$(GO) test -run 'TestBinaryTrace|TestTracerBinarySink' -count=1 ./internal/telemetry
+	$(GO) test -run 'TestCampaignV2SIGKILLResumeByteIdentity|TestShardedCampaignV2ByteIdentity' \
+		-count=1 ./cmd/scibench
+	$(GO) test -run '^$$' -fuzz 'FuzzJournalV2' -fuzztime 10s ./internal/campaign
+
 # shardcheck drives the distributed-execution stack with real executor
 # processes: one SIGKILLed mid-shard (resume from journal on
 # reassignment), one wedged without heartbeats (stall-killed), and the
@@ -50,7 +63,7 @@ remotecheck:
 # check is the CI gate: static analysis, the plain suite first (clean
 # line numbers for pure-Go failures), then the race pass and the
 # telemetry + durability + distributed-execution drives.
-check: vet test race telemetry-smoke durability shardcheck remotecheck
+check: vet test race telemetry-smoke durability journalcheck shardcheck remotecheck
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -66,7 +79,7 @@ bench-smoke:
 
 # The harness benchmarks the committed baseline tracks (suite engine,
 # bootstrap, analysis fast path, collective scaling at P=1k/64k/1M).
-HARNESS_BENCH = BenchmarkSuiteRun|BenchmarkBootstrapCI|BenchmarkAnalyze|BenchmarkSampleReset|BenchmarkSummarize$$|BenchmarkMedianCI|BenchmarkCollective
+HARNESS_BENCH = BenchmarkSuiteRun|BenchmarkBootstrapCI|BenchmarkAnalyze|BenchmarkSampleReset|BenchmarkSummarize$$|BenchmarkMedianCI|BenchmarkCollective|BenchmarkJournal
 BENCH_COUNT ?= 5
 
 # bench-json records the harness benchmarks as a schema v2 sample set

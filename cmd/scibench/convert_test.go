@@ -1,0 +1,182 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	scibench "repro"
+)
+
+// v2Args is the fixed configuration of the v2 durability test: enough
+// samples that the chunked journal seals several 64-record chunks
+// mid-campaign, paced so a SIGKILL lands between seals.
+func v2Args(dir string, extra ...string) []string {
+	base := []string{"-system", "daint", "-samples", "200", "-relerr", "0.0001",
+		"-seed", "17", "-throttle", "5ms", "-dir", dir}
+	return append(base, extra...)
+}
+
+// TestCampaignV2SIGKILLResumeByteIdentity drives the v2 journal's crash
+// story against the real binary: run a campaign with -journal-format
+// v2, SIGKILL it after at least one chunk has sealed (losing the
+// unsealed tail — the format's durability trade), resume it from the
+// sealed prefix, and require the final analysis byte-identical to both
+// an uninterrupted v2 run and an uninterrupted v1 run of the same
+// configuration. Then exercise `scibench convert` both ways on the
+// completed campaign.
+func TestCampaignV2SIGKILLResumeByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives real processes with wall-clock pacing")
+	}
+
+	// Reference 1: uninterrupted v1 run.
+	v1 := filepath.Join(t.TempDir(), "camp")
+	v1Out, err := exec.Command(binPath, append([]string{"campaign"}, v2Args(v1)...)...).CombinedOutput()
+	if c := exitCode(t, err); c != 0 {
+		t.Fatalf("v1 campaign exited %d; output:\n%s", c, v1Out)
+	}
+
+	// Reference 2: uninterrupted v2 run. Same basename, so the manifests
+	// (and therefore the reports) describe the same campaign.
+	v2 := filepath.Join(t.TempDir(), "camp")
+	v2Out, err := exec.Command(binPath, append([]string{"campaign"},
+		v2Args(v2, "-journal-format", "v2")...)...).CombinedOutput()
+	if c := exitCode(t, err); c != 0 {
+		t.Fatalf("v2 campaign exited %d; output:\n%s", c, v2Out)
+	}
+	want := resultLine(t, string(v1Out))
+	if got := resultLine(t, string(v2Out)); got != want {
+		t.Fatalf("v2 analysis differs from v1:\n  v1: %s\n  v2: %s", want, got)
+	}
+	if _, st, err := scibench.LoadCampaign(v2); err != nil || st.Format != scibench.JournalFormatV2 {
+		t.Fatalf("v2 campaign journal: format=%v err=%v, want v2", st.Format, err)
+	}
+
+	// The victim: SIGKILL once the journal has grown past the 8-byte
+	// header, i.e. at least one CRC-framed chunk is durable.
+	camp := filepath.Join(t.TempDir(), "camp")
+	victim := exec.Command(binPath, append([]string{"campaign"},
+		v2Args(camp, "-journal-format", "v2")...)...)
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	journal := filepath.Join(camp, "journal.jsonl")
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if fi, err := os.Stat(journal); err == nil && fi.Size() > 8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			victim.Process.Kill()
+			t.Fatal("v2 journal never sealed a chunk")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = victim.Wait()
+
+	// The sealed prefix must load as a valid v2 campaign.
+	_, st, err := scibench.LoadCampaign(camp)
+	if err != nil {
+		t.Fatalf("killed v2 campaign not loadable: %v", err)
+	}
+	if st.Format != scibench.JournalFormatV2 {
+		t.Fatalf("killed campaign format = %v, want v2", st.Format)
+	}
+	if len(st.Records) == 0 {
+		t.Fatal("no records recovered from the sealed chunks")
+	}
+
+	// Resume sniffs the format (no flag needed) and completes.
+	resumed, err := exec.Command(binPath, "resume", camp).CombinedOutput()
+	if c := exitCode(t, err); c != 0 {
+		t.Fatalf("resume exited %d; output:\n%s", c, resumed)
+	}
+	if !strings.Contains(string(resumed), "recovered") {
+		t.Errorf("resume did not report recovery:\n%s", resumed)
+	}
+	if got := resultLine(t, string(resumed)); got != want {
+		t.Errorf("resumed v2 analysis differs:\n  want: %s\n  got:  %s", want, got)
+	}
+
+	// Convert the completed campaign v2 → v1 → v2 through the CLI; each
+	// step verifies by replay, and the journal must grow then shrink.
+	v2Size := fileSize(t, journal)
+	out, err := exec.Command(binPath, "convert", "-to", "v1", camp).CombinedOutput()
+	if c := exitCode(t, err); c != 0 || !strings.Contains(string(out), "converted v2 → v1") {
+		t.Fatalf("convert to v1 exited %d:\n%s", c, out)
+	}
+	v1Size := fileSize(t, journal)
+	if v1Size <= v2Size {
+		t.Errorf("v1 journal (%d B) not larger than v2 (%d B)", v1Size, v2Size)
+	}
+	out, err = exec.Command(binPath, "convert", "-to", "v2", camp).CombinedOutput()
+	if c := exitCode(t, err); c != 0 || !strings.Contains(string(out), "converted v1 → v2") {
+		t.Fatalf("convert back to v2 exited %d:\n%s", c, out)
+	}
+	if got := fileSize(t, journal); got != v2Size {
+		t.Errorf("v2 journal after round trip = %d B, want %d", got, v2Size)
+	}
+	out, err = exec.Command(binPath, "convert", "-to", "v2", camp).CombinedOutput()
+	if c := exitCode(t, err); c != 0 || !strings.Contains(string(out), "nothing to do") {
+		t.Fatalf("idempotent convert exited %d:\n%s", c, out)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// TestShardedCampaignV2ByteIdentity: `scibench campaign -shards N
+// -journal-format v2` must produce a merged report byte-identical to
+// the v1 sharded run, with every unit journal actually chunked binary.
+func TestShardedCampaignV2ByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives real processes with wall-clock pacing")
+	}
+	sweepArgs := func(dir string, extra ...string) []string {
+		base := []string{"-dir", dir, "-units", "3", "-samples", "25",
+			"-relerr", "0.0001", "-seed", "9", "-shards", "2"}
+		return append(base, extra...)
+	}
+	refDir := filepath.Join(t.TempDir(), "sweep")
+	ref, err := exec.Command(binPath,
+		append([]string{"campaign"}, sweepArgs(refDir)...)...).Output()
+	if err != nil {
+		t.Fatalf("v1 sharded campaign: %v", err)
+	}
+	dir := filepath.Join(t.TempDir(), "sweep")
+	got, err := exec.Command(binPath,
+		append([]string{"campaign"}, sweepArgs(dir, "-journal-format", "v2")...)...).Output()
+	if err != nil {
+		t.Fatalf("v2 sharded campaign: %v", err)
+	}
+	if string(got) != string(ref) {
+		t.Errorf("v2 sharded report differs from v1:\n--- v1\n%s\n--- v2\n%s", ref, got)
+	}
+	// Every unit journal must really be v2.
+	units, err := filepath.Glob(filepath.Join(dir, "shard-*", "units", "*", "journal.jsonl"))
+	if err != nil || len(units) == 0 {
+		t.Fatalf("no unit journals found: %v", err)
+	}
+	for _, j := range units {
+		_, st, err := scibench.LoadCampaign(filepath.Dir(j))
+		if err != nil {
+			t.Fatalf("unit %s: %v", j, err)
+		}
+		if st.Format != scibench.JournalFormatV2 {
+			t.Errorf("unit %s journal format = %v, want v2", j, st.Format)
+		}
+	}
+}

@@ -41,6 +41,16 @@
 //	    to completion. Flags override the recorded setup — which refuses
 //	    the resume unless they match.
 //
+//	scibench convert [-to v2|v1] [-flush-every N] DIR
+//	    Rewrite a campaign's journal between the v1 JSONL encoding (one
+//	    CRC-framed JSON line per event) and the v2 chunked binary
+//	    encoding (delta-encoded columns, CRC per chunk — several times
+//	    smaller). Atomic, verified by record-for-record replay, and
+//	    identity-preserving: the campaign resumes bit-for-bit after
+//	    conversion. Both campaign and resume also accept
+//	    -journal-format v2 to write the binary encoding directly (with
+//	    group fsync every chunk instead of per record).
+//
 //	scibench campaign -dir DIR -shards N [-units K] [campaign flags]
 //	    Distributed mode: partition a K-unit sweep (unit i = the campaign
 //	    at seed+i) into N shards and fork one supervised executor process
@@ -125,6 +135,8 @@ func main() {
 		err = cmdCampaign(os.Args[2:])
 	case "resume":
 		err = cmdResume(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
 	case "shard":
 		err = cmdShard(os.Args[2:])
 	case "exec":
@@ -143,7 +155,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scibench analyze|compare|audit|generate|changepoint|campaign|resume|shard|exec|merge|worker|timer|rules [flags]")
+	fmt.Fprintln(os.Stderr, "usage: scibench analyze|compare|audit|generate|changepoint|campaign|resume|convert|shard|exec|merge|worker|timer|rules [flags]")
 	os.Exit(2)
 }
 

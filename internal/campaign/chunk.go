@@ -23,12 +23,24 @@ type Chunk struct {
 	EOF  bool
 }
 
+// chunkReadPause is a test seam invoked between the pre-read stat and
+// the read itself, where a concurrent append can land. Production is a
+// no-op.
+var chunkReadPause = func() {}
+
 // ReadFileChunk reads up to max bytes of path starting at off. off may
 // equal the file size (an empty EOF chunk — the probe a sender uses to
 // learn the receiver's resume offset costs no payload). off beyond the
 // file size is an error: the caller's view of the file is ahead of
 // reality, which is exactly the divergence chunked shipment must
 // surface, not paper over.
+//
+// EOF and Size are computed from a re-stat taken AFTER the read: the
+// file is a live journal an executor appends to concurrently, and a
+// size captured before the read goes stale the moment an append lands
+// in between — the sender would then believe it reached EOF while
+// bytes remain, parking shipment until the next poll instead of
+// draining immediately.
 func ReadFileChunk(path string, off int64, max int) (Chunk, error) {
 	if off < 0 {
 		return Chunk{}, fmt.Errorf("campaign: negative chunk offset %d", off)
@@ -53,16 +65,27 @@ func ReadFileChunk(path string, off int64, max int) (Chunk, error) {
 	if n > int64(max) {
 		n = int64(max)
 	}
+	chunkReadPause()
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(io.NewSectionReader(f, off, n), buf); err != nil {
 		return Chunk{}, fmt.Errorf("campaign: reading chunk of %s at %d: %w", path, off, err)
+	}
+	// Re-stat: an append-only journal never shrinks, so the post-read
+	// size is the authoritative floor for whether bytes remain past
+	// this chunk.
+	st2, err := f.Stat()
+	if err != nil {
+		return Chunk{}, err
+	}
+	if st2.Size() > size {
+		size = st2.Size()
 	}
 	return Chunk{
 		Off:  off,
 		Data: buf,
 		CRC:  crc32.ChecksumIEEE(buf),
 		Size: size,
-		EOF:  off+n == size,
+		EOF:  off+n >= size,
 	}, nil
 }
 

@@ -43,6 +43,52 @@ func TestReadFileChunk(t *testing.T) {
 	}
 }
 
+// TestReadFileChunkConcurrentAppend pins the EOF race: an append
+// landing between the pre-read stat and the read must not let the
+// chunk claim EOF — the sender would park shipment until the next poll
+// while bytes sit unshipped. The post-read re-stat sees the growth.
+func TestReadFileChunkConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prev := chunkReadPause
+	defer func() { chunkReadPause = prev }()
+	chunkReadPause = func() {
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteString("ABCDEF"); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	c, err := ReadFileChunk(path, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The read itself raced the append and may or may not include the
+	// new bytes; what must hold is that EOF only stands when the chunk
+	// really reaches the post-append size.
+	if c.Size != 16 {
+		t.Fatalf("post-read size %d, want 16", c.Size)
+	}
+	if c.EOF && c.Off+int64(len(c.Data)) < 16 {
+		t.Fatalf("EOF claimed with %d bytes unshipped (chunk %+v)",
+			16-c.Off-int64(len(c.Data)), c)
+	}
+	// Re-chunking from the acknowledged offset drains the appended tail.
+	chunkReadPause = func() {}
+	next, err := ReadFileChunk(path, c.Off+int64(len(c.Data)), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !next.EOF || next.Off+int64(len(next.Data)) != 16 {
+		t.Fatalf("follow-up chunk does not reach EOF: %+v", next)
+	}
+}
+
 func TestValidPrefixDropsTornTail(t *testing.T) {
 	dir := t.TempDir()
 	man := testManifest(t, 1, testConfig{System: "vp", Samples: 3}, nil)

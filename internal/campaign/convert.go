@@ -1,0 +1,125 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+
+	"repro/internal/colenc"
+)
+
+// ConvertInfo summarizes a journal format conversion.
+type ConvertInfo struct {
+	// From and To are the source and target formats (From is the
+	// sniffed format, or the target itself when the journal was already
+	// in it and nothing was rewritten).
+	From, To Format
+	// Records is the number of records carried across.
+	Records int
+	// OldBytes and NewBytes are the on-disk journal sizes before and
+	// after (equal when no rewrite happened).
+	OldBytes, NewBytes int64
+}
+
+// encodeJournal serializes records in the given format, from scratch —
+// the exact bytes a fresh journal writing these records would hold
+// (v2: full chunks of flushEvery records, then one final short chunk).
+func encodeJournal(recs []Record, format Format, flushEvery int) ([]byte, error) {
+	if flushEvery <= 0 {
+		flushEvery = DefaultFlushEvery
+	}
+	switch format {
+	case FormatJSONL:
+		var out []byte
+		for _, r := range recs {
+			rb, err := json.Marshal(r)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: encoding record %d: %w", r.Seq, err)
+			}
+			lb, err := json.Marshal(frame{CRC: crc32.ChecksumIEEE(rb), Rec: rb})
+			if err != nil {
+				return nil, fmt.Errorf("campaign: framing record %d: %w", r.Seq, err)
+			}
+			out = append(out, lb...)
+			out = append(out, '\n')
+		}
+		return out, nil
+	case FormatV2:
+		out := append([]byte(nil), magicV2...)
+		for len(recs) > 0 {
+			n := flushEvery
+			if n > len(recs) {
+				n = len(recs)
+			}
+			out = colenc.AppendFrame(out, appendChunkV2(nil, recs[:n]))
+			recs = recs[n:]
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("campaign: cannot encode journal format %v", format)
+	}
+}
+
+// ConvertJournal rewrites the campaign journal in dir into the target
+// format (flushEvery tunes the v2 chunk width; 0 means the default).
+// The conversion is refused on a torn journal — convert must never
+// silently discard bytes a resume would have surfaced as torn; Open the
+// campaign first to adjudicate the tail. The rewrite is verified
+// (re-replayed and compared record-for-record against the source)
+// before being published atomically and durably over the old journal,
+// so a crash at any point leaves either the old or the new journal
+// intact, never a hybrid. A journal already in the target format is
+// left untouched.
+func ConvertJournal(dir string, to Format, flushEvery int) (ConvertInfo, error) {
+	if to != FormatJSONL && to != FormatV2 {
+		return ConvertInfo{}, fmt.Errorf("campaign: cannot convert to journal format %v", to)
+	}
+	_, st, err := Load(dir)
+	if err != nil {
+		return ConvertInfo{}, err
+	}
+	if st.Torn {
+		return ConvertInfo{}, fmt.Errorf("campaign: journal in %s has a torn tail; resume the campaign (or Open it) before converting", dir)
+	}
+	if st.Format == 0 {
+		// Empty journal: no bytes to sniff. It is a valid (empty) v1
+		// journal as it stands.
+		st.Format = FormatJSONL
+	}
+	path := filepath.Join(dir, JournalFile)
+	oldBytes := st.ValidBytes
+	info := ConvertInfo{From: st.Format, To: to, Records: len(st.Records), OldBytes: oldBytes}
+	if st.Format == to {
+		info.NewBytes = oldBytes
+		return info, nil
+	}
+	nb, err := encodeJournal(st.Records, to, flushEvery)
+	if err != nil {
+		return ConvertInfo{}, err
+	}
+	// Verify before publishing: the new bytes must replay to exactly
+	// the records the old journal held — a conversion is only a
+	// conversion if replay cannot tell (beyond the format tag).
+	got := Replay(nb)
+	if got.Torn || len(got.Records) != len(st.Records) {
+		return ConvertInfo{}, fmt.Errorf("campaign: conversion self-check failed (torn=%v records=%d want %d)", got.Torn, len(got.Records), len(st.Records))
+	}
+	for i, r := range got.Records {
+		if r.Seq != st.Records[i].Seq || r.Event != st.Records[i].Event {
+			return ConvertInfo{}, fmt.Errorf("campaign: conversion self-check failed at record %d", i+1)
+		}
+	}
+	tmp := path + ".convert"
+	if err := writeFileDurable(tmp, nb); err != nil {
+		return ConvertInfo{}, fmt.Errorf("campaign: %w", err)
+	}
+	if err := renameFile(tmp, path); err != nil {
+		return ConvertInfo{}, fmt.Errorf("campaign: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return ConvertInfo{}, fmt.Errorf("campaign: syncing directory: %w", err)
+	}
+	info.NewBytes = int64(len(nb))
+	return info, nil
+}

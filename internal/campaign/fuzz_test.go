@@ -8,13 +8,19 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/colenc"
 )
 
-// validJournal builds an n-record journal in memory for fuzz seeding.
+// validJournal builds an n-record v1 journal in memory for fuzz seeding.
 func validJournal(tb testing.TB, n int) []byte {
+	return validJournalOpt(tb, n, JournalOptions{})
+}
+
+// validJournalOpt builds an n-record journal in the given format.
+func validJournalOpt(tb testing.TB, n int, opt JournalOptions) []byte {
 	tb.Helper()
 	dir := tb.TempDir()
-	j, err := Create(dir, Manifest{Version: FormatVersion, Seed: 1})
+	j, err := CreateJournal(dir, Manifest{Version: FormatVersion, Seed: 1}, opt)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -71,6 +77,12 @@ func FuzzReplay(f *testing.F) {
 	if nl := bytes.IndexByte(other, '\n'); nl > 0 {
 		f.Add(append(append([]byte(nil), valid...), other[:nl/2]...))
 	}
+	// Cross-format seeds: sniffing must route v2 bytes (and hybrids that
+	// can only arise from corruption) through the same invariants.
+	v2 := validJournalOpt(f, 5, JournalOptions{Format: FormatV2, FlushEvery: 2})
+	f.Add(v2)
+	f.Add(append(append([]byte(nil), v2...), valid...))
+	f.Add(append(append([]byte(nil), valid...), v2...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		st := Replay(data)
@@ -95,6 +107,83 @@ func FuzzReplay(f *testing.F) {
 		}
 		// The event stream must fold without panics in bench, whatever
 		// the journal contained.
+		_ = st.Events()
+		_ = st.Samples()
+	})
+}
+
+// FuzzJournalV2 throws arbitrary bytes — seeded with valid v2 journals
+// at several chunk widths, torn headers, truncations, bit flips,
+// spliced journals, and handcrafted hostile chunks (oversized counts,
+// non-dense firstSeq) — at the chunked binary reader. The invariants
+// are the v1 replay contract plus the v2 boundary discipline: never
+// panic, never invent records, never allocate unboundedly from a lied
+// count field, ValidBytes lands on header/chunk boundaries only, and
+// the verified prefix re-replays identically.
+func FuzzJournalV2(f *testing.F) {
+	small := validJournalOpt(f, 6, JournalOptions{Format: FormatV2, FlushEvery: 2})
+	big := validJournalOpt(f, 40, JournalOptions{Format: FormatV2, FlushEvery: 16})
+	f.Add(small)
+	f.Add(big)
+	f.Add([]byte{})
+	f.Add(append([]byte(nil), magicV2...)) // bare header
+	f.Add(magicV2[:5])                     // torn header
+	f.Add(append(append([]byte(nil), magicV2...), 0xFF, 0xFF, 0xFF))
+	if len(small) > 10 {
+		f.Add(small[:len(small)/2])
+		f.Add(small[:len(small)-1])
+		flipped := append([]byte(nil), big...)
+		flipped[len(flipped)/3] ^= 0x40
+		f.Add(flipped)
+	}
+	// Two journals spliced (the SIGKILLed-executor shape): the second
+	// journal's chunks restart at seq 1 and must be dropped as a tear.
+	f.Add(append(append([]byte(nil), small...), small...))
+	f.Add(append(append([]byte(nil), small...), big[len(magicV2):]...))
+	// A CRC-valid frame whose payload lies: count far beyond the payload.
+	hostile := append([]byte(nil), magicV2...)
+	payload := colenc.AppendUvarint(nil, 1)        // firstSeq
+	payload = colenc.AppendUvarint(payload, 1<<40) // count: 1T records
+	hostile = colenc.AppendFrame(hostile, payload)
+	f.Add(hostile)
+	// A CRC-valid frame whose firstSeq is not the dense continuation.
+	gap := append([]byte(nil), magicV2...)
+	gp := colenc.AppendUvarint(nil, 7) // firstSeq 7 with 0 prior records
+	gp = colenc.AppendUvarint(gp, 1)
+	gp = append(gp, kindSample)
+	gp = colenc.AppendVarint(gp, 1)
+	gp = colenc.AppendFloatDelta(gp, 0, 0x3FF0000000000000)
+	gap = colenc.AppendFrame(gap, gp)
+	f.Add(gap)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st := Replay(data)
+		if st.ValidBytes < 0 || st.ValidBytes > int64(len(data)) {
+			t.Fatalf("ValidBytes %d outside [0, %d]", st.ValidBytes, len(data))
+		}
+		if SniffFormat(data) == FormatV2 {
+			if st.Format != FormatV2 {
+				t.Fatalf("v2 bytes replayed as %v", st.Format)
+			}
+			if st.ValidBytes != 0 && st.ValidBytes < int64(len(magicV2)) {
+				t.Fatalf("ValidBytes %d inside the header", st.ValidBytes)
+			}
+		}
+		for i, r := range st.Records {
+			if r.Seq != i+1 {
+				t.Fatalf("non-dense seq %d at index %d", r.Seq, i)
+			}
+		}
+		again := Replay(data[:st.ValidBytes])
+		if again.Torn || len(again.Records) != len(st.Records) {
+			t.Fatalf("verified prefix re-replays torn=%v n=%d, want clean n=%d",
+				again.Torn, len(again.Records), len(st.Records))
+		}
+		for i := range again.Records {
+			if again.Records[i] != st.Records[i] {
+				t.Fatalf("record %d changed across replays", i)
+			}
+		}
 		_ = st.Events()
 		_ = st.Samples()
 	})

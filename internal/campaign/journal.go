@@ -18,16 +18,18 @@ import (
 // byte of the journal itself (internal/telemetry's invariant).
 var (
 	telRecords = telemetry.Default().Counter("campaign.records")
+	telChunks  = telemetry.Default().Counter("campaign.chunks")
 	telFsyncUs = telemetry.Default().Histogram("campaign.fsync_us")
 )
 
-// fsyncFile and renameFile are indirection seams for the
-// crash-durability test, which records their call order to verify the
-// write-ahead ordering Create promises. Production behaviour is the
-// plain syscall.
+// fsyncFile, renameFile and journalWrite are indirection seams for the
+// crash-durability tests, which record call order (write-ahead
+// ordering) or inject mid-append faults (torn-state recovery).
+// Production behaviour is the plain syscall.
 var (
-	fsyncFile  = func(f *os.File) error { return f.Sync() }
-	renameFile = os.Rename
+	fsyncFile    = func(f *os.File) error { return f.Sync() }
+	renameFile   = os.Rename
+	journalWrite = func(f *os.File, b []byte) (int, error) { return f.Write(b) }
 )
 
 // syncDir fsyncs a directory so a just-created or just-renamed entry in
@@ -49,8 +51,11 @@ func syncDir(dir string) error {
 const (
 	// ManifestFile holds the campaign Manifest (JSON).
 	ManifestFile = "manifest.json"
-	// JournalFile is the append-only event journal (JSONL, one
-	// CRC-framed record per line).
+	// JournalFile is the append-only event journal. The name is fixed
+	// across formats — v1 is JSONL (one CRC-framed record per line), v2
+	// is the chunked binary layout (see journalv2.go); readers sniff the
+	// format from the leading bytes, so every consumer (resume, shard
+	// merge, remote chunk shipment) handles either transparently.
 	JournalFile = "journal.jsonl"
 )
 
@@ -60,9 +65,10 @@ type Record struct {
 	Event bench.Event `json:"event"`
 }
 
-// frame is the wire form of one journal line: the record's exact JSON
-// bytes plus their CRC32 (IEEE). The checksum is computed over the raw
-// bytes as written, so a reader verifies integrity without re-encoding.
+// frame is the wire form of one v1 journal line: the record's exact
+// JSON bytes plus their CRC32 (IEEE). The checksum is computed over the
+// raw bytes as written, so a reader verifies integrity without
+// re-encoding.
 type frame struct {
 	CRC uint32          `json:"crc"`
 	Rec json.RawMessage `json:"rec"`
@@ -76,8 +82,12 @@ type State struct {
 	// (a crash mid-append, a bit flip); the bad tail was dropped.
 	Torn bool
 	// ValidBytes is the length of the verified journal prefix; bytes
-	// past it are the dropped tail.
+	// past it are the dropped tail. For a v2 journal the prefix includes
+	// the format header, so ValidBytes is never less than the header
+	// size once the header verified.
 	ValidBytes int64
+	// Format is the sniffed on-disk format the bytes were decoded as.
+	Format Format
 }
 
 // Events extracts the bench event stream from the verified records.
@@ -100,17 +110,60 @@ func (s State) Samples() []float64 {
 	return xs
 }
 
+// DefaultFlushEvery is the v2 group-commit width: how many records a
+// chunk accumulates before it is sealed (written, CRC-framed, and — in
+// Sync mode — fsynced). One fsync then covers DefaultFlushEvery
+// records instead of one, which is where the v2 append-throughput win
+// comes from; the price is that an OS crash can lose up to
+// FlushEvery-1 trailing events (a clean Close loses none). Resume
+// simply re-measures the lost tail — bit-identically, for a
+// deterministic source.
+const DefaultFlushEvery = 64
+
+// JournalOptions selects the on-disk journal format and tunes the v2
+// group-commit width. The zero value is the v1 JSONL format with
+// per-record fsync — the most durable and the slowest.
+type JournalOptions struct {
+	// Format is the on-disk layout (FormatJSONL or FormatV2); 0 means
+	// FormatJSONL.
+	Format Format
+	// FlushEvery is the v2 records-per-chunk group-commit width; 0
+	// means DefaultFlushEvery. Ignored by FormatJSONL.
+	FlushEvery int
+}
+
+func (o JournalOptions) withDefaults() JournalOptions {
+	if o.Format == 0 {
+		o.Format = FormatJSONL
+	}
+	if o.FlushEvery <= 0 {
+		o.FlushEvery = DefaultFlushEvery
+	}
+	return o
+}
+
 // Journal is an open write-ahead journal. It implements bench.Recorder:
 // attach it via Plan.Record and every collection event is framed,
-// checksummed, and flushed to disk before collection proceeds.
+// checksummed, and flushed to disk before collection proceeds (v1
+// per-record; v2 per sealed chunk).
 type Journal struct {
 	f   *os.File
 	seq int
-	// Sync controls per-record fsync. Default true: an OS crash loses
-	// at most the record being written. Set false to trade durability
-	// against the page cache for journaling throughput.
+	// Sync controls fsync on the append path. Default true: an OS crash
+	// loses at most the record being written (v1) or the unsealed chunk
+	// tail (v2). Set false to trade durability against the page cache
+	// for journaling throughput.
 	Sync bool
+
+	format     Format
+	flushEvery int
+	pending    []Record // v2: records accepted but not yet sealed
+	good       int64    // offset of the last cleanly-written byte (the rewind floor)
+	broken     error    // latched after an unrecoverable rewind failure
 }
+
+// Format returns the journal's on-disk format.
+func (j *Journal) Format() Format { return j.format }
 
 // Errors returned by the journal layer.
 var (
@@ -121,10 +174,17 @@ var (
 	ErrNoCampaign = errors.New("campaign: no campaign in directory")
 )
 
-// Create starts a new campaign: it creates dir (if needed), writes the
-// manifest, and opens an empty journal. It refuses a directory that
-// already contains a campaign.
+// Create starts a new campaign in the default (v1 JSONL) journal
+// format: it creates dir (if needed), writes the manifest, and opens an
+// empty journal. It refuses a directory that already contains a
+// campaign.
 func Create(dir string, m Manifest) (*Journal, error) {
+	return CreateJournal(dir, m, JournalOptions{})
+}
+
+// CreateJournal is Create with an explicit journal format selection.
+func CreateJournal(dir string, m Manifest, opt JournalOptions) (*Journal, error) {
+	opt = opt.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)
 	}
@@ -164,7 +224,17 @@ func Create(dir string, m Manifest) (*Journal, error) {
 		f.Close()
 		return nil, fmt.Errorf("campaign: syncing directory: %w", err)
 	}
-	return &Journal{f: f, Sync: true}, nil
+	j := &Journal{f: f, Sync: true, format: opt.Format, flushEvery: opt.FlushEvery}
+	if opt.Format == FormatV2 {
+		// The format header goes down durably before the first record so
+		// every later reader — including one racing a crash — sniffs v2
+		// from the verified prefix.
+		if err := j.writeHeaderV2(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
 }
 
 // writeFileDurable writes data to path and fsyncs the file before
@@ -209,12 +279,27 @@ func Load(dir string) (Manifest, State, error) {
 }
 
 // Open reopens an interrupted campaign for appending: it replays the
-// journal, truncates any torn tail record, and positions the writer
-// after the last verified record.
+// journal (sniffing the on-disk format), truncates any torn tail, and
+// positions the writer after the last verified record — continuing in
+// the format the journal already uses.
 func Open(dir string) (*Journal, Manifest, State, error) {
+	return OpenJournal(dir, JournalOptions{})
+}
+
+// OpenJournal is Open with explicit options. The journal's existing
+// format always wins — a resume must extend the journal it found, not
+// switch layouts mid-file; opt.Format applies only when the journal is
+// empty (nothing written yet), and opt.FlushEvery tunes the v2
+// group-commit width for the appended continuation.
+func OpenJournal(dir string, opt JournalOptions) (*Journal, Manifest, State, error) {
+	opt = opt.withDefaults()
 	m, st, err := Load(dir)
 	if err != nil {
 		return nil, Manifest{}, State{}, err
+	}
+	format := st.Format
+	if format == 0 {
+		format = opt.Format
 	}
 	f, err := os.OpenFile(filepath.Join(dir, JournalFile), os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -230,15 +315,31 @@ func Open(dir string) (*Journal, Manifest, State, error) {
 		f.Close()
 		return nil, Manifest{}, State{}, fmt.Errorf("campaign: %w", err)
 	}
-	return &Journal{f: f, seq: len(st.Records), Sync: true}, m, st, nil
+	j := &Journal{f: f, seq: len(st.Records), Sync: true,
+		format: format, flushEvery: opt.FlushEvery, good: st.ValidBytes}
+	if format == FormatV2 && st.ValidBytes == 0 {
+		// The header itself was torn (crash inside Create): lay it down
+		// again before appending.
+		if err := j.writeHeaderV2(); err != nil {
+			f.Close()
+			return nil, Manifest{}, State{}, err
+		}
+	}
+	return j, m, st, nil
 }
 
-// Replay scans raw journal bytes and reconstructs the verified state:
-// records are accepted up to (not including) the first line that fails
-// JSON framing, CRC verification, or dense sequence numbering — a crash
-// mid-append leaves exactly such a torn tail, which is dropped.
+// Replay scans raw journal bytes and reconstructs the verified state.
+// The format is sniffed from the leading bytes (the v2 magic header vs
+// v1 JSONL); in either format records are accepted up to (not
+// including) the first frame that fails structural decoding, CRC
+// verification, or dense sequence numbering — a crash mid-append leaves
+// exactly such a torn tail, which is dropped.
 func Replay(data []byte) State {
-	st := State{}
+	switch SniffFormat(data) {
+	case FormatV2:
+		return replayV2(data)
+	}
+	st := State{Format: FormatJSONL}
 	off := int64(0)
 	for len(data) > 0 {
 		nl := bytes.IndexByte(data, '\n')
@@ -261,7 +362,7 @@ func Replay(data []byte) State {
 	return st
 }
 
-// decodeLine verifies and decodes one journal line.
+// decodeLine verifies and decodes one v1 journal line.
 func decodeLine(line []byte) (Record, bool) {
 	var fr frame
 	if err := json.Unmarshal(line, &fr); err != nil || fr.Rec == nil {
@@ -277,12 +378,28 @@ func decodeLine(line []byte) (Record, bool) {
 	return rec, true
 }
 
-// Record appends one collection event, CRC-framed, and (by default)
-// fsyncs before returning — the write-ahead contract: an event is only
-// acknowledged to the collection loop once it is durable.
+// Record appends one collection event under the write-ahead contract:
+// an event is only acknowledged to the collection loop once it is
+// durable (v1: CRC-framed, written, fsynced; v2: accepted into the
+// pending chunk, which seals — write + CRC + group fsync — every
+// FlushEvery records and on Close).
+//
+// A failed append leaves the journal recoverable: the file is rewound
+// to the last durable offset (never leaving a torn fragment mid-file)
+// and seq does not advance, so a caller that survives the error — or a
+// retry of the same event — continues a journal whose every byte still
+// replays. Without the rewind, the next successful append would land
+// after the torn fragment and Replay would drop it and everything
+// beyond it as a torn tail.
 func (j *Journal) Record(ev bench.Event) error {
-	j.seq++
-	rb, err := json.Marshal(Record{Seq: j.seq, Event: ev})
+	if j.broken != nil {
+		return j.broken
+	}
+	if j.format == FormatV2 {
+		return j.recordV2(ev)
+	}
+	next := j.seq + 1
+	rb, err := json.Marshal(Record{Seq: next, Event: ev})
 	if err != nil {
 		return fmt.Errorf("campaign: encoding record: %w", err)
 	}
@@ -290,26 +407,62 @@ func (j *Journal) Record(ev bench.Event) error {
 	if err != nil {
 		return fmt.Errorf("campaign: framing record: %w", err)
 	}
-	if _, err := j.f.Write(append(lb, '\n')); err != nil {
+	line := append(lb, '\n')
+	if _, err := journalWrite(j.f, line); err != nil {
+		j.rewind()
 		return fmt.Errorf("campaign: appending record: %w", err)
 	}
 	if j.Sync {
 		t0 := time.Now()
-		if err := j.f.Sync(); err != nil {
+		if err := fsyncFile(j.f); err != nil {
+			// The bytes may or may not have reached disk; either way the
+			// record was not acknowledged, so it must not stay in the
+			// file — a retry would otherwise duplicate its seq.
+			j.rewind()
 			return fmt.Errorf("campaign: syncing journal: %w", err)
 		}
 		telFsyncUs.Observe(telemetry.Us(time.Since(t0)))
 	}
+	j.seq = next
+	j.good += int64(len(line))
 	telRecords.Inc()
 	return nil
 }
 
-// Close flushes and closes the journal file.
+// rewind restores the journal file to its last durable state after a
+// failed append: everything past the rewind floor is a torn or
+// unacknowledged fragment that must not precede future appends. If the
+// rewind itself fails the journal latches broken — appending past an
+// un-truncated fragment would silently orphan every later record.
+func (j *Journal) rewind() {
+	if err := j.f.Truncate(j.good); err != nil {
+		j.broken = fmt.Errorf("campaign: journal unrecoverable: truncating torn fragment: %w", err)
+		return
+	}
+	if _, err := j.f.Seek(j.good, 0); err != nil {
+		j.broken = fmt.Errorf("campaign: journal unrecoverable: repositioning writer: %w", err)
+	}
+}
+
+// Flush seals any pending v2 chunk (a no-op for v1, which has no
+// buffered state). Call it to checkpoint mid-campaign without closing.
+func (j *Journal) Flush() error {
+	if j.broken != nil {
+		return j.broken
+	}
+	return j.seal()
+}
+
+// Close flushes and closes the journal file. Pending v2 records are
+// sealed first, so a clean shutdown never loses accepted events.
 func (j *Journal) Close() error {
 	if j.f == nil {
 		return nil
 	}
-	err := j.f.Sync()
+	err := j.seal()
+	if serr := j.f.Sync(); err == nil {
+		err = serr
+	}
 	if cerr := j.f.Close(); err == nil {
 		err = cerr
 	}

@@ -21,15 +21,31 @@ const boundaryAlpha = 0.01
 // at any point — Ctrl-C, OOM, power loss — leaves a resumable journal.
 // Interruption surfaces as Result.Stop == bench.StopInterrupted.
 func Run(ctx context.Context, dir string, m Manifest, plan bench.Plan, measure func() (float64, error)) (bench.Result, error) {
+	return RunOpts(ctx, dir, m, plan, measure, JournalOptions{})
+}
+
+// RunOpts is Run with an explicit journal format selection. The format
+// is storage, not experiment identity: a campaign journaled in v2
+// retains the same records a v1 campaign would, and its report is
+// byte-identical.
+func RunOpts(ctx context.Context, dir string, m Manifest, plan bench.Plan,
+	measure func() (float64, error), opt JournalOptions) (bench.Result, error) {
 	ctx, span := telemetry.StartSpan(ctx, "campaign", filepath.Base(dir))
 	defer span.End()
-	j, err := Create(dir, m)
+	j, err := CreateJournal(dir, m, opt)
 	if err != nil {
 		return bench.Result{}, err
 	}
 	defer j.Close()
 	plan.Record = j
-	return bench.RunErrCtx(ctx, plan, measure)
+	res, err := bench.RunErrCtx(ctx, plan, measure)
+	if cerr := j.Close(); err == nil && cerr != nil {
+		// A failed final seal means the journal's tail was not made
+		// durable — surface it rather than return a result whose journal
+		// silently lags it.
+		err = cerr
+	}
+	return res, err
 }
 
 // ResumeOptions tunes Resume for the nature of the measure source. The
@@ -47,6 +63,12 @@ type ResumeOptions struct {
 	// NoVerify fast-forwards without comparing replayed values against
 	// the journal.
 	NoVerify bool
+	// Journal tunes the journal writer for the appended continuation.
+	// The journal's existing on-disk format always wins (a resume
+	// extends the journal it found); Journal.Format only applies when
+	// nothing was journaled yet, and Journal.FlushEvery tunes the v2
+	// group-commit width.
+	Journal JournalOptions
 }
 
 // ResumeInfo reports what Resume recovered and verified.
@@ -117,7 +139,7 @@ func Resume(ctx context.Context, dir string, current Manifest, plan bench.Plan,
 		return bench.Result{}, info, err
 	}
 
-	j, _, st, err := Open(dir)
+	j, _, st, err := OpenJournal(dir, opt.Journal)
 	if err != nil {
 		return bench.Result{}, info, err
 	}
@@ -133,6 +155,9 @@ func Resume(ctx context.Context, dir string, current Manifest, plan bench.Plan,
 	plan.Record = j
 	plan.Resume = resume
 	res, err := bench.RunErrCtx(ctx, plan, measure)
+	if cerr := j.Close(); err == nil && cerr != nil {
+		err = cerr // a failed final seal left the journal's tail volatile
+	}
 	if err != nil {
 		return res, info, err
 	}

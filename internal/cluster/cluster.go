@@ -112,7 +112,9 @@ type Config struct {
 	// goroutines and CollectiveBatch sets the per-worker chunk size —
 	// both are pure throughput knobs: per-rank RNG streams make
 	// collective output bit-identical for a fixed seed regardless of
-	// batch size or worker count.
+	// batch size or worker count. Zero picks the parallel default,
+	// min(GOMAXPROCS, level/2048); set a negative value (or 1) to force
+	// serial evaluation.
 	ResultMode        ResultMode
 	SummaryThreshold  int
 	CollectiveWorkers int

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -149,6 +150,36 @@ func (m *Machine) release(b []time.Duration) {
 // identical either way — this is purely a scheduling cutoff).
 const minParallelRound = 2048
 
+// defaultCollectiveWorkers resolves CollectiveWorkers == 0 for a level
+// of n messages: min(GOMAXPROCS, n/minParallelRound), so each worker
+// owns at least one minimum-size run and small levels never fan out.
+// The engine is race-clean by construction (per-rank streams, static
+// partitions) and bit-identical for every worker count, so parallel is
+// safe as the default; an explicit negative (or 1) still forces serial.
+func defaultCollectiveWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if per := n / minParallelRound; w > per {
+		w = per
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// collectiveWorkers resolves the configured worker count for a level of
+// n messages. It exists so runLevel's `workers` is assigned exactly
+// once: the level goroutines capture the variable, and a reassigned
+// capture is moved to the heap — one allocation per level, even on the
+// serial path, which would break the allocation-flat summary guarantee
+// (TestSummaryAllocsFlat).
+func collectiveWorkers(cfg, n int) int {
+	if cfg != 0 {
+		return cfg
+	}
+	return defaultCollectiveWorkers(n)
+}
+
 // runLevel evaluates one tree level / round of n messages. fn(i, fs)
 // must write only state owned by message i (its receiver's slots plus
 // its unique sender's finish slot) and draw only from the receiver's
@@ -160,7 +191,7 @@ func (m *Machine) runLevel(n int, fn func(i int, fs *FaultStats)) {
 		return
 	}
 	telMessages.Add(int64(n))
-	workers := m.cfg.CollectiveWorkers
+	workers := collectiveWorkers(m.cfg.CollectiveWorkers, n)
 	if workers <= 1 || n < minParallelRound {
 		for i := 0; i < n; i++ {
 			fn(i, &m.fstats)

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -41,8 +42,12 @@ func TestCollectiveBatchWorkerInvariance(t *testing.T) {
 		"scatter":   func(m *Machine) CollectiveResult { return m.Scatter(64, skew) },
 	}
 	type variant struct{ batch, workers int }
+	// {0, 0} is the shipped default — since the parallel-default change
+	// it resolves to min(GOMAXPROCS, level/2048) workers, so the
+	// reference run itself exercises the auto fan-out; {0, -1} is the
+	// explicit serial opt-out it must match bit-for-bit.
 	variants := []variant{
-		{0, 0}, {1, 1}, {7, 2}, {256, 8}, {4096, 2}, {1, 8}, {4096, 8},
+		{0, 0}, {0, -1}, {1, 1}, {7, 2}, {256, 8}, {4096, 2}, {1, 8}, {4096, 8},
 	}
 	for name, run := range collectives {
 		var ref CollectiveResult
@@ -190,5 +195,23 @@ func TestExactPerRankOverride(t *testing.T) {
 	}
 	if sync := m.DelayWindowSync(time.Millisecond, 2); len(sync.Skew) != 128 {
 		t.Fatal("DelayWindowSync must produce per-rank skews in summary mode")
+	}
+}
+
+// TestDefaultCollectiveWorkers pins the CollectiveWorkers == 0
+// resolution: parallel by default, scaled so each worker owns at least
+// one minimum-size run, never exceeding GOMAXPROCS, floored at 1.
+func TestDefaultCollectiveWorkers(t *testing.T) {
+	maxProcs := runtime.GOMAXPROCS(0)
+	for _, tc := range []struct{ n, want int }{
+		{0, 1},
+		{minParallelRound - 1, 1},
+		{minParallelRound, 1},
+		{2 * minParallelRound, min(2, maxProcs)},
+		{1 << 20, min((1<<20)/minParallelRound, maxProcs)},
+	} {
+		if got := defaultCollectiveWorkers(tc.n); got != tc.want {
+			t.Errorf("defaultCollectiveWorkers(%d) = %d, want %d", tc.n, got, tc.want)
+		}
 	}
 }

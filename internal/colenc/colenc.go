@@ -1,0 +1,171 @@
+// Package colenc is the low-level columnar chunk encoding shared by the
+// v2 campaign journal (internal/campaign) and the binary telemetry
+// trace sink (internal/telemetry): varint and zigzag integer columns,
+// delta-of-delta encoding for monotone counters, XOR-prefix float64
+// compression (Gorilla/FTDC-style), and CRC32-framed chunks with
+// torn-tail detection.
+//
+// The framing contract is the one the write-ahead journal's recovery
+// discipline needs: a file is a header followed by frames, each frame
+// `uvarint(len(payload)) || payload || crc32(payload)` — so a reader
+// scanning from the start either verifies a whole frame or stops,
+// classifying everything from the first bad byte as a torn tail. A
+// crash mid-append can only ever tear the final frame.
+package colenc
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// AppendUvarint appends v as an unsigned varint.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// AppendVarint appends v as a zigzag-encoded signed varint.
+func AppendVarint(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+// AppendFloatDelta appends cur XOR prev in trimmed little-endian form:
+// one count byte (0–8) followed by that many significant low-order
+// bytes of the XOR. Consecutive floats of similar magnitude share sign,
+// exponent and high mantissa bits, so the XOR's high bytes are zero and
+// are not stored; an exactly repeated value costs a single zero byte.
+func AppendFloatDelta(dst []byte, prev, cur uint64) []byte {
+	x := prev ^ cur
+	n := 8
+	for n > 0 && byte(x>>(8*(n-1))) == 0 {
+		n--
+	}
+	dst = append(dst, byte(n))
+	for i := 0; i < n; i++ {
+		dst = append(dst, byte(x>>(8*i)))
+	}
+	return dst
+}
+
+// Dec is an error-latching decoder over one chunk payload: a failed or
+// out-of-bounds read marks the decoder bad and every subsequent read
+// returns zero values, so column decoders read linearly and check Bad
+// once at the end — exactly the discipline a fuzzed parser needs.
+type Dec struct {
+	b   []byte
+	bad bool
+}
+
+// NewDec returns a decoder over payload.
+func NewDec(payload []byte) *Dec { return &Dec{b: payload} }
+
+// Bad reports whether any read failed.
+func (d *Dec) Bad() bool { return d.bad }
+
+// Len returns the number of unread bytes.
+func (d *Dec) Len() int { return len(d.b) }
+
+// Done reports a fully-consumed, error-free payload — the only
+// acceptable end state for a verified chunk (trailing garbage inside a
+// CRC-valid frame is corruption, not slack).
+func (d *Dec) Done() bool { return !d.bad && len(d.b) == 0 }
+
+// Uvarint reads one unsigned varint.
+func (d *Dec) Uvarint() uint64 {
+	if d.bad {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// Varint reads one zigzag-encoded signed varint.
+func (d *Dec) Varint() int64 {
+	if d.bad {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// Byte reads one byte.
+func (d *Dec) Byte() byte {
+	if d.bad || len(d.b) == 0 {
+		d.bad = true
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+// Bytes reads exactly n bytes (aliasing the payload; callers copy if
+// they retain).
+func (d *Dec) Bytes(n int) []byte {
+	if d.bad || n < 0 || n > len(d.b) {
+		d.bad = true
+		return nil
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v
+}
+
+// FloatDelta reads one AppendFloatDelta-encoded value against prev.
+func (d *Dec) FloatDelta(prev uint64) uint64 {
+	n := d.Byte()
+	if d.bad || n > 8 {
+		d.bad = true
+		return 0
+	}
+	var x uint64
+	for i := 0; i < int(n); i++ {
+		x |= uint64(d.Byte()) << (8 * i)
+	}
+	if d.bad {
+		return 0
+	}
+	return prev ^ x
+}
+
+// frameTrailer is the CRC32 (IEEE, little-endian) appended after each
+// frame's payload.
+const frameTrailer = 4
+
+// AppendFrame appends one CRC-framed chunk: uvarint payload length,
+// the payload, and its CRC32.
+func AppendFrame(dst, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+}
+
+// ReadFrame parses one frame from the head of data. It returns the
+// verified payload and the total frame size consumed; ok is false when
+// the head of data is not a whole, CRC-verified frame — a torn write, a
+// truncation, or a bit flip, all of which the caller treats as the
+// start of the torn tail.
+func ReadFrame(data []byte) (payload []byte, size int, ok bool) {
+	ln, n := binary.Uvarint(data)
+	if n <= 0 || ln > uint64(len(data)-n) {
+		return nil, 0, false
+	}
+	if uint64(len(data)-n)-ln < frameTrailer {
+		return nil, 0, false
+	}
+	payload = data[n : n+int(ln)]
+	crc := binary.LittleEndian.Uint32(data[n+int(ln):])
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, 0, false
+	}
+	return payload, n + int(ln) + frameTrailer, true
+}

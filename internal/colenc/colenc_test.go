@@ -1,0 +1,123 @@
+package colenc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestVarintRoundTrip(t *testing.T) {
+	var b []byte
+	uvals := []uint64{0, 1, 127, 128, 1<<32 + 5, math.MaxUint64}
+	ivals := []int64{0, -1, 1, -64, 64, math.MinInt64, math.MaxInt64}
+	for _, v := range uvals {
+		b = AppendUvarint(b, v)
+	}
+	for _, v := range ivals {
+		b = AppendVarint(b, v)
+	}
+	d := NewDec(b)
+	for _, want := range uvals {
+		if got := d.Uvarint(); got != want {
+			t.Fatalf("Uvarint = %d, want %d", got, want)
+		}
+	}
+	for _, want := range ivals {
+		if got := d.Varint(); got != want {
+			t.Fatalf("Varint = %d, want %d", got, want)
+		}
+	}
+	if !d.Done() {
+		t.Fatalf("decoder not done: bad=%v len=%d", d.Bad(), d.Len())
+	}
+}
+
+func TestFloatDeltaRoundTrip(t *testing.T) {
+	vals := []float64{0, 0, 1.5, 1.5000001, 1.5, -3.25, 406.125, 406.126,
+		math.Inf(1), math.NaN(), 1e-300, math.MaxFloat64}
+	var b []byte
+	prev := uint64(0)
+	for _, v := range vals {
+		cur := math.Float64bits(v)
+		b = AppendFloatDelta(b, prev, cur)
+		prev = cur
+	}
+	d := NewDec(b)
+	prev = 0
+	for i, want := range vals {
+		cur := d.FloatDelta(prev)
+		if cur != math.Float64bits(want) {
+			t.Fatalf("value %d = %x, want %x", i, cur, math.Float64bits(want))
+		}
+		prev = cur
+	}
+	if !d.Done() {
+		t.Fatal("decoder not done")
+	}
+}
+
+func TestFloatDeltaCompresses(t *testing.T) {
+	// Near-identical consecutive floats (the sample-stream case) must
+	// cost well under 9 bytes each; identical ones exactly one byte.
+	var b []byte
+	b = AppendFloatDelta(b, math.Float64bits(406.125), math.Float64bits(406.125))
+	if len(b) != 1 {
+		t.Fatalf("repeated value costs %d bytes, want 1", len(b))
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{{}, []byte("a"), bytes.Repeat([]byte{0xAB}, 300)}
+	var file []byte
+	for _, p := range payloads {
+		file = AppendFrame(file, p)
+	}
+	rest := file
+	for i, want := range payloads {
+		got, n, ok := ReadFrame(rest)
+		if !ok {
+			t.Fatalf("frame %d unreadable", i)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d payload mismatch", i)
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+}
+
+func TestFrameTornAndCorrupt(t *testing.T) {
+	frame := AppendFrame(nil, []byte("hello world"))
+	// Every strict prefix is torn.
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, ok := ReadFrame(frame[:cut]); ok {
+			t.Fatalf("prefix of %d bytes verified as a whole frame", cut)
+		}
+	}
+	// Any single bit flip fails CRC (or framing).
+	for i := 0; i < len(frame); i++ {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x10
+		if p, _, ok := ReadFrame(bad); ok && bytes.Equal(p, []byte("hello world")) {
+			continue // flip landed in the (redundant) length prefix high bits — still verified
+		} else if ok {
+			t.Fatalf("bit flip at byte %d verified with altered payload", i)
+		}
+	}
+}
+
+func TestDecLatchesErrors(t *testing.T) {
+	d := NewDec([]byte{0x80}) // truncated varint
+	if v := d.Uvarint(); v != 0 || !d.Bad() {
+		t.Fatalf("truncated varint: v=%d bad=%v", v, d.Bad())
+	}
+	if v := d.Byte(); v != 0 {
+		t.Fatalf("read after latch = %d, want 0", v)
+	}
+	d2 := NewDec([]byte{9}) // FloatDelta count byte out of range
+	if v := d2.FloatDelta(0); v != 0 || !d2.Bad() {
+		t.Fatalf("oversized float count: v=%d bad=%v", v, d2.Bad())
+	}
+}

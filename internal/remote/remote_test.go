@@ -647,3 +647,83 @@ func TestFaultTransportDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestRemoteShipmentV2ByteIdentity runs a sweep whose units journal in
+// the chunked binary v2 format through the full remote transport: the
+// worker's truncate floors (campaign.ValidPrefix) and the coordinator's
+// byte-oriented chunk ingestion must be format-transparent, the
+// mirrored unit journals must replay as clean v2, and the merged report
+// must be byte-identical to the v1 single-process reference.
+func TestRemoteShipmentV2ByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives wall-clock supervision loops")
+	}
+	const k = 4
+	ref := referenceReport(t, k) // v1 journals: the cross-format baseline
+
+	dir := filepath.Join(t.TempDir(), "sweep")
+	sw, err := shard.NewSweep("remote-sweep", makeUnits(t, k), testFaultFP(t), testEnv, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Journal = "v2"
+	if err := shard.Create(dir, sw); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCoordinator(dir, CoordinatorOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	w, err := StartWorker(WorkerOptions{
+		Coordinator:  c.URL(),
+		Hostname:     "host-a",
+		WorkDir:      filepath.Join(t.TempDir(), "w0"),
+		Runner:       testRunner{},
+		Heartbeat:    50 * time.Millisecond,
+		ShipInterval: 25 * time.Millisecond,
+		Seed:         100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := c.WaitForWorkers(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	statuses, err := shard.Supervise(context.Background(), dir, c.StartFunc(), shard.Options{
+		HeartbeatTimeout: 3 * time.Second,
+		Retries:          2,
+		Backoff:          50 * time.Millisecond,
+		Seed:             11,
+	})
+	if err != nil {
+		t.Fatalf("supervise: %v", err)
+	}
+	for _, st := range statuses {
+		if st.Lost {
+			t.Fatalf("shard %d lost: %+v", st.Shard, st)
+		}
+	}
+	if got := mergedReport(t, dir); !bytes.Equal(got, ref) {
+		t.Errorf("v2 remote report differs from v1 single-process run:\n--- ref\n%s\n--- got\n%s", ref, got)
+	}
+	// The mirrored journals the worker shipped back must be genuine v2
+	// bytes that replay clean — proof the byte-oriented transport and
+	// the sniffing reader compose.
+	for i, m := range sw.Shards() {
+		for _, u := range m.Units {
+			jp := filepath.Join(shard.UnitDir(filepath.Join(dir, shard.ShardDirName(i)), u.ID), campaign.JournalFile)
+			data, err := os.ReadFile(jp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if campaign.SniffFormat(data) != campaign.FormatV2 {
+				t.Fatalf("mirrored journal %s is not v2", u.ID)
+			}
+			if campaign.ValidPrefix(data) != int64(len(data)) {
+				t.Fatalf("mirrored journal %s has a torn tail after clean completion", u.ID)
+			}
+		}
+	}
+}

@@ -675,3 +675,73 @@ func (r driftRunner) Setup(u Unit) (campaign.Manifest, bench.Plan, func() (float
 	}
 	return man, plan, skew, nil
 }
+
+// TestMergeByteIdenticalAcrossJournalFormats is the shard-level
+// acceptance test for journal v2: the same sweep executed with v1 and
+// v2 unit journals merges to byte-identical reports, the v2 journals
+// really are the chunked binary format (and smaller), and a mixed
+// sweep — some unit journals converted in place after the run — still
+// merges to the same bytes, because the merge replays records, not
+// formats.
+func TestMergeByteIdenticalAcrossJournalFormats(t *testing.T) {
+	const k, n = 6, 3
+	dirV1, dirV2 := t.TempDir(), t.TempDir()
+
+	swV1 := buildSweep(t, dirV1, k, n)
+	repV1 := execAll(t, dirV1, swV1)
+
+	swV2, err := NewSweep("test-sweep", makeUnits(t, k, 42), testFaultFP(t), testEnv, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swV2.Journal = "v2"
+	if err := Create(dirV2, swV2); err != nil {
+		t.Fatal(err)
+	}
+	if swV2.SweepHash != swV1.SweepHash {
+		t.Fatal("journal format leaked into sweep identity")
+	}
+	repV2 := execAll(t, dirV2, swV2)
+
+	if !bytes.Equal(repV1, repV2) {
+		t.Fatalf("v1 and v2 sweeps produced different reports:\n--- v1 ---\n%s\n--- v2 ---\n%s", repV1, repV2)
+	}
+
+	var v1Bytes, v2Bytes int64
+	for i := 0; i < n; i++ {
+		for _, u := range swV2.Shards()[i].Units {
+			jp := filepath.Join(UnitDir(filepath.Join(dirV2, ShardDirName(i)), u.ID), campaign.JournalFile)
+			data, err := os.ReadFile(jp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if campaign.SniffFormat(data) != campaign.FormatV2 {
+				t.Fatalf("unit %s journal is not v2", u.ID)
+			}
+			v2Bytes += int64(len(data))
+		}
+		for _, u := range swV1.Shards()[i].Units {
+			jp := filepath.Join(UnitDir(filepath.Join(dirV1, ShardDirName(i)), u.ID), campaign.JournalFile)
+			st, err := os.Stat(jp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v1Bytes += st.Size()
+		}
+	}
+	if v2Bytes >= v1Bytes {
+		t.Errorf("v2 unit journals not smaller: %d vs %d bytes", v2Bytes, v1Bytes)
+	}
+
+	// Mixed formats within one sweep: convert shard 0's unit journals of
+	// the v1 sweep to v2 in place; the merge must not notice.
+	for _, u := range swV1.Shards()[0].Units {
+		ud := UnitDir(filepath.Join(dirV1, ShardDirName(0)), u.ID)
+		if _, err := campaign.ConvertJournal(ud, campaign.FormatV2, 0); err != nil {
+			t.Fatalf("converting unit %s: %v", u.ID, err)
+		}
+	}
+	if mixed := mergedReport(t, dirV1); !bytes.Equal(mixed, repV1) {
+		t.Fatal("mixed-format sweep merged to different report bytes")
+	}
+}

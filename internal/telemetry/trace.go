@@ -32,17 +32,34 @@ type Span struct {
 	DurUs   int64  `json:"dur_us"`
 }
 
+// SpanSink receives every completed span the tracer records. WriteSpan
+// is called serially (under the tracer's lock), so sinks need no
+// locking of their own for tracer-driven writes.
+type SpanSink interface {
+	WriteSpan(Span)
+}
+
+// jsonlSink is the classic sink: one JSON line per span.
+type jsonlSink struct{ w io.Writer }
+
+func (s jsonlSink) WriteSpan(sp Span) {
+	if b, err := json.Marshal(sp); err == nil {
+		s.w.Write(append(b, '\n'))
+	}
+}
+
 // Tracer records hierarchical spans. Disabled (the default) it costs one
 // atomic load per instrumentation site and allocates nothing; enabled it
 // appends completed spans to a bounded ring and, when a sink is set,
-// writes each as one JSON line (the out-of-band trace).
+// streams each to it (JSON lines via Enable, or any SpanSink — e.g. the
+// chunked binary trace writer — via EnableSink).
 type Tracer struct {
 	enabled atomic.Bool
 	ids     atomic.Uint64
 	clock   timer.Clock
 
 	mu   sync.Mutex
-	sink io.Writer
+	sink SpanSink
 	ring []Span
 	next int
 }
@@ -62,6 +79,17 @@ func DefaultTracer() *Tracer { return tracer }
 // span as one JSON line; pass nil to keep spans only in the in-memory
 // ring (still served by /trace).
 func (t *Tracer) Enable(sink io.Writer) {
+	if sink == nil {
+		t.EnableSink(nil)
+		return
+	}
+	t.EnableSink(jsonlSink{w: sink})
+}
+
+// EnableSink arms the tracer with an arbitrary span sink (e.g. a
+// BinaryTraceWriter). Pass nil to keep spans only in the in-memory
+// ring.
+func (t *Tracer) EnableSink(sink SpanSink) {
 	t.mu.Lock()
 	t.sink = sink
 	t.mu.Unlock()
@@ -153,9 +181,7 @@ func (t *Tracer) record(sp Span) {
 		t.next = (t.next + 1) % traceRing
 	}
 	if t.sink != nil {
-		if b, err := json.Marshal(sp); err == nil {
-			t.sink.Write(append(b, '\n'))
-		}
+		t.sink.WriteSpan(sp)
 	}
 }
 
@@ -198,6 +224,9 @@ func Us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond)
 
 // Enable arms the default tracer (see Tracer.Enable).
 func Enable(sink io.Writer) { tracer.Enable(sink) }
+
+// EnableSink arms the default tracer with an arbitrary span sink.
+func EnableSink(sink SpanSink) { tracer.EnableSink(sink) }
 
 // Disable disarms the default tracer.
 func Disable() { tracer.Disable() }

@@ -1,0 +1,116 @@
+// Benchmarks of the campaign journal's two on-disk encodings: append
+// throughput (the per-observation durability cost a campaign pays) and
+// replay throughput (the recovery/merge cost). v1 is one fsynced JSONL
+// frame per record; v2 is chunked delta-encoded columns with one fsync
+// per 64-record chunk — the group-commit amortization is the point, so
+// both append benchmarks run with Sync on, as campaigns do.
+package scibench_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/campaign"
+	"repro/internal/rules"
+)
+
+// benchManifest is a minimal valid manifest for journal benchmarks.
+func benchManifest(b *testing.B) campaign.Manifest {
+	b.Helper()
+	m, err := campaign.NewManifest("bench", 1, map[string]int{"samples": 1}, nil,
+		rules.Environment{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// benchEvent is the steady-state record shape: monotone sample values
+// with occasional retries, matching a real collection stream.
+func benchEvent(i int) bench.Event {
+	if i%50 == 49 {
+		return bench.Event{Kind: bench.EventRetry}
+	}
+	return bench.Event{
+		Kind:  bench.EventSample,
+		Value: 1800.0 + float64(i%17)*0.25,
+		Calls: 1,
+	}
+}
+
+func benchmarkJournalAppend(b *testing.B, format campaign.Format) {
+	dir := b.TempDir()
+	j, err := campaign.CreateJournal(dir, benchManifest(b), campaign.JournalOptions{Format: format})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.Record(benchEvent(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := j.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, campaign.JournalFile)); err == nil && b.N > 0 {
+		b.ReportMetric(float64(fi.Size())/float64(b.N), "bytes/record")
+	}
+}
+
+// BenchmarkJournalAppendV1 is the per-record fsync baseline.
+func BenchmarkJournalAppendV1(b *testing.B) {
+	benchmarkJournalAppend(b, campaign.FormatJSONL)
+}
+
+// BenchmarkJournalAppendV2 is the chunked group-commit path; the gate
+// requires it ≥5× the v1 throughput.
+func BenchmarkJournalAppendV2(b *testing.B) {
+	benchmarkJournalAppend(b, campaign.FormatV2)
+}
+
+func benchmarkJournalReplay(b *testing.B, format campaign.Format) {
+	const records = 4096
+	dir := b.TempDir()
+	j, err := campaign.CreateJournal(dir, benchManifest(b), campaign.JournalOptions{Format: format})
+	if err != nil {
+		b.Fatal(err)
+	}
+	j.Sync = false // build the fixture fast; replay reads, never syncs
+	for i := 0; i < records; i++ {
+		if err := j.Record(benchEvent(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		b.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, campaign.JournalFile))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := campaign.Replay(data)
+		if len(st.Records) != records || st.Torn {
+			b.Fatalf("replay: %d records, torn=%v", len(st.Records), st.Torn)
+		}
+	}
+}
+
+// BenchmarkJournalReplayV1 replays a 4096-record JSONL journal.
+func BenchmarkJournalReplayV1(b *testing.B) {
+	benchmarkJournalReplay(b, campaign.FormatJSONL)
+}
+
+// BenchmarkJournalReplayV2 replays the same stream as chunked binary.
+func BenchmarkJournalReplayV2(b *testing.B) {
+	benchmarkJournalReplay(b, campaign.FormatV2)
+}

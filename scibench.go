@@ -698,6 +698,24 @@ type (
 	// CampaignResumeOptions tunes resume for the measure source; the
 	// zero value is right for deterministic (seeded simulated) sources.
 	CampaignResumeOptions = campaign.ResumeOptions
+	// CampaignJournalFormat selects the journal's on-disk encoding: v1
+	// JSONL (one CRC-framed JSON line per event, fsynced per record) or
+	// the v2 chunked binary format (delta-encoded columns, CRC per
+	// chunk, group fsync). Readers sniff the format; the choice never
+	// enters the campaign identity.
+	CampaignJournalFormat = campaign.Format
+	// CampaignJournalOptions selects the journal format and chunk width
+	// for a new campaign; the zero value keeps the v1 default.
+	CampaignJournalOptions = campaign.JournalOptions
+	// CampaignConvertInfo is ConvertCampaignJournal's accounting: what
+	// was converted and the before/after sizes.
+	CampaignConvertInfo = campaign.ConvertInfo
+)
+
+// Journal format selectors (see CampaignJournalFormat).
+const (
+	JournalFormatJSONL = campaign.FormatJSONL
+	JournalFormatV2    = campaign.FormatV2
 )
 
 // NewCampaignManifest builds the Rule 9 manifest for a journaled
@@ -712,6 +730,30 @@ func NewCampaignManifest(name string, seed uint64, config any, sched *FaultSched
 // interruption at any point leaves a resumable journal.
 func RunCampaign(ctx context.Context, dir string, m CampaignManifest, plan Plan, measure func() (float64, error)) (Result, error) {
 	return campaign.Run(ctx, dir, m, plan, measure)
+}
+
+// RunCampaignOpts is RunCampaign with explicit journal options —
+// notably JournalFormatV2 for the chunked binary journal. The report
+// is byte-identical across formats; only the journal's encoding and
+// durability batching change.
+func RunCampaignOpts(ctx context.Context, dir string, m CampaignManifest, plan Plan,
+	measure func() (float64, error), opt CampaignJournalOptions) (Result, error) {
+	return campaign.RunOpts(ctx, dir, m, plan, measure, opt)
+}
+
+// ParseJournalFormat parses a -journal-format flag value: "" or "v1"
+// or "jsonl" → JournalFormatJSONL; "v2" or "binary" → JournalFormatV2.
+func ParseJournalFormat(s string) (CampaignJournalFormat, error) {
+	return campaign.ParseFormat(s)
+}
+
+// ConvertCampaignJournal rewrites a completed (non-torn) campaign's
+// journal in the other format, atomically and with a record-for-record
+// re-replay verification. The campaign stays resumable afterwards:
+// format is storage, not identity. flushEvery ≤ 0 picks the default
+// v2 chunk width.
+func ConvertCampaignJournal(dir string, to CampaignJournalFormat, flushEvery int) (CampaignConvertInfo, error) {
+	return campaign.ConvertJournal(dir, to, flushEvery)
 }
 
 // ResumeCampaign continues an interrupted journaled campaign: it
@@ -975,6 +1017,13 @@ type (
 	// TraceSpan is one completed interval of harness work (campaign →
 	// sweep → config → collection → analysis).
 	TraceSpan = telemetry.Span
+	// TelemetrySpanSink receives every completed span; implemented by
+	// the JSONL sink and the chunked binary trace writer.
+	TelemetrySpanSink = telemetry.SpanSink
+	// BinaryTraceWriter streams spans as chunked binary (the journal
+	// v2 encoder: per-chunk string table, varint delta columns) —
+	// roughly an order of magnitude smaller than the JSONL trace.
+	BinaryTraceWriter = telemetry.BinaryTraceWriter
 )
 
 // Telemetry returns the process-wide metrics registry the harness
@@ -986,6 +1035,23 @@ func Telemetry() *TelemetryRegistry { return telemetry.Default() }
 // every completed span as one JSON line (the out-of-band JSONL trace);
 // nil keeps spans only in the in-memory ring served by /trace.
 func EnableTelemetryTrace(sink io.Writer) { telemetry.Enable(sink) }
+
+// EnableTelemetryTraceSink arms span tracing with an arbitrary sink —
+// e.g. a BinaryTraceWriter for the chunked binary trace.
+func EnableTelemetryTraceSink(sink TelemetrySpanSink) { telemetry.EnableSink(sink) }
+
+// NewBinaryTraceWriter returns a binary trace sink streaming chunks to
+// w; the caller owns w and should Flush (or Close) the writer before
+// closing it.
+func NewBinaryTraceWriter(w io.Writer) *BinaryTraceWriter {
+	return telemetry.NewBinaryTraceWriter(w)
+}
+
+// ReadBinaryTrace decodes a binary trace file: the spans of every
+// whole, CRC-verified chunk, and whether a torn tail was dropped.
+func ReadBinaryTrace(data []byte) ([]TraceSpan, bool) {
+	return telemetry.ReadBinaryTrace(data)
+}
 
 // DisableTelemetryTrace stops span collection and detaches the sink.
 func DisableTelemetryTrace() { telemetry.Disable() }
