@@ -2,7 +2,7 @@ GO ?= go
 
 .PHONY: all build test vet race check bench bench-smoke bench-json benchgate \
 	coverage coverage-check figures telemetry-smoke durability journalcheck \
-	shardcheck remotecheck scalecheck profile-cluster
+	shardcheck remotecheck scalecheck loadcheck fuzzcheck profile-cluster
 
 all: check
 
@@ -33,14 +33,13 @@ durability:
 # bit-flip recovery at every offset for both formats, failed-append
 # rewind, v1↔v2 conversion with replay verification, in-process and
 # real-process (SIGKILL) resumes proving v1 and v2 reports
-# byte-identical, plus brief fuzzing of the v2 decoder.
+# byte-identical. (Fuzzing of the v2 decoder lives in `fuzzcheck`.)
 journalcheck:
 	$(GO) test -run 'TestJournal|TestConvertJournal|TestRunResumeBitIdenticalAcrossFormats|TestReplay' \
 		-count=1 ./internal/campaign
 	$(GO) test -run 'TestBinaryTrace|TestTracerBinarySink' -count=1 ./internal/telemetry
 	$(GO) test -run 'TestCampaignV2SIGKILLResumeByteIdentity|TestShardedCampaignV2ByteIdentity' \
 		-count=1 ./cmd/scibench
-	$(GO) test -run '^$$' -fuzz 'FuzzJournalV2' -fuzztime 10s ./internal/campaign
 
 # shardcheck drives the distributed-execution stack with real executor
 # processes: one SIGKILLed mid-shard (resume from journal on
@@ -60,10 +59,57 @@ remotecheck:
 	$(GO) test -run 'TestLoopbackTwoWorkersFaultyByteIdentity|TestPartitionReassignmentByteIdentity|TestAllWorkersUnreachableDegrades|TestZombieFencing' -count=1 ./internal/remote
 	$(GO) test -run 'TestRemoteCampaignWorkerLossByteIdentity' -count=1 ./cmd/scibench
 
+# loadcheck drives the open-loop service workload's guarantees: arrival
+# and simulation determinism, the service-draw order-independence the
+# bit-identity contract rests on, the coordinated-omission golden test
+# against its analytic M/D/1 value, and the sweep's worker-count
+# byte-identity at both the library and CLI (merged.json) layers.
+loadcheck:
+	$(GO) test -run 'TestSchedule|TestRunDeterministic|TestServiceDrawIsPerRequest|TestCoordinatedOmission|TestOmissionRatio' \
+		-count=1 ./internal/serve
+	$(GO) test -run 'TestRunServeWorkerInvariance|TestRunServeKneeDetection|TestQuantileCIHist' \
+		-count=1 ./internal/suite ./internal/ci
+	$(GO) test -run 'TestServeMergedJSONWorkerInvariance' -count=1 ./cmd/scibench
+
+# Every fuzz target in the repo with its package, one per line:
+# "<package-dir> <FuzzTarget>". CI's fuzz matrix and the local fuzzcheck
+# loop both consume this list, so a new target added here is fuzzed
+# everywhere without touching the workflow.
+FUZZ_TARGETS = \
+	./internal/campaign FuzzReplay \
+	./internal/campaign FuzzJournalV2 \
+	./internal/campaign FuzzManifest \
+	./internal/campaign FuzzReplayTruncation \
+	./internal/shard FuzzLoadSweep \
+	./internal/shard FuzzLoadManifest \
+	./internal/remote FuzzChunkFrame \
+	./internal/remote FuzzRegister \
+	./internal/remote FuzzValidChunkPath \
+	./internal/regress FuzzParseReport \
+	./internal/regress FuzzParseBench \
+	./internal/desim FuzzEventOrder \
+	./internal/serve FuzzArrivalSchedule \
+	./internal/stats FuzzHistogramMerge
+
+FUZZTIME ?= 10s
+
+# fuzzcheck runs every fuzz target for FUZZTIME each — the local
+# equivalent of CI's matrix fuzz job (which runs 30s per target with a
+# persistent corpus cache).
+fuzzcheck:
+	@set -e; \
+	set -- $(FUZZ_TARGETS); \
+	while [ $$# -gt 0 ]; do \
+		pkg=$$1; tgt=$$2; shift 2; \
+		echo "fuzz $$tgt ($$pkg)"; \
+		$(GO) test -run '^$$' -fuzz "^$$tgt\$$" -fuzztime $(FUZZTIME) $$pkg; \
+	done
+
 # check is the CI gate: static analysis, the plain suite first (clean
 # line numbers for pure-Go failures), then the race pass and the
-# telemetry + durability + distributed-execution drives.
-check: vet test race telemetry-smoke durability journalcheck shardcheck remotecheck
+# telemetry + durability + distributed-execution + load-generation
+# drives.
+check: vet test race telemetry-smoke durability journalcheck shardcheck remotecheck loadcheck
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -79,7 +125,7 @@ bench-smoke:
 
 # The harness benchmarks the committed baseline tracks (suite engine,
 # bootstrap, analysis fast path, collective scaling at P=1k/64k/1M).
-HARNESS_BENCH = BenchmarkSuiteRun|BenchmarkBootstrapCI|BenchmarkAnalyze|BenchmarkSampleReset|BenchmarkSummarize$$|BenchmarkMedianCI|BenchmarkCollective|BenchmarkJournal
+HARNESS_BENCH = BenchmarkSuiteRun|BenchmarkBootstrapCI|BenchmarkAnalyze|BenchmarkSampleReset|BenchmarkSummarize$$|BenchmarkMedianCI|BenchmarkCollective|BenchmarkJournal|BenchmarkServe|BenchmarkHistogramRecord
 BENCH_COUNT ?= 5
 
 # bench-json records the harness benchmarks as a schema v2 sample set

@@ -18,6 +18,19 @@
 // configuration seeds are assigned from the canonical sweep order before
 // fan-out.
 //
+// A second workload family measures open-loop service latency instead of
+// collectives (ROADMAP item 2):
+//
+//	mpibench -workload serve [-arrival poisson|diurnal|onoff]
+//	         [-loads 0.1,0.3,...] [-epoch 10s] [-epochs 6]
+//	         [-servers 1] [-queue 0] [-batch 1] [-batch-delay 0]
+//	         [-service 1ms] [-sigma 0.5] [-seed 1] [-j 0] [-v]
+//
+// It ramps seeded open-loop arrivals through the offered-load fractions,
+// records every request latency in a mergeable log-bucketed histogram,
+// and reports p50/p99/p999 with rank-based nonparametric CIs plus the
+// detected latency knee — tail percentiles free of coordinated omission.
+//
 // The sweep is interruptible: Ctrl-C (or an elapsed -budget) checkpoints
 // cleanly, prints the partial report with the interruption labeled, and
 // exits with status 3.
@@ -43,6 +56,7 @@ import (
 
 func main() {
 	var (
+		workload    = flag.String("workload", "collectives", "workload family: collectives|serve")
 		system      = flag.String("system", "daint", "simulated system: daint|dora|pilatus")
 		collectives = flag.String("collectives", "", "comma-separated subset (default: all)")
 		ranks       = flag.String("ranks", "2,4,8,16,32", "comma-separated process counts")
@@ -59,7 +73,11 @@ func main() {
 		collJ   = flag.Int("coll-workers", 0, "worker goroutines per collective level (0 = serial); output is bit-identical for every value")
 		verbose = flag.Bool("v", false, "stream per-configuration progress")
 		telAddr = flag.String("telemetry", "", "serve /metrics, /trace, and /debug/pprof on this address (e.g. :8080); also enables span tracing")
+
+		// serve workload flags (ignored by -workload collectives).
+		sv serveFlags
 	)
+	sv.register(flag.CommandLine)
 	flag.Parse()
 
 	if *telAddr != "" {
@@ -79,6 +97,23 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *budget)
 		defer cancel()
+	}
+
+	var progressW io.Writer
+	if *verbose {
+		progressW = os.Stderr
+	}
+	switch *workload {
+	case "collectives":
+	case "serve":
+		if err := runServe(ctx, sv, *seed, *workers, progressW); err != nil {
+			fmt.Fprintf(os.Stderr, "mpibench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "mpibench: unknown workload %q (collectives|serve)\n", *workload)
+		os.Exit(2)
 	}
 
 	var clusterCfg cluster.Config
@@ -131,11 +166,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	var progress io.Writer
-	if *verbose {
-		progress = os.Stderr
-	}
-	res, err := suite.Run(ctx, cfg, progress)
+	res, err := suite.Run(ctx, cfg, progressW)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mpibench: %v\n", err)
 		os.Exit(1)

@@ -93,6 +93,18 @@
 //	    regime shifts) and record merged.json; -ops appends the
 //	    operational annex (attempts, env fingerprints, seam p-values).
 //
+//	scibench serve [-preset poisson|diurnal2|burst] [-loads 0.1,...]
+//	          [-epoch 5s] [-epochs 6] [-seed 1] [-j 0] [-stall 0] [-dir DIR]
+//	    Sweep a seeded open-loop service workload (ROADMAP item 2)
+//	    through an offered-load ramp: Poisson / two-period diurnal /
+//	    bursty ON-OFF arrivals into simulated batching servers, every
+//	    request latency recorded in a mergeable log-bucketed histogram,
+//	    p50/p99/p999 reported with rank-based nonparametric CIs and the
+//	    detected latency knee. -dir records merged.json, bit-identical
+//	    for every -j (Rule 9); -stall injects a mid-epoch dispatch stall
+//	    and reports the coordinated-omission ratio (open- vs closed-loop
+//	    p99 on the identical schedule).
+//
 //	scibench rules
 //	    Print the twelve rules verbatim.
 package main
@@ -145,6 +157,8 @@ func main() {
 		err = cmdMerge(os.Args[2:])
 	case "worker":
 		err = cmdWorker(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	default:
 		usage()
 	}
@@ -155,7 +169,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scibench analyze|compare|audit|generate|changepoint|campaign|resume|convert|shard|exec|merge|worker|timer|rules [flags]")
+	fmt.Fprintln(os.Stderr, "usage: scibench analyze|compare|audit|generate|changepoint|campaign|resume|convert|shard|exec|merge|worker|serve|timer|rules [flags]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestServeMergedJSONWorkerInvariance drives the built binary through
+// the acceptance criterion of the open-loop workload: a seeded
+// two-period diurnal Poisson sweep must record a bit-identical
+// merged.json whether one worker or GOMAXPROCS workers measured the
+// load points.
+func TestServeMergedJSONWorkerInvariance(t *testing.T) {
+	run := func(j int) []byte {
+		dir := filepath.Join(t.TempDir(), fmt.Sprintf("j%d", j))
+		cmd := exec.Command(binPath, "serve",
+			"-preset", "diurnal2", "-epoch", "1s", "-loads", "0.2,0.6,0.9",
+			"-seed", "41", "-j", fmt.Sprint(j), "-dir", dir)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("serve -j %d: %v\n%s", j, err, out)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "merged.json"))
+		if err != nil {
+			t.Fatalf("serve -j %d wrote no merged.json: %v", j, err)
+		}
+		return data
+	}
+	serial := run(1)
+	parallel := run(runtime.GOMAXPROCS(0))
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("merged.json differs between -j 1 and -j %d:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			runtime.GOMAXPROCS(0), serial, parallel)
+	}
+	if !bytes.Contains(serial, []byte(`"arrival": "diurnal"`)) {
+		t.Fatalf("merged.json does not describe the diurnal sweep:\n%s", serial)
+	}
+}
+
+// TestServeStallReportsOmission checks the CLI surface of the
+// coordinated-omission audit: an injected stall must print the ratio.
+func TestServeStallReportsOmission(t *testing.T) {
+	cmd := exec.Command(binPath, "serve",
+		"-preset", "poisson", "-epoch", "1s", "-loads", "0.4",
+		"-stall", "200ms", "-seed", "5")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("serve -stall: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "coordinated-omission audit") {
+		t.Fatalf("stall run did not report the omission audit:\n%s", out)
+	}
+}

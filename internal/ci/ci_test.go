@@ -366,3 +366,52 @@ func TestSampleVariantsMatch(t *testing.T) {
 		t.Errorf("QuantileCISample n=5: err = %v", err)
 	}
 }
+
+func TestQuantileCIHist(t *testing.T) {
+	// Against the raw-sample interval on identical data: the histogram
+	// interval must agree up to the bucket quantization (≤1/64 relative
+	// on interior ranks, exact at the extremes).
+	rng := rand.New(rand.NewPCG(13, 17))
+	n := 20000
+	xs := make([]float64, n)
+	var h stats.LogHistogram
+	for i := range xs {
+		xs[i] = 1e-3 * math.Exp(0.5*rng.NormFloat64())
+		h.Record(xs[i])
+	}
+	for _, p := range []float64{0.5, 0.99, 0.999} {
+		exact, err := QuantileCI(xs, p, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := QuantileCIHist(&h, p, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pair := range [][2]float64{
+			{got.Lo, exact.Lo}, {got.Hi, exact.Hi}, {got.Center, exact.Center},
+		} {
+			if rel := math.Abs(pair[0]-pair[1]) / pair[1]; rel > 1.0/64+1e-9 {
+				t.Errorf("p=%g: hist endpoint %g vs exact %g (rel err %.4f)", p, pair[0], pair[1], rel)
+			}
+		}
+		if got.Lo > got.Center || got.Center > got.Hi {
+			t.Errorf("p=%g: interval %v not bracketing its center", p, got)
+		}
+	}
+
+	// Validation must mirror the raw-sample constructor.
+	if _, err := QuantileCIHist(&h, 0, 0.95); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := QuantileCIHist(&h, 0.5, 1); err != ErrConfidence {
+		t.Errorf("confidence=1: err = %v", err)
+	}
+	var small stats.LogHistogram
+	for i := 0; i < 5; i++ {
+		small.Record(float64(i + 1))
+	}
+	if _, err := QuantileCIHist(&small, 0.5, 0.95); err != ErrTooFewSamples {
+		t.Errorf("n=5: err = %v", err)
+	}
+}

@@ -226,7 +226,30 @@ type Report struct {
 	// as one distribution violates Rule 6's diagnostic-checking mandate.
 	StationarityChecked bool
 	RegimeShiftDetected bool
+
+	// Load-generation extension (service/latency studies; see
+	// internal/serve). LoadGeneration names how load was offered
+	// ("open-loop", "closed-loop", "" = not a load study — zero values add
+	// no findings). CoordinatedOmissionChecked records that the open-
+	// vs closed-loop audit ran on the same seeded workload;
+	// OmissionRatio is its open-p99 / closed-p99 result. Closed-loop
+	// tail percentiles are subject to coordinated omission: the
+	// generator stops offering load exactly when the system stalls, so
+	// the stalled requests that define the tail are never issued. Such
+	// tails are an undisclosed subset of the intended load (Rule 2) and
+	// an unchecked distributional assumption (Rule 6); Rule 5's CIs are
+	// only as honest as the sample they bracket.
+	LoadGeneration             string
+	CoordinatedOmissionChecked bool
+	OmissionRatio              float64
 }
+
+// Load-generation modes recognized by the audit (matching
+// serve.OpenLoop / serve.ClosedLoop).
+const (
+	OpenLoopGeneration   = "open-loop"
+	ClosedLoopGeneration = "closed-loop"
+)
 
 // Audit checks every rule and returns all findings sorted by rule.
 func Audit(r Report) []Finding {
@@ -271,6 +294,14 @@ func Audit(r Report) []Finding {
 			add(2, Violation, fmt.Sprintf("%d of %d sample attempts lost to faults without disclosure",
 				r.SamplesLost, r.SamplesAttempted))
 		}
+	}
+	// Rule 2, coordinated-omission extension: a closed-loop generator
+	// that measurably under-offered load reported an undisclosed subset
+	// of the intended requests — the stalled ones are missing.
+	if r.LoadGeneration == ClosedLoopGeneration && r.CoordinatedOmissionChecked && r.OmissionRatio > 1.25 {
+		add(2, Warning, fmt.Sprintf(
+			"closed-loop generation omitted the stalled load: open-loop p99 is %.1f× the closed-loop p99 (coordinated omission)",
+			r.OmissionRatio))
 	}
 
 	// Rules 3 and 4: summary methods per metric kind.
@@ -327,6 +358,12 @@ func Audit(r Report) []Finding {
 	default:
 		add(5, Violation, "nondeterministic data without confidence intervals")
 	}
+	// Rule 5, load-generation extension: CIs bracket the sample they are
+	// computed from; open-loop arrivals make that sample the true
+	// latency distribution, closed-loop arrivals do not.
+	if r.LoadGeneration == OpenLoopGeneration {
+		add(5, Pass, "open-loop load generation: tail samples are free of coordinated omission")
+	}
 
 	// Rule 6: normality diagnostics before parametric statistics.
 	switch {
@@ -347,6 +384,18 @@ func Audit(r Report) []Finding {
 			add(6, Warning, "change-point test flags a mid-campaign regime shift: the sample mixes distributions")
 		} else {
 			add(6, Pass, "stationarity checked: no change point in the sample stream")
+		}
+	}
+	// Rule 6, coordinated-omission extension: closed-loop tail
+	// percentiles describe a distribution censored by the generator
+	// itself — reporting them without the open-vs-closed diagnostic is
+	// an unchecked distributional assumption.
+	if r.LoadGeneration == ClosedLoopGeneration {
+		if r.CoordinatedOmissionChecked {
+			add(6, Pass, fmt.Sprintf(
+				"coordinated-omission check performed: open-loop p99 is %.2f× the closed-loop p99", r.OmissionRatio))
+		} else {
+			add(6, Violation, "closed-loop tail percentiles reported without a coordinated-omission check")
 		}
 	}
 

@@ -376,3 +376,50 @@ func TestMeasurementIntegrityChecks(t *testing.T) {
 		t.Errorf("fault-unaware report gained findings: %d on rules 2/6", faultFree)
 	}
 }
+
+func TestLoadGenerationExtension(t *testing.T) {
+	// A report that is not a load study gains no load findings.
+	for _, f := range Audit(goodReport()) {
+		if strings.Contains(f.Message, "coordinated") || strings.Contains(f.Message, "loop") {
+			t.Fatalf("load-unaware report gained a load finding: %s", f)
+		}
+	}
+
+	// Open-loop generation adds a Rule 5 pass.
+	r := goodReport()
+	r.LoadGeneration = OpenLoopGeneration
+	found := false
+	for _, f := range Audit(r) {
+		if f.Rule == 5 && f.Severity == Pass && strings.Contains(f.Message, "open-loop") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("open-loop generation must add a Rule 5 pass")
+	}
+
+	// Closed-loop tails without the omission check violate Rule 6.
+	r = goodReport()
+	r.LoadGeneration = ClosedLoopGeneration
+	if worstSeverity(Audit(r), 6) != Violation {
+		t.Error("unchecked closed-loop tails must violate Rule 6")
+	}
+
+	// A performed check with a benign ratio passes Rule 6 and leaves
+	// Rule 2 alone.
+	r.CoordinatedOmissionChecked = true
+	r.OmissionRatio = 1.05
+	fs := Audit(r)
+	if worstSeverity(fs, 6) != Pass {
+		t.Error("checked closed-loop tails with benign ratio must pass Rule 6")
+	}
+	if worstSeverity(fs, 2) != Pass {
+		t.Error("benign omission ratio must not flag Rule 2")
+	}
+
+	// A damning ratio warns on Rule 2: the stalled load was omitted.
+	r.OmissionRatio = 8.4
+	if worstSeverity(Audit(r), 2) != Warning {
+		t.Error("omission ratio > 1.25 on closed-loop data must warn on Rule 2")
+	}
+}

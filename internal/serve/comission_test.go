@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestCoordinatedOmissionGolden is the CO proof the audit rules lean on:
+// the same seeded workload — Poisson arrivals, deterministic service, a
+// single injected 2 s dispatch stall — measured open- and closed-loop,
+// with the open-loop p99 checked against the analytic M/D/1-with-stall
+// value.
+//
+// Setup: λ = 1000 req/s, deterministic s = 200 µs (ρ = 0.2), duration
+// T = 20 s, one stall of S = 2 s at t = 5 s.
+//
+// Open loop: a request arriving x seconds into the stall finds ≈λx
+// requests queued ahead; service resumes at the stall's end, so its
+// sojourn is ≈ S − x + λx·s + s = S − x(1−ρ) + s. Inverting for the
+// rank: the 1% worst of N ≈ λT requests are those with
+// x ≤ 0.01·N·(1−ρ)/λ, hence
+//
+//	p99_open ≈ S + s − 0.01·λT·(1−ρ)/λ = 2.0002 − 0.16 ≈ 1.84 s.
+//
+// Closed loop (one client, one server): the client stops issuing while
+// its single in-flight request is stalled, so exactly ONE request
+// observes the stall; every other sojourn is s. With ≈T/s ≈ 10^5
+// requests, p99_closed = s = 200 µs — the loop coordinated with the
+// server's omission and erased the stall from the tail. The true tail
+// is ~9000× worse than the closed-loop harness reports.
+func TestCoordinatedOmissionGolden(t *testing.T) {
+	const (
+		lambda = 1000.0
+		svc    = 200 * time.Microsecond
+		stall  = 2 * time.Second
+		dur    = 20 * time.Second
+	)
+	o := Options{
+		Arrival: ArrivalConfig{Kind: Poisson, Rate: lambda},
+		Server: ServerConfig{
+			Service: ServiceConfig{Mean: svc},
+			Stalls:  []Stall{{At: 5 * time.Second, Dur: stall}},
+		},
+		Duration: dur,
+		Seed:     2026,
+		Clients:  1,
+	}
+	chk, err := CheckCoordinatedOmission(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rho := lambda * svc.Seconds()
+	wantOpen := stall.Seconds() + svc.Seconds() -
+		0.01*float64(chk.Open.Completed)*(1-rho)/lambda
+	if rel := math.Abs(chk.OpenP99-wantOpen) / wantOpen; rel > 0.15 {
+		t.Errorf("open-loop p99 = %.4f s, analytic %.4f s (rel err %.1f%%)",
+			chk.OpenP99, wantOpen, 100*rel)
+	}
+	// Closed-loop p99 is the bare service time (±1/64 histogram
+	// quantization): the stall vanished from the closed-loop tail.
+	if rel := math.Abs(chk.ClosedP99-svc.Seconds()) / svc.Seconds(); rel > 0.05 {
+		t.Errorf("closed-loop p99 = %.6f s, want ≈%.6f s", chk.ClosedP99, svc.Seconds())
+	}
+	if chk.Ratio < 1000 {
+		t.Errorf("omission ratio %.0f, want ≫1000 (open %.4f s / closed %.6f s)",
+			chk.Ratio, chk.OpenP99, chk.ClosedP99)
+	}
+	// The closed loop must also have seen the stall in its MAX — it is
+	// only the percentile machinery that gets fooled, which is the point.
+	if chk.Closed.MaxLatency < stall/2 {
+		t.Errorf("closed-loop max %v never observed the stall", chk.Closed.MaxLatency)
+	}
+	if chk.Open.Completed != chk.Open.Offered || chk.Open.Dropped != 0 {
+		t.Errorf("open loop lost requests: %+v", chk.Open)
+	}
+}
+
+// TestOmissionRatioNearOneWithoutStalls: with no stalls and light load,
+// open and closed loops agree — the ratio diagnostic does not cry wolf.
+func TestOmissionRatioNearOneWithoutStalls(t *testing.T) {
+	chk, err := CheckCoordinatedOmission(Options{
+		Arrival:  ArrivalConfig{Rate: 200},
+		Server:   ServerConfig{Service: ServiceConfig{Mean: 500 * time.Microsecond}},
+		Duration: 5 * time.Second,
+		Seed:     17,
+		Clients:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chk.Ratio < 0.8 || chk.Ratio > 2.5 {
+		t.Fatalf("stall-free omission ratio %.2f, want ≈1 (open %.6f, closed %.6f)",
+			chk.Ratio, chk.OpenP99, chk.ClosedP99)
+	}
+}

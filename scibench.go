@@ -48,6 +48,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/rules"
 	"repro/internal/shard"
+	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/internal/suite"
 	"repro/internal/telemetry"
@@ -623,6 +624,72 @@ func RunSuite(cfg SuiteConfig, w io.Writer) (*SuiteResult, error) {
 // sweep and returns the partial result marked Interrupted.
 func RunSuiteCtx(ctx context.Context, cfg SuiteConfig, w io.Writer) (*SuiteResult, error) {
 	return suite.Run(ctx, cfg, w)
+}
+
+// Open-loop service workloads (packages serve and suite; ROADMAP item 2).
+type (
+	// ArrivalConfig parametrizes a seeded open-loop arrival process:
+	// Poisson, multi-period diurnal, or bursty ON/OFF.
+	ArrivalConfig = serve.ArrivalConfig
+	// DiurnalPeriod is one sinusoidal component of a diurnal rate
+	// profile.
+	DiurnalPeriod = serve.DiurnalPeriod
+	// ServeServiceConfig is the lognormal per-request service-time
+	// model.
+	ServeServiceConfig = serve.ServiceConfig
+	// ServeStall is one injected dispatch freeze — the canonical
+	// coordinated-omission trigger.
+	ServeStall = serve.Stall
+	// ServeServerConfig is the simulated service under test: parallel
+	// servers, bounded queue, size/deadline batching, lognormal service
+	// times, injected dispatch stalls.
+	ServeServerConfig = serve.ServerConfig
+	// ServeOptions configures one simulated serving epoch.
+	ServeOptions = serve.Options
+	// ServeResult is one fully simulated epoch with its latency
+	// histogram.
+	ServeResult = serve.Result
+	// OmissionCheck quantifies coordinated omission: the open- vs
+	// closed-loop p99 gap on the identical seeded stall schedule.
+	OmissionCheck = serve.OmissionCheck
+	// ServeSweepConfig parametrizes an offered-load ramp of the serve
+	// workload; like SuiteConfig, results are bit-identical for every
+	// Workers value.
+	ServeSweepConfig = suite.ServeConfig
+	// ServeSweepResult is a completed load sweep with per-point tail
+	// quantiles, rank-based CIs, and the detected latency knee.
+	ServeSweepResult = suite.ServeResult
+	// LogHistogram is the mergeable log-bucketed latency histogram
+	// behind the serve workload's tail percentiles: 0 allocs per
+	// Record, relative quantization error ≤ 1/64.
+	LogHistogram = stats.LogHistogram
+)
+
+// RunServe simulates one serving epoch: seeded open- or closed-loop
+// arrivals into the configured servers, every latency recorded.
+func RunServe(o ServeOptions) (ServeResult, error) {
+	return serve.Run(o)
+}
+
+// CheckCoordinatedOmission runs the same seeded workload open- and
+// closed-loop and reports how badly the closed loop under-reports the
+// tail (Rules 2, 5, 6).
+func CheckCoordinatedOmission(o ServeOptions) (OmissionCheck, error) {
+	return serve.CheckCoordinatedOmission(o)
+}
+
+// RunServeSweep ramps offered load through the configured fractions of
+// capacity and reports tail latency per point with the detected knee;
+// progress rows stream to w (nil for silent).
+func RunServeSweep(ctx context.Context, cfg ServeSweepConfig, w io.Writer) (*ServeSweepResult, error) {
+	return suite.RunServe(ctx, cfg, w)
+}
+
+// QuantileCIHist is Le Boudec's rank-based quantile CI resolved through
+// a LogHistogram's cumulative counts — nonparametric tail CIs at
+// millions of recorded requests without materializing a sample slice.
+func QuantileCIHist(h *LogHistogram, p, confidence float64) (Interval, error) {
+	return ci.QuantileCIHist(h, p, confidence)
 }
 
 // Timer calibration (package timer).
